@@ -1,0 +1,34 @@
+"""Section VI-A ablation: Relative vs Absolute Proportional allocation.
+
+The paper reports a consistent 3.0-4.1% throughput gain for RP over AP
+at 60-120 mW budgets, attributed to tiles running at more efficient
+(V, F) points; the rest of the evaluation then uses RP.
+"""
+
+import statistics
+
+from repro.experiments import fig17_3x3_eval
+
+BUDGETS = (60.0, 90.0, 120.0)
+
+
+def test_ap_vs_rp_allocation(benchmark, report):
+    result = benchmark.pedantic(
+        fig17_3x3_eval.run_ap_vs_rp,
+        kwargs={"budgets": BUDGETS},
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        f"budget={b:5.0f} mW  AP={result.makespans_us[('AP', b)]:9.1f} us  "
+        f"RP={result.makespans_us[('RP', b)]:9.1f} us  "
+        f"RP gain={result.rp_gain_percent(b):+5.1f}%"
+        for b in BUDGETS
+    ]
+    report("Sec VI-A: AP vs RP allocation", rows)
+
+    # Shape: RP wins on average across budgets.  (The paper's 3-4% is
+    # an average over steady workloads; individual budget points in the
+    # behavioral model are noisier.)
+    mean_gain = statistics.mean(result.rp_gain_percent(b) for b in BUDGETS)
+    assert mean_gain > 0.0

@@ -1,0 +1,38 @@
+"""Fig. 3: packets and cycles to convergence, 1-way vs 4-way."""
+
+from repro.experiments import fig03_convergence
+
+DIMS = (4, 8, 12, 16)
+TRIALS = 5
+
+
+def test_fig03_convergence(benchmark, report):
+    result = benchmark.pedantic(
+        fig03_convergence.run,
+        kwargs={"dims": DIMS, "trials": TRIALS},
+        rounds=1,
+        iterations=1,
+    )
+    report(
+        "Fig. 3: 1-way vs 4-way convergence",
+        fig03_convergence.format_rows(result),
+    )
+
+    one = result.curve("1-way")
+    four = result.curve("4-way")
+
+    # Every point converged.
+    for p in one + four:
+        assert p.converged_fraction == 1.0
+
+    # Time grows with SoC size for both techniques but sub-linearly in
+    # N: growing N by 16x (d=4 -> 16) costs far less than 16x in time.
+    for pts in (one, four):
+        assert pts[-1].mean_cycles > pts[0].mean_cycles
+        assert pts[-1].mean_cycles < 16 * pts[0].mean_cycles
+
+    # 4-way needs fewer exchanges (it converges at least comparably
+    # fast) but spends more messages per exchange; the paper's headline
+    # is comparable convergence with higher 4-way message complexity.
+    for p1, p4 in zip(one, four):
+        assert p4.mean_cycles < 2.5 * p1.mean_cycles

@@ -1,0 +1,31 @@
+"""Fig. 4: BlitzCoin vs TokenSmart convergence-time distributions."""
+
+from repro.experiments import fig04_tokensmart
+
+DIMS = (4, 8, 12, 16)
+TRIALS = 6
+
+
+def test_fig04_bc_vs_tokensmart(benchmark, report):
+    result = benchmark.pedantic(
+        fig04_tokensmart.run,
+        kwargs={"dims": DIMS, "trials": TRIALS},
+        rounds=1,
+        iterations=1,
+    )
+    report(
+        "Fig. 4: BC vs TS convergence distribution",
+        fig04_tokensmart.format_rows(result),
+    )
+
+    # BC wins at every size, and the advantage grows with N (the paper
+    # reaches ~11x at N=400; we check a widening >2x trend by d=16).
+    speedups = [result.speedup_at(d) for d in DIMS]
+    assert all(s > 1.0 for s in speedups[1:])
+    assert speedups[-1] > 2.0
+    assert speedups[-1] > speedups[0]
+
+    # TS's sequential ring gives it the heavier upper tail at scale.
+    bc = next(p for p in result.points["BC"] if p.d == DIMS[-1])
+    ts = next(p for p in result.points["TS"] if p.d == DIMS[-1])
+    assert ts.p95 > bc.p95

@@ -1,0 +1,30 @@
+"""Fig. 6: dynamic timing vs plain 1-way exchange."""
+
+from repro.experiments import fig06_dynamic_timing
+
+DIMS = (4, 8, 12)
+TRIALS = 4
+
+
+def test_fig06_dynamic_timing(benchmark, report):
+    result = benchmark.pedantic(
+        fig06_dynamic_timing.run,
+        kwargs={"dims": DIMS, "trials": TRIALS},
+        rounds=1,
+        iterations=1,
+    )
+    report(
+        "Fig. 6: dynamic timing benefit",
+        fig06_dynamic_timing.format_rows(result),
+    )
+
+    # Back-off suppresses the chatter of converged regions: clearly
+    # fewer packets over a workload phase at every SoC size.
+    for d in DIMS:
+        assert result.packet_reduction_at(d) > 1.25
+
+    # ...without giving up convergence speed beyond a modest factor.
+    for d in DIMS:
+        plain = next(p for p in result.points["plain"] if p.d == d)
+        dyn = next(p for p in result.points["dynamic"] if p.d == d)
+        assert dyn.mean_cycles <= plain.mean_cycles * 1.6

@@ -1,0 +1,34 @@
+"""Fig. 7: worst-case residual error with and without random pairing."""
+
+from repro.experiments import fig07_random_pairing
+
+DIMS = (10, 20)  # N = 100 and N = 400, as in the paper
+TRIALS = 6
+
+
+def test_fig07_random_pairing(benchmark, report):
+    result = benchmark.pedantic(
+        fig07_random_pairing.run,
+        kwargs={"dims": DIMS, "trials": TRIALS, "settle_cycles": 100_000},
+        rounds=1,
+        iterations=1,
+    )
+    report(
+        "Fig. 7: residual error histograms",
+        fig07_random_pairing.format_rows(result),
+    )
+
+    for d in DIMS:
+        with_rp = result.get(d, True)
+        without_rp = result.get(d, False)
+        # With random pairing every run lands within the one-coin
+        # quantization band (Fig. 7, red histograms).
+        assert with_rp.stuck_fraction == 0.0
+        assert with_rp.max_error <= 1.5
+        # Without it some tiles fail to converge, visibly worse than
+        # the paired runs.
+        assert without_rp.max_error > with_rp.max_error
+    # The unpaired deviation grows with SoC size (blue histograms).
+    assert (
+        result.get(20, False).max_error > result.get(10, False).max_error
+    )

@@ -1,0 +1,38 @@
+"""Fig. 8: convergence time vs SoC size and heterogeneity."""
+
+from repro.experiments import fig08_heterogeneity
+
+DIMS = (4, 8, 12)
+ACC_TYPES = (1, 2, 4, 8)
+TRIALS = 5
+
+
+def test_fig08_heterogeneity(benchmark, report):
+    result = benchmark.pedantic(
+        fig08_heterogeneity.run,
+        kwargs={
+            "dims": DIMS,
+            "acc_types_values": ACC_TYPES,
+            "trials": TRIALS,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    report(
+        "Fig. 8: heterogeneity sweep",
+        fig08_heterogeneity.format_rows(result),
+    )
+
+    # All configurations converge.
+    for p in result.points.values():
+        assert p.converged_fraction == 1.0
+
+    # Convergence time grows with SoC size for every heterogeneity level.
+    for at in ACC_TYPES:
+        series = result.series_for_acc_types(at)
+        assert series[-1].mean_cycles > series[0].mean_cycles
+
+    # Higher heterogeneity -> larger start error (the paper's coupling),
+    # checked on the largest SoC between the extremes.
+    errors = dict(result.start_error_by_acc_types(DIMS[-1]))
+    assert errors[ACC_TYPES[-1]] > errors[1]

@@ -1,0 +1,37 @@
+"""Fig. 13: accelerator power/frequency characterization."""
+
+import pytest
+
+from repro.experiments import fig13_power_curves
+from repro.power.characterization import get_curve
+
+
+def test_fig13_power_curves(benchmark, report):
+    result = benchmark(fig13_power_curves.run)
+    report("Fig. 13: P/V/F characterization", fig13_power_curves.format_rows(result))
+
+    # Shape: the published ranges.  ASIC-measured tiles span 0.5-1.0 V
+    # (0.6-1.0 V for NVDLA); Joules-characterized tiles span 0.6-0.9 V.
+    assert result.curves["FFT"].samples[0][0] == pytest.approx(0.5)
+    assert result.curves["NVDLA"].samples[0][0] == pytest.approx(0.6)
+    assert result.curves["GEMM"].samples[-1][0] == pytest.approx(0.9)
+
+    # Power ordering at the top point: NVDLA > GEMM > Conv2D > Vision >
+    # FFT > Viterbi, with a large overall spread.
+    peaks = {n: c.p_range_mw[1] for n, c in result.curves.items()}
+    assert (
+        peaks["NVDLA"]
+        > peaks["GEMM"]
+        > peaks["Conv2D"]
+        > peaks["Vision"]
+        > peaks["FFT"]
+        > peaks["Viterbi"]
+    )
+    assert result.dynamic_range() > 4.0
+
+    # Idle scaling below minimum voltage: ~7.5x additional power saving
+    # (Section V-A).
+    for name in ("FFT", "NVDLA"):
+        c = get_curve(name)
+        p_min_point = c.power_mw(c.spec.v_min, c.f_max_at(c.spec.v_min))
+        assert p_min_point / c.p_idle_mw == pytest.approx(7.5)

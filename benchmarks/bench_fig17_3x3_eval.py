@@ -1,0 +1,32 @@
+"""Fig. 17: execution and response time on the 3x3 SoC."""
+
+from repro.experiments import fig17_3x3_eval
+
+
+def test_fig17_3x3_eval(benchmark, report):
+    result = benchmark.pedantic(fig17_3x3_eval.run, rounds=1, iterations=1)
+    report("Fig. 17: 3x3 SoC evaluation", fig17_3x3_eval.format_rows(result))
+
+    # Headline: BC beats C-RR on throughput, ~25-34% in the paper;
+    # require a clear mean advantage and no large per-case regression.
+    assert result.mean_speedup(vs="C-RR") > 1.15
+    for mode, budget in fig17_3x3_eval.CASES:
+        assert result.speedup(mode, budget, vs="C-RR") > 0.95
+
+    # BC is never meaningfully slower than BC-C (same allocation).
+    assert result.mean_speedup(vs="BC-C") > 0.97
+
+    # Response time: BC is the fastest scheme in every configuration,
+    # and markedly faster than both centralized schemes on average
+    # (paper: 10.1x vs BC-C, 12.1x vs C-RR).
+    for mode, budget in fig17_3x3_eval.CASES:
+        bc = result.get("BC", mode, budget).mean_response_us
+        assert bc < result.get("BC-C", mode, budget).mean_response_us
+        assert bc < result.get("C-RR", mode, budget).mean_response_us
+    import statistics
+
+    mean_impr_crr = statistics.mean(
+        result.response_improvement(mode, budget, vs="C-RR")
+        for mode, budget in fig17_3x3_eval.CASES
+    )
+    assert mean_impr_crr > 3.0

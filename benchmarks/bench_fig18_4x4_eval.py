@@ -1,0 +1,24 @@
+"""Fig. 18: execution and response time on the 4x4 SoC."""
+
+from repro.experiments import fig18_4x4_eval
+
+
+def test_fig18_4x4_eval(benchmark, report):
+    result = benchmark.pedantic(fig18_4x4_eval.run, rounds=1, iterations=1)
+    report("Fig. 18: 4x4 SoC evaluation", fig18_4x4_eval.format_rows(result))
+
+    # The 3x3 trends repeat at N=13: BC beats C-RR (paper: ~25%).
+    assert result.mean_speedup(vs="C-RR") > 1.15
+    for mode, budget in fig18_4x4_eval.CASES:
+        assert result.speedup(mode, budget, vs="C-RR") > 0.95
+
+    # BC matches BC-C's allocation-driven throughput.
+    assert result.mean_speedup(vs="BC-C") > 0.97
+
+    # Response: in the parallel workloads (the paper's headline regime,
+    # many concurrent activity edges) BC responds well before the O(N)
+    # centralized loop completes.
+    for budget in (450.0, 900.0):
+        bc = result.get("BC", "WL-Par", budget).mean_response_us
+        crr = result.get("C-RR", "WL-Par", budget).mean_response_us
+        assert bc < crr

@@ -1,0 +1,35 @@
+"""Fig. 19: the silicon-measurement experiments (simulated)."""
+
+from repro.experiments import fig19_silicon
+from repro.sim import cycles_to_us
+
+
+def test_fig19_silicon(benchmark, report):
+    result = benchmark.pedantic(fig19_silicon.run, rounds=1, iterations=1)
+    report("Fig. 19: PM-cluster (silicon) experiments", fig19_silicon.format_rows(result))
+
+    # Budget enforcement with high utilization (paper: 97% of budget,
+    # cap never exceeded).
+    for run in result.runs.values():
+        assert run.peak_power_mw <= 1.05 * fig19_silicon.PM_CLUSTER_BUDGET_MW
+        assert run.budget_utilization > 0.70
+
+    # Dynamic redistribution beats the static split for every workload
+    # size, with larger gains for more accelerators (paper: 27% at 7
+    # accelerators down to 19% at 3).
+    gains = {
+        n: run.throughput_gain_percent for n, run in result.runs.items()
+    }
+    assert gains[7] > 5.0
+    assert gains[7] > gains[3]
+
+    # Coin redistribution settles within ~one coin of target (paper:
+    # residual below one coin; we allow in-flight snapshot slack).
+    assert result.coin_snapshot.worst_residual_coins <= 2.0
+
+    # The UVFR transition settles in the paper's ~microsecond regime.
+    assert result.uvfr_transition.settled
+    assert cycles_to_us(result.uvfr_transition.cycles) < 3.0
+
+    # BlitzCoin overhead vs the FFT No-PM tile: < 2%.
+    assert result.pm_overhead_percent < 2.0

@@ -1,0 +1,23 @@
+"""Fig. 20: response time after the NVDLA task completes."""
+
+from repro.experiments import fig20_response
+
+
+def test_fig20_response(benchmark, report):
+    result = benchmark.pedantic(fig20_response.run, rounds=1, iterations=1)
+    report("Fig. 20: NVDLA-end response", fig20_response.format_rows(result))
+
+    bc = result.measurements["BC"].response_us
+    bcc = result.measurements["BC-C"].response_us
+    crr = result.measurements["C-RR"].response_us
+    assert bc is not None and bcc is not None and crr is not None
+
+    # Paper: BC 0.68 us; BC-C 2.1x and C-RR 22.5x slower.  Shape check:
+    # BC in the low-microsecond regime, both centralized schemes
+    # substantially slower, C-RR the slowest.
+    assert bc < 3.0
+    assert result.ratio("BC-C") > 1.5
+    assert result.ratio("C-RR") > 3.0
+    # BC-C and C-RR are the same O(N) loop with different policies;
+    # their responses are of the same order (Table I's 3.7-8.0 us band).
+    assert 0.5 < crr / bcc < 3.0

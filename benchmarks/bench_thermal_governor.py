@@ -1,0 +1,63 @@
+"""Section III-A extension: closed-loop hotspot governance.
+
+Runs the 3x3 autonomous-vehicle workload under BlitzCoin with the RC
+thermal model in the loop.  A temperature limit engages per-tile coin
+caps (the paper's coin-rejection hotspot mechanism); the bench
+quantifies the peak-temperature reduction and the throughput cost.
+"""
+
+from repro.soc.executor import WorkloadExecutor
+from repro.soc.pm import BlitzCoinPM
+from repro.soc.presets import soc_3x3
+from repro.soc.soc import Soc
+from repro.thermal.governor import ThermalGovernor
+from repro.workloads.apps import autonomous_vehicle_parallel
+
+
+def run_pair():
+    out = {}
+    for label, limit in (("uncapped", 500.0), ("governed", 52.0)):
+        soc = Soc(soc_3x3())
+        pm = BlitzCoinPM(soc, 120.0)
+        # capped_coins must keep the tile above its leakage floor or a
+        # throttled task can stall forever; the hysteresis band damps
+        # cap/release oscillation (and its actuator-slew transients).
+        governor = ThermalGovernor(
+            soc,
+            pm,
+            limit_c=limit,
+            hysteresis_c=5.0,
+            sample_cycles=2_000,
+            capped_coins=8,
+        )
+        executor = WorkloadExecutor(
+            soc, autonomous_vehicle_parallel(), pm
+        )
+        governor.start()
+        result = executor.run()
+        out[label] = (result, governor)
+    return out
+
+
+def test_thermal_governor(benchmark, report):
+    results = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    rows = []
+    for label, (result, governor) in results.items():
+        rows.append(
+            f"{label:9s} makespan={result.makespan_us:8.1f} us  "
+            f"peak_T={governor.peak_temperature_c:5.1f} C  "
+            f"cap_events={governor.cap_events}"
+        )
+    report("Thermal governor ablation (limit 52 C)", rows)
+
+    free_result, free_gov = results["uncapped"]
+    gov_result, gov = results["governed"]
+    # The governor engages and holds the peak temperature down.
+    assert gov.cap_events > 0
+    assert gov.peak_temperature_c < free_gov.peak_temperature_c - 1.0
+    # Bounded throughput cost: holding an NVDLA-class tile under a
+    # tight thermal limit legitimately costs severalfold runtime; the
+    # assertion is that the run completes and degrades gracefully.
+    assert gov_result.makespan_us < 8.0 * free_result.makespan_us
+    # The budget cap still holds while thermally throttled.
+    assert gov_result.peak_power_mw() <= 1.10 * 120.0

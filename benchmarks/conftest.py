@@ -1,0 +1,24 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one of the paper's tables or figures: it
+runs the corresponding experiment driver (with reduced trial counts so
+the suite stays minutes, not hours), prints the same rows/series the
+paper reports, and asserts the expected *shape* — who wins, by roughly
+what factor, where crossovers fall.  Absolute numbers differ from the
+paper (behavioral simulator vs. 12 nm silicon); EXPERIMENTS.md records
+the paper-vs-measured comparison.
+"""
+
+import pytest
+
+
+def emit(title, rows):
+    """Print a figure's rows under a banner (shown with `pytest -s`)."""
+    print(f"\n=== {title} ===")
+    for row in rows:
+        print(row)
+
+
+@pytest.fixture
+def report():
+    return emit

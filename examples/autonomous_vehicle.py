@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Connected-autonomous-vehicle workload: BC vs BC-C vs C-RR vs static.
+
+Reproduces the Section VI-A experiment interactively: the mini-ERA
+workload (radar FFTs, NVDLA object detection, Viterbi V2V decoding) on
+the 3x3 SoC, in both dataflow modes, under four power managers — then
+prints an ASCII power trace of the BlitzCoin run, showing the budget cap
+and the reallocation edge when the NVDLA finishes.
+
+Run:  python examples/autonomous_vehicle.py
+"""
+
+from repro.soc import PMKind, Soc, WorkloadExecutor, build_pm, soc_3x3
+from repro.workloads import (
+    autonomous_vehicle_dependent,
+    autonomous_vehicle_parallel,
+)
+
+SCHEMES = (
+    PMKind.BLITZCOIN,
+    PMKind.BLITZCOIN_CENTRAL,
+    PMKind.ROUND_ROBIN,
+    PMKind.STATIC,
+)
+CASES = (
+    ("WL-Par", autonomous_vehicle_parallel, 120.0),
+    ("WL-Dep", autonomous_vehicle_dependent, 60.0),
+)
+
+
+def ascii_trace(result, width: int = 72, height: int = 12) -> str:
+    """Render the total managed power trace as ASCII art."""
+    times, power = result.power_series(width)
+    top = max(result.budget_mw, power.max()) * 1.05
+    rows = []
+    for level in range(height, 0, -1):
+        threshold = top * level / height
+        line = "".join("#" if p >= threshold else " " for p in power)
+        marker = "<cap" if abs(threshold - result.budget_mw) < top / height else ""
+        rows.append(f"{threshold:7.1f} |{line}| {marker}")
+    rows.append(" " * 8 + "-" * width)
+    rows.append(
+        f"{'mW':>7s}  0 us {' ' * (width - 18)} {times[-1]:7.1f} us"
+    )
+    return "\n".join(rows)
+
+
+def main() -> None:
+    print(f"{'scheme':8s} {'mode':7s} {'budget':>7s} {'makespan':>10s} "
+          f"{'response':>9s} {'avg pwr':>8s} {'peak':>7s}")
+    bc_run = None
+    for mode, graph_builder, budget in CASES:
+        for kind in SCHEMES:
+            soc = Soc(soc_3x3())
+            pm = build_pm(kind, soc, budget)
+            result = WorkloadExecutor(soc, graph_builder(), pm).run()
+            print(
+                f"{kind.value:8s} {mode:7s} {budget:6.0f}mW "
+                f"{result.makespan_us:8.1f}us "
+                f"{result.mean_response_us:7.2f}us "
+                f"{result.average_power_mw():6.1f}mW "
+                f"{result.peak_power_mw():5.1f}mW"
+            )
+            if kind is PMKind.BLITZCOIN and mode == "WL-Par":
+                bc_run = result
+        print()
+
+    print("BlitzCoin WL-Par power trace (note the power cap and the")
+    print("redistribution when the NVDLA task completes mid-run):\n")
+    print(ascii_trace(bc_run))
+    dla_end = bc_run.task_finish_cycles["dla0"] * 1.25e-3
+    print(f"\nNVDLA completed at {dla_end:.1f} us; the freed budget was")
+    print("redistributed to the remaining FFT/Viterbi tiles within a")
+    print(f"response time of {bc_run.mean_response_us:.2f} us (mean).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Computer-vision workload on the 4x4 SoC with a budget sweep.
+
+The Section VI-B experiment extended into a small study: how the
+makespan of the 13-accelerator vision pipeline scales with the power
+budget under each management scheme, plus the AP-vs-RP allocation
+comparison of Section VI-A on this SoC.
+
+Run:  python examples/computer_vision.py
+"""
+
+from repro.power import AllocationStrategy
+from repro.soc import PMKind, Soc, WorkloadExecutor, build_pm, soc_4x4
+from repro.workloads import (
+    computer_vision_dependent,
+    computer_vision_parallel,
+)
+
+BUDGETS_MW = (300.0, 450.0, 675.0, 900.0)
+SCHEMES = (PMKind.BLITZCOIN, PMKind.BLITZCOIN_CENTRAL, PMKind.ROUND_ROBIN)
+
+
+def run_one(kind, budget, graph, strategy=None):
+    soc = Soc(soc_4x4())
+    if strategy is None:
+        pm = build_pm(kind, soc, budget)
+    else:
+        pm = build_pm(kind, soc, budget, strategy=strategy)
+    return WorkloadExecutor(soc, graph, pm).run()
+
+
+def budget_sweep() -> None:
+    print("Budget sweep, WL-Par (13 concurrent accelerators):\n")
+    header = f"{'budget':>8s}" + "".join(f"{k.value:>12s}" for k in SCHEMES)
+    print(header)
+    for budget in BUDGETS_MW:
+        cells = []
+        for kind in SCHEMES:
+            r = run_one(kind, budget, computer_vision_parallel())
+            cells.append(f"{r.makespan_us:10.1f}us")
+        print(f"{budget:6.0f}mW" + "".join(f"{c:>12s}" for c in cells))
+    print()
+
+
+def dependent_pipeline() -> None:
+    print("WL-Dep (four camera streams through Vision->Conv2D->GEMM):\n")
+    for kind in SCHEMES:
+        r = run_one(kind, 450.0, computer_vision_dependent())
+        print(
+            f"  {kind.value:6s} makespan={r.makespan_us:9.1f} us  "
+            f"response={r.mean_response_us:6.2f} us  "
+            f"avg={r.average_power_mw():6.1f} mW"
+        )
+    print()
+
+
+def ap_vs_rp() -> None:
+    print("Allocation strategies under BlitzCoin (WL-Par @ 450 mW):\n")
+    for name, strategy in (
+        ("Absolute Proportional (AP)", AllocationStrategy.ABSOLUTE_PROPORTIONAL),
+        ("Relative Proportional (RP)", AllocationStrategy.RELATIVE_PROPORTIONAL),
+    ):
+        r = run_one(
+            PMKind.BLITZCOIN,
+            450.0,
+            computer_vision_parallel(),
+            strategy=strategy,
+        )
+        print(f"  {name}: {r.makespan_us:9.1f} us")
+    print()
+
+
+def main() -> None:
+    budget_sweep()
+    dependent_pipeline()
+    ap_vs_rp()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Design-space exploration of the coin-exchange algorithm (Section III).
+
+Sweeps SoC size for every algorithm variant — plain 1-way, plain 4-way,
+1-way + dynamic timing, the full preferred embodiment — plus the
+TokenSmart baseline, reporting convergence cycles and packet counts,
+then shows the effect of heterogeneity (Fig. 8).
+
+Run:  python examples/convergence_study.py [--quick]
+"""
+
+import statistics
+import sys
+
+from repro.baselines.tokensmart import run_tokensmart_trial
+from repro.core import heterogeneous_scenario, run_convergence_trial
+from repro.core.config import (
+    BlitzCoinConfig,
+    ExchangeMode,
+    plain_four_way,
+    plain_one_way,
+    preferred_embodiment,
+)
+
+VARIANTS = {
+    "1-way plain": plain_one_way(),
+    "4-way plain": plain_four_way(),
+    "1-way + dyn": BlitzCoinConfig(
+        mode=ExchangeMode.ONE_WAY,
+        dynamic_timing=True,
+        wrap_around=False,
+        random_pairing_every=0,
+    ),
+    "preferred": preferred_embodiment(),
+}
+
+
+def sweep(dims, trials) -> None:
+    print(f"{'variant':14s}" + "".join(f"{f'd={d}':>12s}" for d in dims))
+    for name, cfg in VARIANTS.items():
+        cells = []
+        for d in dims:
+            cycles = [
+                run_convergence_trial(d, cfg, seed=s, threshold=1.5).cycles
+                for s in range(trials)
+            ]
+            cells.append(f"{statistics.mean(cycles):10.0f}cy")
+        print(f"{name:14s}" + "".join(f"{c:>12s}" for c in cells))
+    cells = []
+    for d in dims:
+        cycles = [
+            run_tokensmart_trial(d, seed=s, threshold=1.5).cycles
+            for s in range(trials)
+        ]
+        cells.append(f"{statistics.mean(cycles):10.0f}cy")
+    print(f"{'TokenSmart':14s}" + "".join(f"{c:>12s}" for c in cells))
+    print()
+
+
+def heterogeneity(dims, trials) -> None:
+    cfg = preferred_embodiment()
+    print("Convergence vs heterogeneity (accType classes, Fig. 8):\n")
+    print(f"{'accType':>8s}" + "".join(f"{f'd={d}':>12s}" for d in dims))
+    for acc_types in (1, 2, 4, 8):
+        cells = []
+        for d in dims:
+            cycles = []
+            for s in range(trials):
+                scenario = heterogeneous_scenario(d, acc_types, seed=s)
+                r = run_convergence_trial(
+                    d, cfg, seed=s, scenario=scenario, threshold=1.5
+                )
+                cycles.append(r.cycles)
+            cells.append(f"{statistics.mean(cycles):10.0f}cy")
+        print(f"{acc_types:>8d}" + "".join(f"{c:>12s}" for c in cells))
+    print()
+
+
+def main() -> None:
+    quick = "--quick" in sys.argv
+    dims = (4, 8, 12) if quick else (4, 8, 12, 16, 20)
+    trials = 3 if quick else 8
+    print(
+        f"Coin-exchange design space ({trials} seeded trials per point, "
+        "convergence at Err < 1.5):\n"
+    )
+    sweep(dims, trials)
+    heterogeneity(dims[: len(dims) - 1], trials)
+    print("Reading: time grows sub-linearly in N = d^2 for every")
+    print("BlitzCoin variant (the paper's O(sqrt N)); TokenSmart's")
+    print("sequential ring grows ~linearly in N and falls behind by an")
+    print("order of magnitude on large SoCs.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Quickstart: run BlitzCoin on the paper's 3x3 autonomous-vehicle SoC.
+
+Builds the SoC of Fig. 12 (left), attaches the decentralized BlitzCoin
+power manager with a 120 mW budget, runs the WL-Par workload, and prints
+the throughput / response / power summary.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.soc import PMKind, Soc, WorkloadExecutor, build_pm, soc_3x3
+from repro.workloads import autonomous_vehicle_parallel
+
+
+def main() -> None:
+    # 1. Instantiate the SoC: 3 FFT + 2 Viterbi + 1 NVDLA tiles around a
+    #    CVA6 CPU, a memory tile, and an I/O tile on a 3x3 mesh NoC.
+    soc = Soc(soc_3x3())
+
+    # 2. Attach BlitzCoin: a 120 mW budget (30% of the accelerators'
+    #    combined maximum) minted into 63 coins, exchanged tile-to-tile.
+    pm = build_pm(PMKind.BLITZCOIN, soc, budget_mw=120.0)
+
+    # 3. Run the six-accelerator parallel workload.
+    workload = autonomous_vehicle_parallel()
+    result = WorkloadExecutor(soc, workload, pm).run()
+
+    print(f"SoC:                {result.soc_name}")
+    print(f"Workload:           {len(workload)} tasks (WL-Par)")
+    print(f"Makespan:           {result.makespan_us:8.1f} us")
+    print(f"Mean response time: {result.mean_response_us:8.2f} us")
+    print(f"Peak power:         {result.peak_power_mw():8.1f} mW "
+          f"(budget {result.budget_mw:.0f} mW)")
+    print(f"Average power:      {result.average_power_mw():8.1f} mW")
+    print(f"Budget utilization: {result.budget_utilization() * 100:8.1f} %")
+    print()
+    print("Per-task completion:")
+    for name, cycles in sorted(
+        result.task_finish_cycles.items(), key=lambda kv: kv[1]
+    ):
+        print(f"  {name:6s} finished at {cycles * 1.25e-3:8.1f} us")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Extrapolate measured response times to SoCs with hundreds of tiles.
+
+The Section V-E / VI-D workflow: measure response times on the small
+SoCs, fit the tau scaling constants of Equations 5.1-5.3, and predict
+N_max(T_w) and the PM time overhead for each management scheme —
+including the TokenSmart and price-theory comparisons of Fig. 21.
+
+Run:  python examples/scaling_extrapolation.py
+"""
+
+from repro.baselines.pricetheory import PriceTheoryModel
+from repro.experiments.soc_runs import run_soc_workload
+from repro.scaling import ResponseScalingModel, fit_tau_us
+from repro.soc import PMKind, soc_3x3, soc_6x6_chip
+from repro.workloads import autonomous_vehicle_parallel
+from repro.workloads.apps import pm_cluster_workload
+
+
+def measure() -> dict:
+    """Response-time samples (N, us) from the simulated SoCs."""
+    samples = {"BC": [], "BC-C": [], "C-RR": []}
+    for kind in (PMKind.BLITZCOIN, PMKind.BLITZCOIN_CENTRAL, PMKind.ROUND_ROBIN):
+        r = run_soc_workload(
+            soc_3x3(), autonomous_vehicle_parallel(), kind, 120.0
+        )
+        if r.mean_response_us > 0:
+            samples[kind.value].append((6, r.mean_response_us))
+        r = run_soc_workload(
+            soc_6x6_chip(), pm_cluster_workload(7), kind, 180.0
+        )
+        if r.mean_response_us > 0:
+            samples[kind.value].append((7, r.mean_response_us))
+    return samples
+
+
+def main() -> None:
+    print("Measuring response times on the 3x3 SoC and the 6x6 PM cluster...")
+    samples = measure()
+    exponents = {"BC": 0.5, "BC-C": 1.0, "C-RR": 1.0}
+    models = {}
+    print("\nFitted scaling constants (Equations 5.1-5.3):")
+    for scheme, pts in samples.items():
+        tau = fit_tau_us(pts, exponents[scheme])
+        models[scheme] = ResponseScalingModel(scheme, tau, exponents[scheme])
+        pts_str = ", ".join(f"N={n}: {t:.2f}us" for n, t in pts)
+        print(f"  {scheme:5s} tau = {tau:6.3f} us  (from {pts_str})")
+    models["TS"] = ResponseScalingModel.from_paper("TS")
+    pt = PriceTheoryModel()
+
+    print("\nMaximum supported SoC size N_max(T_w):")
+    header = f"{'T_w':>9s}" + "".join(
+        f"{s:>9s}" for s in ("BC", "BC-C", "C-RR", "TS", "PT")
+    )
+    print(header)
+    for t_w_us in (200.0, 1_000.0, 7_000.0, 20_000.0):
+        row = [f"{t_w_us / 1000:7.1f}ms"]
+        for scheme in ("BC", "BC-C", "C-RR", "TS"):
+            row.append(f"{models[scheme].n_max(t_w_us):9.0f}")
+        row.append(f"{pt.n_max(t_w_us / 1e6):9.0f}")
+        print("".join(row))
+
+    print("\nTime spent in power management (T_w = 10 ms):")
+    print(f"{'N':>6s}" + "".join(f"{s:>9s}" for s in ("BC", "BC-C", "C-RR")))
+    for n in (10, 50, 100, 400, 1000):
+        row = [f"{n:>6d}"]
+        for scheme in ("BC", "BC-C", "C-RR"):
+            frac = models[scheme].pm_time_fraction(n, 10_000.0)
+            row.append(f"{frac * 100:8.1f}%")
+        print("".join(row))
+    print("\nValues above 100% mean the scheme cannot keep up (N > N_max).")
+
+
+if __name__ == "__main__":
+    main()

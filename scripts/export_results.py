@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""Regenerate the artifact-style CSV outputs for every experiment.
+
+Mirrors the paper artifact's workflow ("CSV data with post-processing
+scripts for figure generation"): runs each experiment driver and writes
+one CSV per series plus a JSON manifest under ``results/``.
+
+Run:  python scripts/export_results.py [--out results] [--quick]
+
+``--quick`` shrinks trial counts so a full export finishes in a couple
+of minutes; drop it for benchmark-fidelity data.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.experiments import (  # noqa: E402
+    fig01_scalability,
+    fig03_convergence,
+    fig04_tokensmart,
+    fig13_power_curves,
+    fig16_power_traces,
+    fig17_3x3_eval,
+    fig21_scaling,
+)
+from repro.report.csv_export import (  # noqa: E402
+    export_figure,
+    export_rows,
+    export_soc_run,
+    fig03_series,
+    fig04_series,
+)
+
+
+def export_fig01(out: Path) -> None:
+    r = fig01_scalability.run()
+    series = {
+        name: [
+            {"n": n, "response_us": t}
+            for n, t in zip(r.n_values, r.response_us[name])
+        ]
+        for name in r.response_us
+    }
+    for t_w, values in r.interval_us.items():
+        series[f"interval_Tw_{int(t_w)}us"] = [
+            {"n": n, "interval_us": v}
+            for n, v in zip(r.n_values, values)
+        ]
+    export_figure(out, "fig01", series, description="response-time scalability")
+
+
+def export_fig03(out: Path, quick: bool) -> None:
+    r = fig03_convergence.run(
+        dims=(4, 8, 12) if quick else fig03_convergence.DEFAULT_DIMS,
+        trials=3 if quick else 10,
+    )
+    export_figure(
+        out, "fig03", fig03_series(r), description="1-way vs 4-way convergence"
+    )
+
+
+def export_fig04(out: Path, quick: bool) -> None:
+    r = fig04_tokensmart.run(
+        dims=(4, 8, 12) if quick else fig04_tokensmart.DEFAULT_DIMS,
+        trials=3 if quick else 10,
+    )
+    export_figure(
+        out, "fig04", fig04_series(r), description="BC vs TokenSmart"
+    )
+
+
+def export_fig13(out: Path) -> None:
+    r = fig13_power_curves.run(n_points=21)
+    series = {
+        name: [
+            {"v": v, "f_mhz": f / 1e6, "p_mw": p}
+            for v, f, p in curve.samples
+        ]
+        for name, curve in r.curves.items()
+    }
+    export_figure(out, "fig13", series, description="P/V/F characterization")
+
+
+def export_fig16(out: Path) -> None:
+    r = fig16_power_traces.run()
+    for (scheme, mode), trace in r.traces.items():
+        export_soc_run(
+            out / "fig16", trace.result, tag=f"{scheme}_{mode}".replace("-", "")
+        )
+
+
+def export_fig17(out: Path) -> None:
+    r = fig17_3x3_eval.run()
+    rows = [
+        {
+            "scheme": c.scheme,
+            "mode": c.mode,
+            "budget_mw": c.budget_mw,
+            "makespan_us": c.makespan_us,
+            "response_us": c.mean_response_us,
+        }
+        for c in r.cells.values()
+    ]
+    export_rows(out / "fig17_summary.csv", rows)
+
+
+def export_fig21(out: Path) -> None:
+    r = fig21_scaling.run()
+    series = {
+        scheme: [
+            {"t_w_us": t_w, "n_max": r.n_max[scheme][i]}
+            for i, t_w in enumerate(r.t_w_values_us)
+        ]
+        for scheme in r.n_max
+    }
+    series["PT"] = [
+        {"t_w_us": t_w, "n_max": r.pt_n_max[i]}
+        for i, t_w in enumerate(r.t_w_values_us)
+    ]
+    export_figure(out, "fig21", series, description="large-SoC extrapolation")
+
+
+EXPORTERS = {
+    "fig01": lambda out, quick: export_fig01(out),
+    "fig03": export_fig03,
+    "fig04": export_fig04,
+    "fig13": lambda out, quick: export_fig13(out),
+    "fig16": lambda out, quick: export_fig16(out),
+    "fig17": lambda out, quick: export_fig17(out),
+    "fig21": lambda out, quick: export_fig21(out),
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="results", type=Path)
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument(
+        "--only",
+        nargs="*",
+        choices=sorted(EXPORTERS),
+        help="export only these figures",
+    )
+    args = parser.parse_args(argv)
+    targets = args.only or sorted(EXPORTERS)
+    args.out.mkdir(parents=True, exist_ok=True)
+    for name in targets:
+        t0 = time.time()
+        EXPORTERS[name](args.out, args.quick)
+        print(f"exported {name} in {time.time() - t0:.1f}s -> {args.out}/")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

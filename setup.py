@@ -1,0 +1,23 @@
+"""Legacy setup shim.
+
+The execution environment has no `wheel` package and no network access,
+so PEP-517 editable installs (which require bdist_wheel) fail.  This
+shim lets `pip install -e . --no-use-pep517 --no-build-isolation` use
+the classic `setup.py develop` path.  All metadata lives in
+pyproject.toml; values here mirror it for the legacy path only.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Behavioral reproduction of BlitzCoin: fully decentralized hardware "
+        "power management for accelerator-rich SoCs (ISCA 2024)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy>=1.20"],
+)

@@ -1,0 +1,40 @@
+"""BlitzCoin reproduction: fully decentralized hardware power management
+for accelerator-rich SoCs (ISCA 2024), as a behavioral Python library.
+
+The public surface is organized by subsystem; the most common entry
+points are re-exported here:
+
+>>> from repro import Soc, PMKind, WorkloadExecutor, build_pm, soc_3x3
+>>> from repro.workloads import autonomous_vehicle_parallel
+>>> soc = Soc(soc_3x3())
+>>> pm = build_pm(PMKind.BLITZCOIN, soc, budget_mw=120.0)
+>>> result = WorkloadExecutor(soc, autonomous_vehicle_parallel(), pm).run()
+"""
+
+from repro.core import BlitzCoinConfig, CoinExchangeEngine
+from repro.soc import (
+    PMKind,
+    Soc,
+    SocRunResult,
+    WorkloadExecutor,
+    build_pm,
+    soc_3x3,
+    soc_4x4,
+    soc_6x6_chip,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BlitzCoinConfig",
+    "CoinExchangeEngine",
+    "PMKind",
+    "Soc",
+    "SocRunResult",
+    "WorkloadExecutor",
+    "__version__",
+    "build_pm",
+    "soc_3x3",
+    "soc_4x4",
+    "soc_6x6_chip",
+]

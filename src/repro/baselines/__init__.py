@@ -1,0 +1,38 @@
+"""Baseline power-management schemes the paper compares against.
+
+* :mod:`~repro.baselines.tokensmart` — TokenSmart (TS) [43]: decentralized
+  but *sequential* ring-based token passing with greedy/fair modes.
+* :mod:`~repro.baselines.centralized` — the centralized controllers:
+  C-RR (round-robin max/min V,F) and BC-C (BlitzCoin's allocation computed
+  centrally), both with O(N) poll/update loops.
+* :mod:`~repro.baselines.static` — static allocation (the silicon
+  baseline of Fig. 19).
+* :mod:`~repro.baselines.pricetheory` — the hierarchical price-theory
+  manager (PT) [81], reproduced as a response-time scaling model.
+"""
+
+from repro.baselines.centralized import (
+    CentralizedPolicy,
+    CentralizedScheme,
+    ControllerTiming,
+)
+from repro.baselines.pricetheory import PriceTheoryModel
+from repro.baselines.static import StaticAllocator
+from repro.baselines.tokensmart import (
+    TokenSmartConfig,
+    TokenSmartResult,
+    TokenSmartSim,
+    run_tokensmart_trial,
+)
+
+__all__ = [
+    "CentralizedPolicy",
+    "CentralizedScheme",
+    "ControllerTiming",
+    "PriceTheoryModel",
+    "StaticAllocator",
+    "TokenSmartConfig",
+    "TokenSmartResult",
+    "TokenSmartSim",
+    "run_tokensmart_trial",
+]

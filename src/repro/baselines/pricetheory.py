@@ -1,0 +1,125 @@
+"""Price-theory (PT) baseline [81], as used in Fig. 21.
+
+Muthukaruppan et al. manage power with a hierarchical market: clusters
+bid for power at a price set by a (still centralized) top-level manager.
+The paper only compares against PT's *response-time scaling*, taken from
+the published numbers (6.6-11.4 ms at N=256 in software) and optionally
+scaled down by 2.5 orders of magnitude to model a hypothetical hardware
+implementation — the same convention Section VI-D applies.
+
+This module reproduces that model and also provides a tiny functional
+market simulator (iterative price adjustment / tatonnement) so the
+bidding behaviour itself is exercised by tests, not just its scaling law.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+#: Published software response-time measurements (N, seconds).
+PUBLISHED_RESPONSE_S: Tuple[Tuple[int, float], ...] = (
+    (256, 6.62e-3),
+    (256, 11.4e-3),
+)
+
+#: Orders of magnitude applied for a hypothetical hardware port
+#: (Section VI-D uses 2.5, following TokenSmart's SW-to-HW range).
+HW_SCALING_ORDERS = 2.5
+
+
+@dataclass(frozen=True)
+class PriceTheoryModel:
+    """Sub-linear (hierarchical) response-time model for PT.
+
+    The hierarchy gives response time ``tau * N^exponent`` with exponent
+    below 1 (the paper calls PT's scaling "sub-linear"); we use the
+    published N=256 points to pin ``tau`` for a chosen exponent.
+    """
+
+    exponent: float = 0.75
+    hardware_scaled: bool = True
+
+    @property
+    def tau_s(self) -> float:
+        """Scaling constant fitted to the published mid-point."""
+        mid = sum(t for _, t in PUBLISHED_RESPONSE_S) / len(PUBLISHED_RESPONSE_S)
+        tau = mid / (256**self.exponent)
+        if self.hardware_scaled:
+            tau /= 10**HW_SCALING_ORDERS
+        return tau
+
+    def response_time_s(self, n: int) -> float:
+        """Response time for an N-cluster system."""
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        return self.tau_s * n**self.exponent
+
+    def n_max(self, t_w_s: float) -> float:
+        """Largest N whose response time meets T(N) <= T_w / N.
+
+        Solving ``tau * N^e = T_w / N`` gives ``N = (T_w/tau)^(1/(1+e))``.
+        """
+        if t_w_s <= 0:
+            raise ValueError(f"t_w must be positive, got {t_w_s}")
+        return (t_w_s / self.tau_s) ** (1.0 / (1.0 + self.exponent))
+
+
+def market_allocation(
+    demands_mw: Dict[int, float],
+    budget_mw: float,
+    *,
+    max_rounds: int = 200,
+    tolerance: float = 1e-6,
+) -> Tuple[Dict[int, float], int]:
+    """Iterative price adjustment allocating a power budget by bidding.
+
+    Each agent demands ``demand / price`` power (isoelastic utility); the
+    auctioneer raises or lowers the price until total demand meets the
+    budget.  Returns the allocation and the number of rounds — the
+    rounds count is what makes PT slower than one-shot policies.
+    """
+    if budget_mw <= 0:
+        raise ValueError(f"budget must be positive, got {budget_mw}")
+    active = {t: d for t, d in demands_mw.items() if d > 0}
+    if not active:
+        return ({t: 0.0 for t in demands_mw}, 0)
+    total_demand = sum(active.values())
+    if total_demand <= budget_mw:
+        return ({t: demands_mw.get(t, 0.0) for t in demands_mw}, 1)
+    lo, hi = 1e-9, None
+    price = 1.0
+    rounds = 0
+    for rounds in range(1, max_rounds + 1):
+        supply = sum(min(d, d / price) for d in active.values())
+        if abs(supply - budget_mw) <= tolerance * budget_mw:
+            break
+        if supply > budget_mw:
+            lo = price
+            price = price * 2 if hi is None else 0.5 * (price + hi)
+        else:
+            hi = price
+            price = 0.5 * (price + lo)
+    allocation = {
+        t: min(d, d / price) if t in active else 0.0
+        for t, d in demands_mw.items()
+    }
+    # Normalize residual rounding so the budget is met exactly.
+    total = sum(allocation.values())
+    if total > 0:
+        scale = min(1.0, budget_mw / total)
+        allocation = {t: a * scale for t, a in allocation.items()}
+    return allocation, rounds
+
+
+def pm_overhead_fraction(model: PriceTheoryModel, n: int, t_w_s: float) -> float:
+    """Fraction of runtime spent in power management (Fig. 21, right).
+
+    With one decision needed every ``T_w / N`` on average, the PM
+    time-fraction is ``T(N) / (T_w / N)``.
+    """
+    if t_w_s <= 0:
+        raise ValueError(f"t_w must be positive, got {t_w_s}")
+    decisions_per_s = n / t_w_s
+    return model.response_time_s(n) * decisions_per_s

@@ -1,0 +1,236 @@
+"""TokenSmart (TS) baseline: sequential ring-based token exchange [43].
+
+Unlike BlitzCoin's parallel neighbor exchanges, TS circulates the *whole
+pool* of spare tokens around a ring of tiles.  In the default **greedy**
+mode each visited tile takes enough tokens to satisfy its own target (or
+deposits its surplus).  When some tile has been starved for longer than
+a threshold, the global policy flips to **fair** mode, which targets an
+equal share per active tile; once starvation clears it flips back.  The
+sequential pass plus the mode oscillation are what give TS its O(N)
+convergence and heavy-tailed outliers (Fig. 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.metrics import global_error, worst_tile_error
+from repro.core.runner import (
+    ScenarioSpec,
+    homogeneous_scenario,
+    random_initial_allocation,
+)
+from repro.noc.topology import MeshTopology
+from repro.sim.rng import rng_for
+
+
+@dataclass(frozen=True)
+class TokenSmartConfig:
+    """Timing and policy knobs of the TS model."""
+
+    #: Cycles for the pool packet to hop between ring-adjacent tiles.
+    hop_cycles: int = 2
+    #: Cycles a tile spends on a visit: packet ejection/injection through
+    #: the NoC-domain socket plus the greedy/fair token arithmetic.
+    #: Calibrated so the per-tile visit cost matches the paper's fitted
+    #: tau_TS = 0.22 us (~176 cycles for a handful of visits per tile
+    #: per convergence, Section VI-D).
+    process_cycles: int = 24
+    #: Ring passes a tile may remain starved before the mode flips to fair.
+    starvation_passes: int = 2
+    #: Ring passes spent in fair mode before retrying greedy.
+    fair_passes: int = 1
+    #: Convergence threshold on the paper's global error E (coins).
+    convergence_threshold: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.hop_cycles < 1 or self.process_cycles < 0:
+            raise ValueError("invalid TS timing parameters")
+        if self.starvation_passes < 1 or self.fair_passes < 1:
+            raise ValueError("invalid TS mode-switch parameters")
+
+
+@dataclass(frozen=True)
+class TokenSmartResult:
+    """Outcome of one TS convergence trial."""
+
+    converged: bool
+    cycles: Optional[int]
+    visits: int
+    mode_switches: int
+    final_error: float
+    worst_final_error: float
+
+
+class TokenSmartSim:
+    """Sequential ring token-passing simulation.
+
+    The pool packet starts at ring position 0 holding any initially
+    unassigned tokens and walks the ring until the distribution error
+    drops below the threshold.
+    """
+
+    def __init__(
+        self,
+        topology: MeshTopology,
+        config: TokenSmartConfig,
+        max_by_tile: List[int],
+        initial_has: List[int],
+    ) -> None:
+        n = topology.n_tiles
+        if len(max_by_tile) != n or len(initial_has) != n:
+            raise ValueError(f"need vectors of length {n}")
+        self.topology = topology
+        self.config = config
+        self.max = list(max_by_tile)
+        self.has = list(initial_has)
+        self.ring = topology.ring_order()
+        self.pool_tokens = 0  # tokens riding in the pool packet
+        self.now = 0
+        self.visits = 0
+        self.mode = "greedy"
+        self.mode_switches = 0
+        self._fair_passes_left = 0
+        self._starved_since_pass: dict = {}
+        self._pass_index = 0
+        self.total_tokens = sum(initial_has)
+
+    # -------------------------------------------------------------- targets
+    def _greedy_target(self, tid: int) -> int:
+        return self.max[tid]
+
+    def _fair_target(self, tid: int) -> int:
+        active = [t for t in range(len(self.max)) if self.max[t] > 0]
+        if not active or self.max[tid] == 0:
+            return 0
+        return self.total_tokens // len(active)
+
+    def _target(self, tid: int) -> int:
+        if self.mode == "greedy":
+            return self._greedy_target(tid)
+        return self._fair_target(tid)
+
+    # ---------------------------------------------------------------- visit
+    def _visit(self, tid: int) -> None:
+        self.visits += 1
+        self.now += self.config.process_cycles
+        target = self._target(tid)
+        if self.max[tid] == 0:
+            # Inactive tile: relinquish everything it holds.
+            self.pool_tokens += self.has[tid]
+            self.has[tid] = 0
+            return
+        deficit = target - self.has[tid]
+        if deficit > 0:
+            take = min(deficit, self.pool_tokens)
+            self.has[tid] += take
+            self.pool_tokens -= take
+            if self.has[tid] < target:
+                self._starved_since_pass.setdefault(tid, self._pass_index)
+            else:
+                self._starved_since_pass.pop(tid, None)
+        else:
+            self.has[tid] += deficit  # deposit surplus (deficit <= 0)
+            self.pool_tokens -= deficit
+            self._starved_since_pass.pop(tid, None)
+
+    def _maybe_switch_mode(self) -> None:
+        cfg = self.config
+        if self.mode == "greedy":
+            if any(
+                self._pass_index - since >= cfg.starvation_passes
+                for since in self._starved_since_pass.values()
+            ):
+                self.mode = "fair"
+                self.mode_switches += 1
+                self._fair_passes_left = cfg.fair_passes
+        else:
+            self._fair_passes_left -= 1
+            if self._fair_passes_left <= 0:
+                self.mode = "greedy"
+                self.mode_switches += 1
+                self._starved_since_pass.clear()
+
+    # ------------------------------------------------------------------ run
+    def error(self) -> float:
+        """The paper's global error E, counting pooled tokens as error.
+
+        Tokens riding in the pool packet are not at any tile, so they
+        show up as allocation error exactly like BlitzCoin's in-flight
+        coins do.
+        """
+        return global_error(self.has, self.max)
+
+    def run_until_converged(self, max_cycles: int) -> Optional[int]:
+        """Walk the ring until E < threshold; returns cycles or None."""
+        if self.error() < self.config.convergence_threshold:
+            return self.now
+        n = len(self.ring)
+        position = 0
+        while self.now < max_cycles:
+            tid = self.ring[position]
+            self._visit(tid)
+            if self.error() < self.config.convergence_threshold:
+                return self.now
+            # Hop to the next ring position.
+            nxt = (position + 1) % n
+            hops = (
+                1
+                if nxt != 0
+                else max(1, self.topology.hop_distance(tid, self.ring[0]))
+            )
+            self.now += hops * self.config.hop_cycles
+            position = nxt
+            if position == 0:
+                self._pass_index += 1
+                self._maybe_switch_mode()
+        return None
+
+    def check_conservation(self) -> None:
+        """Assert no token was created or destroyed."""
+        total = sum(self.has) + self.pool_tokens
+        if total != self.total_tokens:
+            raise RuntimeError(
+                f"TS conservation violated: {total} != {self.total_tokens}"
+            )
+
+
+def run_tokensmart_trial(
+    d: int,
+    seed: int,
+    *,
+    config: Optional[TokenSmartConfig] = None,
+    scenario: Optional[ScenarioSpec] = None,
+    max_cycles: int = 5_000_000,
+    threshold: Optional[float] = None,
+) -> TokenSmartResult:
+    """One seeded TS convergence trial, mirroring the BlitzCoin runner."""
+    if config is None:
+        config = TokenSmartConfig()
+    if threshold is not None:
+        config = TokenSmartConfig(
+            hop_cycles=config.hop_cycles,
+            process_cycles=config.process_cycles,
+            starvation_passes=config.starvation_passes,
+            fair_passes=config.fair_passes,
+            convergence_threshold=threshold,
+        )
+    if scenario is None:
+        scenario = homogeneous_scenario(d)
+    topo = MeshTopology(d, d)
+    rng = rng_for(seed, d)
+    initial = random_initial_allocation(scenario, rng)
+    sim = TokenSmartSim(topo, config, list(scenario.max_by_tile), initial)
+    cycles = sim.run_until_converged(max_cycles)
+    sim.check_conservation()
+    return TokenSmartResult(
+        converged=cycles is not None,
+        cycles=cycles,
+        visits=sim.visits,
+        mode_switches=sim.mode_switches,
+        final_error=global_error(sim.has, sim.max),
+        worst_final_error=worst_tile_error(sim.has, sim.max),
+    )

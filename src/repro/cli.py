@@ -1,0 +1,178 @@
+"""Command-line interface: run SoC workloads, convergence trials, and
+paper-figure experiments without writing any code.
+
+Examples
+--------
+Run BlitzCoin on the 3x3 autonomous-vehicle SoC::
+
+    python -m repro soc-run --soc 3x3 --workload av-par --scheme BC
+
+Compare a convergence trial across algorithm variants::
+
+    python -m repro convergence --dim 8 --trials 5 --variant preferred
+
+Regenerate a paper figure's rows::
+
+    python -m repro figure fig17
+"""
+
+from __future__ import annotations
+
+import argparse
+import statistics
+import sys
+from typing import Callable, Dict
+
+from repro.core.config import (
+    plain_four_way,
+    plain_one_way,
+    preferred_embodiment,
+)
+from repro.core.runner import run_convergence_trial
+from repro.soc import PMKind, Soc, WorkloadExecutor, build_pm
+from repro.soc.presets import soc_3x3, soc_4x4, soc_6x6_chip
+from repro.workloads import (
+    autonomous_vehicle_dependent,
+    autonomous_vehicle_parallel,
+    computer_vision_dependent,
+    computer_vision_parallel,
+)
+from repro.workloads.apps import pm_cluster_workload
+
+SOCS: Dict[str, Callable] = {
+    "3x3": soc_3x3,
+    "4x4": soc_4x4,
+    "6x6": soc_6x6_chip,
+}
+
+WORKLOADS: Dict[str, Callable] = {
+    "av-par": autonomous_vehicle_parallel,
+    "av-dep": autonomous_vehicle_dependent,
+    "cv-par": computer_vision_parallel,
+    "cv-dep": computer_vision_dependent,
+    "pm7": lambda: pm_cluster_workload(7),
+    "pm3": lambda: pm_cluster_workload(3),
+}
+
+SCHEMES: Dict[str, PMKind] = {k.value: k for k in PMKind}
+
+VARIANTS: Dict[str, Callable] = {
+    "1way": plain_one_way,
+    "4way": plain_four_way,
+    "preferred": preferred_embodiment,
+}
+
+#: Default budget per SoC: the paper's 30%-of-combined-maximum points.
+DEFAULT_BUDGETS = {"3x3": 120.0, "4x4": 450.0, "6x6": 180.0}
+
+
+def cmd_soc_run(args: argparse.Namespace) -> int:
+    soc = Soc(SOCS[args.soc]())
+    budget = args.budget or DEFAULT_BUDGETS[args.soc]
+    pm = build_pm(SCHEMES[args.scheme], soc, budget)
+    result = WorkloadExecutor(soc, WORKLOADS[args.workload](), pm).run()
+    print(f"soc={result.soc_name} scheme={args.scheme} budget={budget} mW")
+    print(f"makespan      {result.makespan_us:10.1f} us")
+    print(f"response      {result.mean_response_us:10.2f} us (mean)")
+    print(f"peak power    {result.peak_power_mw():10.1f} mW")
+    print(f"avg power     {result.average_power_mw():10.1f} mW")
+    print(f"utilization   {result.budget_utilization() * 100:10.1f} %")
+    print(f"energy        {result.energy_mj() * 1000:10.3f} uJ")
+    return 0
+
+
+def cmd_convergence(args: argparse.Namespace) -> int:
+    config = VARIANTS[args.variant]()
+    cycles, packets = [], []
+    for k in range(args.trials):
+        r = run_convergence_trial(
+            args.dim,
+            config,
+            seed=args.seed + k,
+            threshold=args.threshold,
+        )
+        if not r.converged:
+            print(f"trial {k}: DID NOT CONVERGE")
+            continue
+        cycles.append(r.cycles)
+        packets.append(r.packets)
+        print(
+            f"trial {k}: {r.cycles:8d} cycles  {r.packets:8d} packets  "
+            f"start_err={r.start_error:6.2f} final_err={r.final_error:5.2f}"
+        )
+    if cycles:
+        print(
+            f"mean: {statistics.mean(cycles):10.0f} cycles  "
+            f"{statistics.mean(packets):10.0f} packets  "
+            f"({args.variant}, d={args.dim}, N={args.dim ** 2})"
+        )
+    return 0 if cycles else 1
+
+
+def cmd_figure(args: argparse.Namespace) -> int:
+    import repro.experiments as experiments
+
+    module = getattr(experiments, args.name, None)
+    if module is None:
+        candidates = [m for m in experiments.__all__ if args.name in m]
+        if len(candidates) == 1:
+            module = getattr(experiments, candidates[0])
+        else:
+            print(
+                f"unknown figure {args.name!r}; available: "
+                f"{', '.join(experiments.__all__)}",
+                file=sys.stderr,
+            )
+            return 2
+    result = module.run()
+    for row in module.format_rows(result):
+        print(row)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="BlitzCoin reproduction command-line interface",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("soc-run", help="run a workload on a managed SoC")
+    p.add_argument("--soc", choices=sorted(SOCS), default="3x3")
+    p.add_argument(
+        "--workload", choices=sorted(WORKLOADS), default="av-par"
+    )
+    p.add_argument("--scheme", choices=sorted(SCHEMES), default="BC")
+    p.add_argument(
+        "--budget", type=float, default=None, help="power budget in mW"
+    )
+    p.set_defaults(func=cmd_soc_run)
+
+    p = sub.add_parser(
+        "convergence", help="run seeded coin-exchange convergence trials"
+    )
+    p.add_argument("--dim", type=int, default=8, help="SoC dimension d")
+    p.add_argument("--trials", type=int, default=5)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--threshold", type=float, default=1.5)
+    p.add_argument(
+        "--variant", choices=sorted(VARIANTS), default="preferred"
+    )
+    p.set_defaults(func=cmd_convergence)
+
+    p = sub.add_parser(
+        "figure", help="regenerate a paper figure's rows (e.g. fig17)"
+    )
+    p.add_argument("name", help="experiment module name, e.g. fig03_convergence")
+    p.set_defaults(func=cmd_figure)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

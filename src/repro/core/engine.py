@@ -1,0 +1,691 @@
+"""The decentralized coin-exchange engine.
+
+One finite-state machine per tile, all running on a shared event
+simulator and exchanging packets over a :class:`~repro.noc.NocFabric`.
+The message protocol follows Fig. 2:
+
+1-way (Algorithm 2)::
+
+    initiator --COIN_STATUS(has, max)--> partner
+    partner: compute pairwise update, apply own delta
+    partner --COIN_UPDATE(delta)--> initiator
+    initiator: apply delta, dynamic-timing adjust, schedule next
+
+4-way (Algorithm 1)::
+
+    center --COIN_REQUEST--> 4 neighbors
+    each neighbor --COIN_STATUS(has, max)--> center
+    center: compute group update, apply own delta
+    center --COIN_UPDATE(delta)--> each neighbor
+
+Updates carry *deltas*, not absolute counts, so coins are conserved even
+when exchanges overlap in time; a tile hit by two concurrent pulls can
+transiently go negative, exactly the sign-bit behaviour the hardware
+implements (Section IV-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.coins import TileCoins, group_exchange, pairwise_exchange
+from repro.core.config import BlitzCoinConfig, ExchangeMode
+from repro.core.metrics import ErrorTracker
+from repro.noc.fabric import NocFabric
+from repro.noc.packet import MessageType, Packet
+from repro.noc.topology import MeshTopology
+from repro.sim.kernel import Event, Simulator
+
+
+class EngineError(RuntimeError):
+    """Raised when the engine detects a broken invariant."""
+
+
+@dataclass
+class _StatusPayload:
+    has: int
+    max: int
+    exchange_uid: int
+    nack: bool = False
+    shake: bool = False
+
+
+@dataclass
+class _UpdatePayload:
+    delta: int
+    moved: bool
+    exchange_uid: int
+    nack: bool = False
+
+
+@dataclass
+class _RequestPayload:
+    exchange_uid: int
+
+
+@dataclass
+class _TileFsm:
+    """Per-tile mutable algorithm state."""
+
+    tid: int
+    coins: TileCoins
+    interval: int
+    neighbors: List[int]
+    non_neighbors: List[int]
+    rr_index: int = 0
+    rp_index: int = 0
+    exchange_count: int = 0
+    busy: bool = False
+    locked: bool = False
+    lock_uid: int = -1
+    zero_streak: int = 0
+    jitter_state: int = 1
+    timeout_event: Optional[Event] = None
+    next_event: Optional[Event] = None
+    #: Last coin counts observed from each neighbor (via their status
+    #: messages), used for the neighborhood hotspot check.
+    neighbor_cache: Dict[int, int] = field(default_factory=dict)
+    # 4-way collection state
+    pending_uid: int = -1
+    pending_statuses: Dict[int, _StatusPayload] = field(default_factory=dict)
+    pending_order: List[int] = field(default_factory=list)
+
+
+class CoinExchangeEngine:
+    """BlitzCoin running decentralized over a NoC fabric."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        noc: NocFabric,
+        config: BlitzCoinConfig,
+        max_by_tile: Sequence[int],
+        initial_has: Sequence[int],
+        *,
+        managed_tiles: Optional[Sequence[int]] = None,
+        rng: Optional[np.random.Generator] = None,
+        stop_on_convergence: bool = False,
+        coin_listener: Optional[Callable[[int, int], None]] = None,
+    ) -> None:
+        self.sim = sim
+        self.noc = noc
+        self.topology: MeshTopology = noc.topology
+        self.config = config
+        n = self.topology.n_tiles
+        if len(max_by_tile) != n or len(initial_has) != n:
+            raise EngineError(
+                f"need per-tile vectors of length {n}, got "
+                f"max={len(max_by_tile)}, has={len(initial_has)}"
+            )
+        self.managed = (
+            list(managed_tiles)
+            if managed_tiles is not None
+            else list(range(n))
+        )
+        managed_set = set(self.managed)
+        for t in range(n):
+            if t not in managed_set and (max_by_tile[t] or initial_has[t]):
+                raise EngineError(
+                    f"tile {t} holds coins or a target but is unmanaged"
+                )
+        self._rng = rng
+        self.stop_on_convergence = stop_on_convergence
+        self.coin_listener = coin_listener
+        self.pool = sum(initial_has)
+        self._in_flight = 0
+        self._uid = 0
+        self.exchanges_started = 0
+        self.exchanges_zero = 0
+        self.exchanges_nacked = 0
+        self.exchanges_timed_out = 0
+        #: Runtime thermal-cap overrides (written via the CSR interface);
+        #: takes precedence over the static config caps.
+        self.cap_overrides: Dict[int, int] = {}
+        self.tracker = ErrorTracker(
+            initial_has, max_by_tile, self.pool, config.convergence_threshold
+        )
+        self.fsm: Dict[int, _TileFsm] = {}
+        for tid in self.managed:
+            neigh = self._managed_neighbors(tid, managed_set)
+            non_neigh = [
+                t
+                for t in self.topology.non_neighbors(tid)
+                if t in managed_set
+            ]
+            self.fsm[tid] = _TileFsm(
+                tid=tid,
+                coins=TileCoins(initial_has[tid], max_by_tile[tid]),
+                interval=config.refresh_count,
+                neighbors=neigh,
+                non_neighbors=non_neigh,
+                jitter_state=(tid * 2654435761 + 1) & 0x7FFFFFFF,
+            )
+            self.noc.attach(tid, self._on_packet)
+        self._started = False
+
+    # ------------------------------------------------------------ topology
+    def _managed_neighbors(self, tid: int, managed: set) -> List[int]:
+        if self.config.wrap_around:
+            candidates = self.topology.torus_neighbors(tid)
+        else:
+            candidates = self.topology.mesh_neighbors(tid)
+        return [t for t in candidates if t in managed]
+
+    # --------------------------------------------------------------- start
+    def start(self) -> None:
+        """Schedule every tile's first exchange, phase-staggered."""
+        if self._started:
+            raise EngineError("engine already started")
+        self._started = True
+        base = self.config.refresh_count
+        for k, tid in enumerate(self.managed):
+            if self._rng is not None:
+                phase = int(self._rng.integers(0, base))
+            else:
+                phase = (k * max(1, base // max(1, len(self.managed)))) % base
+            fsm = self.fsm[tid]
+            fsm.next_event = self.sim.schedule(
+                phase + 1, lambda t=tid: self._initiate(t)
+            )
+
+    # ----------------------------------------------------------- initiation
+    def _pick_partner(self, fsm: _TileFsm) -> Optional[int]:
+        every = self.config.random_pairing_every
+        if every > 0 and fsm.coins.max == 0 and fsm.coins.has > 0:
+            # Eager relinquish: a tile holding coins it cannot use pairs
+            # far more often, so a lone newly-active tile gathers the
+            # pool quickly even when its mesh neighbors are idle
+            # (the "relinquishing coins" behaviour of Section III-A).
+            every = 1
+        elif every > 0 and fsm.coins.max > 0 and fsm.coins.has < fsm.coins.max // 2:
+            # Eager request: a starved tile (holding well under its
+            # target) probes beyond its neighborhood more often.
+            every = max(1, every // 4)
+        if (
+            every > 0
+            and fsm.non_neighbors
+            and fsm.exchange_count % every == every - 1
+        ):
+            partner = fsm.non_neighbors[fsm.rp_index % len(fsm.non_neighbors)]
+            fsm.rp_index += 1
+            return partner
+        if not fsm.neighbors:
+            return None
+        partner = fsm.neighbors[fsm.rr_index % len(fsm.neighbors)]
+        fsm.rr_index += 1
+        return partner
+
+    def _initiate(self, tid: int) -> None:
+        fsm = self.fsm[tid]
+        if fsm.busy:
+            # Previous exchange still outstanding; retry one interval later.
+            fsm.next_event = self.sim.schedule(
+                fsm.interval, lambda: self._initiate(tid)
+            )
+            return
+        fsm.exchange_count += 1
+        self.exchanges_started += 1
+        self._arm_timeout(fsm)
+        if self.config.mode is ExchangeMode.ONE_WAY:
+            partner = self._pick_partner(fsm)
+            if partner is None:
+                self._finish_exchange(tid, moved=False)
+                return
+            fsm.busy = True
+            uid = self._next_uid()
+            fsm.pending_uid = uid
+            self.noc.send(
+                Packet(
+                    src=tid,
+                    dst=partner,
+                    msg_type=MessageType.COIN_STATUS,
+                    payload=_StatusPayload(
+                        fsm.coins.has,
+                        fsm.coins.max,
+                        uid,
+                        shake=fsm.zero_streak >= 2,
+                    ),
+                )
+            )
+        else:
+            if not fsm.neighbors:
+                self._finish_exchange(tid, moved=False)
+                return
+            fsm.busy = True
+            uid = self._next_uid()
+            fsm.pending_uid = uid
+            fsm.pending_statuses = {}
+            fsm.pending_order = list(fsm.neighbors)
+            for nb in fsm.neighbors:
+                self.noc.send(
+                    Packet(
+                        src=tid,
+                        dst=nb,
+                        msg_type=MessageType.COIN_REQUEST,
+                        payload=_RequestPayload(uid),
+                    )
+                )
+
+    def _next_uid(self) -> int:
+        self._uid += 1
+        return self._uid
+
+    def _arm_timeout(self, fsm: _TileFsm) -> None:
+        """Watchdog: abandon an exchange whose reply never arrives.
+
+        Lossy delivery cannot be recovered at this layer (coins inside a
+        lost update stay accounted as in-flight), but a lost packet must
+        never wedge the FSM: on expiry the tile simply abandons the
+        exchange and re-enters its refresh loop.
+        """
+        timeout = self.config.exchange_timeout_cycles
+        if timeout is None:
+            return
+        uid_at_arm = self._uid + 1  # the uid the initiation will take
+
+        def expire() -> None:
+            if fsm.busy and fsm.pending_uid == uid_at_arm:
+                self.exchanges_timed_out += 1
+                fsm.pending_uid = -1
+                self._finish_exchange(fsm.tid, moved=False, nacked=True)
+
+        fsm.timeout_event = self.sim.schedule(timeout, expire)
+
+    def _wake(self, fsm: _TileFsm) -> None:
+        """Dynamic-timing speed-up for a tile that just moved coins as a
+        *partner*: coins flowing through it means its neighborhood is not
+        in equilibrium, so it should probe again soon.  This propagates
+        reaction to an activity change as a wavefront instead of waiting
+        out each tile's backed-off interval."""
+        cfg = self.config
+        if not cfg.dynamic_timing:
+            return
+        # Coins moving through this tile is strong evidence of a nearby
+        # imbalance: drop straight back to the base refresh rate (a
+        # backed-off tile decrementing by k would let the redistribution
+        # wavefront crawl at one hop per max_interval).
+        fsm.interval = max(
+            cfg.min_interval, min(fsm.interval, cfg.refresh_count)
+        )
+        if not fsm.busy and fsm.next_event is not None:
+            remaining = fsm.next_event.time - self.sim.now
+            if remaining > fsm.interval:
+                fsm.next_event.cancel()
+                fsm.next_event = self.sim.schedule(
+                    fsm.interval + self._jitter(fsm, 4),
+                    lambda tid=fsm.tid: self._initiate(tid),
+                )
+
+    def _effective_cap(self, tid: int) -> Optional[int]:
+        """Per-tile cap combined with the neighborhood hotspot limit.
+
+        The neighborhood check uses the tile's cached view of its
+        neighbors' holdings (last status seen from each), which is what
+        the hardware can know locally.
+        """
+        cap = self.cap_overrides.get(tid, self.config.cap_for(tid))
+        hotspot = self.config.hotspot_neighborhood_cap
+        if hotspot is None:
+            return cap
+        fsm = self.fsm.get(tid)
+        if fsm is None:
+            return cap
+        neighbor_sum = sum(
+            fsm.neighbor_cache.get(nb, 0) for nb in fsm.neighbors
+        )
+        room = max(0, hotspot - neighbor_sum)
+        return room if cap is None else min(cap, room)
+
+    def _observe(self, tid: int, neighbor: int, has: int) -> None:
+        """Record a neighbor's coin count seen in a status/update."""
+        fsm = self.fsm.get(tid)
+        if fsm is not None and neighbor in fsm.neighbors:
+            fsm.neighbor_cache[neighbor] = has
+
+    @staticmethod
+    def _jitter(fsm: _TileFsm, span: int) -> int:
+        """Per-tile deterministic pseudo-random jitter in [0, span).
+
+        Models the LFSR-based desynchronization real tiles get for free
+        from clock-domain-crossing nondeterminism; without it, identical
+        refresh intervals phase-lock colliding exchanges into livelock.
+        """
+        if span <= 0:
+            return 0
+        fsm.jitter_state = (fsm.jitter_state * 1103515245 + 12345) & 0x7FFFFFFF
+        return fsm.jitter_state % span
+
+    # ------------------------------------------------------------ reception
+    def _on_packet(self, packet: Packet) -> None:
+        if packet.msg_type is MessageType.COIN_STATUS:
+            self._on_status(packet)
+        elif packet.msg_type is MessageType.COIN_UPDATE:
+            self._on_update(packet)
+        elif packet.msg_type is MessageType.COIN_REQUEST:
+            self._on_request(packet)
+
+    def _on_request(self, packet: Packet) -> None:
+        """4-way: a neighbor asks for our status.
+
+        A tile already engaged in an exchange (as initiator or as a
+        locked participant) NACKs: the center aborts its group exchange.
+        This is the synchronization the paper says the 4-way technique
+        requires (Section III-B).
+        """
+        fsm = self.fsm[packet.dst]
+        req: _RequestPayload = packet.payload
+        if fsm.busy or fsm.locked:
+            payload = _StatusPayload(0, 0, req.exchange_uid, nack=True)
+        else:
+            fsm.locked = True
+            fsm.lock_uid = req.exchange_uid
+            payload = _StatusPayload(
+                fsm.coins.has, fsm.coins.max, req.exchange_uid
+            )
+            timeout = self.config.exchange_timeout_cycles
+            if timeout is not None:
+                uid = req.exchange_uid
+
+                def unlock() -> None:
+                    # The center died or its update was lost: release the
+                    # lock so this tile's FSM cannot be wedged forever.
+                    if fsm.locked and fsm.lock_uid == uid:
+                        fsm.locked = False
+                        fsm.lock_uid = -1
+
+                self.sim.schedule(timeout, unlock)
+        self.noc.send(
+            Packet(
+                src=packet.dst,
+                dst=packet.src,
+                msg_type=MessageType.COIN_STATUS,
+                payload=payload,
+            )
+        )
+
+    def _on_status(self, packet: Packet) -> None:
+        if self.config.mode is ExchangeMode.ONE_WAY:
+            self._serve_one_way(packet)
+        else:
+            self._collect_four_way(packet)
+
+    def _serve_one_way(self, packet: Packet) -> None:
+        """1-way: we are the partner; compute, apply our delta, reply.
+
+        A tile already engaged in another exchange NACKs so that no coin
+        update is ever computed against a stale snapshot: both endpoints
+        of an exchange are frozen for its (few-cycle) duration.
+        """
+        me = self.fsm[packet.dst]
+        status: _StatusPayload = packet.payload
+        if me.busy or me.locked:
+            self.noc.send(
+                Packet(
+                    src=packet.dst,
+                    dst=packet.src,
+                    msg_type=MessageType.COIN_UPDATE,
+                    payload=_UpdatePayload(
+                        0, False, status.exchange_uid, nack=True
+                    ),
+                )
+            )
+            return
+        me.locked = True
+        self._observe(packet.dst, packet.src, status.has)
+
+        def apply_and_reply() -> None:
+            initiator_state = TileCoins(status.has, status.max)
+            result = pairwise_exchange(
+                initiator_state,
+                me.coins,
+                cap_i=self._effective_cap(packet.src),
+                cap_j=self._effective_cap(packet.dst),
+                shake=status.shake,
+            )
+            delta_initiator, delta_me = result.deltas
+            self._apply_delta(packet.dst, delta_me)
+            me.locked = False
+            if delta_me != 0:
+                self._wake(me)
+            self._in_flight += delta_initiator
+            self.noc.send(
+                Packet(
+                    src=packet.dst,
+                    dst=packet.src,
+                    msg_type=MessageType.COIN_UPDATE,
+                    payload=_UpdatePayload(
+                        delta_initiator, not result.is_zero, status.exchange_uid
+                    ),
+                )
+            )
+
+        self.sim.schedule(self.config.compute_cycles, apply_and_reply)
+
+    def _collect_four_way(self, packet: Packet) -> None:
+        """4-way: a neighbor's status arrived at the requesting center."""
+        center = self.fsm[packet.dst]
+        status: _StatusPayload = packet.payload
+        if status.exchange_uid != center.pending_uid:
+            return  # stale reply from an abandoned exchange
+        center.pending_statuses[packet.src] = status
+        if len(center.pending_statuses) < len(center.pending_order):
+            return
+        order = list(center.pending_order)
+        uid = center.pending_uid
+        nacked = any(center.pending_statuses[nb].nack for nb in order)
+        if nacked:
+            # Abort: unlock the neighbors that did grant us their status.
+            for nb in order:
+                if not center.pending_statuses[nb].nack:
+                    self.noc.send(
+                        Packet(
+                            src=center.tid,
+                            dst=nb,
+                            msg_type=MessageType.COIN_UPDATE,
+                            payload=_UpdatePayload(0, False, uid, nack=True),
+                        )
+                    )
+            self._finish_exchange(center.tid, moved=False, nacked=True)
+            return
+        for nb in order:
+            self._observe(center.tid, nb, center.pending_statuses[nb].has)
+        states = [center.coins] + [
+            TileCoins(
+                center.pending_statuses[nb].has,
+                center.pending_statuses[nb].max,
+            )
+            for nb in order
+        ]
+        caps = [self._effective_cap(center.tid)] + [
+            self._effective_cap(nb) for nb in order
+        ]
+        result = group_exchange(states, caps)
+        deltas = result.deltas
+
+        def apply_and_update() -> None:
+            self._apply_delta(center.tid, deltas[0])
+            for nb, delta in zip(order, deltas[1:]):
+                self._in_flight += delta
+                self.noc.send(
+                    Packet(
+                        src=center.tid,
+                        dst=nb,
+                        msg_type=MessageType.COIN_UPDATE,
+                        payload=_UpdatePayload(delta, not result.is_zero, uid),
+                    )
+                )
+            self._finish_exchange(center.tid, moved=not result.is_zero)
+
+        self.sim.schedule(self.config.compute_cycles, apply_and_update)
+
+    def _on_update(self, packet: Packet) -> None:
+        update: _UpdatePayload = packet.payload
+        fsm = self.fsm[packet.dst]
+        if fsm.locked and update.exchange_uid == fsm.lock_uid:
+            # We were a locked 4-way participant; the center's update
+            # (possibly a zero-delta abort) releases us.
+            self._in_flight -= update.delta
+            self._apply_delta(packet.dst, update.delta)
+            fsm.locked = False
+            fsm.lock_uid = -1
+            if update.delta != 0:
+                self._wake(fsm)
+            return
+        self._in_flight -= update.delta
+        self._apply_delta(packet.dst, update.delta)
+        if update.exchange_uid == fsm.pending_uid and fsm.busy:
+            self._finish_exchange(
+                packet.dst, moved=update.moved, nacked=update.nack
+            )
+
+    # ------------------------------------------------------------- plumbing
+    def _apply_delta(self, tid: int, delta: int) -> None:
+        if delta == 0:
+            return
+        fsm = self.fsm[tid]
+        fsm.coins.has += delta
+        if abs(fsm.coins.has) > 2 * self.pool + 64:
+            raise EngineError(
+                f"tile {tid} coin count {fsm.coins.has} diverged "
+                f"(pool={self.pool}); protocol invariant broken"
+            )
+        self.tracker.update_has(tid, fsm.coins.has, self.sim.now)
+        if self.coin_listener is not None:
+            self.coin_listener(tid, fsm.coins.has)
+        if self.stop_on_convergence and self.tracker.is_converged:
+            self.sim.stop()
+
+    def _finish_exchange(
+        self, tid: int, moved: bool, nacked: bool = False
+    ) -> None:
+        fsm = self.fsm[tid]
+        fsm.busy = False
+        if fsm.timeout_event is not None:
+            fsm.timeout_event.cancel()
+            fsm.timeout_event = None
+        cfg = self.config
+        jitter_span = max(2, fsm.interval // 4)
+        if nacked:
+            # Collision, not a converged neighborhood: retry at the same
+            # rate, with extra jitter to break the collision phase.
+            self.exchanges_nacked += 1
+            jitter_span = max(2, fsm.interval)
+        else:
+            # A movement on a shake-armed exchange means this tile still
+            # carries a quantization residue: it must keep working at
+            # the base rate, not at its backed-off interval, or the
+            # endgame residue clean-up crawls.
+            shake_hit = moved and fsm.zero_streak >= 2
+            # Track consecutive zero-move exchanges; a long streak arms
+            # the residue "shake" on this tile's next status messages.
+            if moved:
+                fsm.zero_streak = 0
+            else:
+                fsm.zero_streak += 1
+            if cfg.dynamic_timing:
+                if moved:
+                    if shake_hit:
+                        fsm.interval = min(fsm.interval, cfg.refresh_count)
+                    fsm.interval = max(
+                        cfg.min_interval, fsm.interval - cfg.speedup_step
+                    )
+                else:
+                    fsm.interval = min(
+                        cfg.max_interval,
+                        int(fsm.interval * cfg.backoff_factor),
+                    )
+                    self.exchanges_zero += 1
+            elif not moved:
+                self.exchanges_zero += 1
+        fsm.next_event = self.sim.schedule(
+            fsm.interval + self._jitter(fsm, jitter_span),
+            lambda: self._initiate(tid),
+        )
+
+    # ------------------------------------------------------------ external
+    def set_max(self, tid: int, new_max: int) -> None:
+        """Activity change: retarget tile ``tid`` (start/end of execution).
+
+        Resets the tile's dynamic interval so it reacts immediately, and
+        kicks its next initiation, mirroring the hardware FSM engaging on
+        an activity edge.
+        """
+        if tid not in self.fsm:
+            raise EngineError(f"tile {tid} is not managed by BlitzCoin")
+        fsm = self.fsm[tid]
+        fsm.coins.max = new_max
+        self.tracker.update_max(tid, new_max, self.sim.now)
+        fsm.interval = self.config.min_interval
+        if not fsm.busy and self._started:
+            if fsm.next_event is not None:
+                fsm.next_event.cancel()
+            fsm.next_event = self.sim.schedule(1, lambda: self._initiate(tid))
+
+    def set_thermal_cap(self, tid: int, cap: Optional[int]) -> None:
+        """Set (or clear, with None) a runtime thermal cap for a tile.
+
+        This is the CSR-visible control of Section IV-B; it overrides
+        the statically configured cap for that tile.
+        """
+        if tid not in self.fsm:
+            raise EngineError(f"tile {tid} is not managed by BlitzCoin")
+        if cap is None:
+            self.cap_overrides.pop(tid, None)
+        elif cap < 0:
+            raise EngineError(f"thermal cap must be >= 0, got {cap}")
+        else:
+            self.cap_overrides[tid] = cap
+
+    def coins(self, tid: int) -> TileCoins:
+        """Live coin registers of tile ``tid``."""
+        return self.fsm[tid].coins
+
+    def snapshot_has(self) -> List[int]:
+        """Current coin counts of all tiles in topology order."""
+        n = self.topology.n_tiles
+        return [
+            self.fsm[t].coins.has if t in self.fsm else 0 for t in range(n)
+        ]
+
+    def snapshot_max(self) -> List[int]:
+        """Current targets of all tiles in topology order."""
+        n = self.topology.n_tiles
+        return [
+            self.fsm[t].coins.max if t in self.fsm else 0 for t in range(n)
+        ]
+
+    def check_conservation(self) -> None:
+        """Assert the fixed-pool invariant (tiles + in-flight == pool)."""
+        on_tiles = sum(f.coins.has for f in self.fsm.values())
+        if on_tiles + self._in_flight != self.pool:
+            raise EngineError(
+                f"coin conservation violated: tiles={on_tiles} "
+                f"in_flight={self._in_flight} pool={self.pool}"
+            )
+
+    @property
+    def coin_packets(self) -> int:
+        """Coin-exchange packets injected so far."""
+        return self.noc.stats.coin_packets
+
+    def run_until_converged(self, max_cycles: int) -> Optional[int]:
+        """Run until the tracker stamps convergence (or ``max_cycles``).
+
+        Returns the convergence time in cycles, or None on timeout.
+        """
+        was = self.stop_on_convergence
+        self.stop_on_convergence = True
+        try:
+            deadline = self.sim.now + max_cycles
+            while self.sim.now < deadline and not self.tracker.is_converged:
+                self.sim.run(until=deadline)
+                if self.tracker.is_converged:
+                    break
+                if not self.sim.pending:
+                    break
+        finally:
+            self.stop_on_convergence = was
+        return self.tracker.converged_at

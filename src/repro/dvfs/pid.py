@@ -1,0 +1,66 @@
+"""Discrete PID controller for the LDO setting loop (Section IV-A)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class PidController:
+    """Textbook discrete PID with output clamping and anti-windup.
+
+    Gains act on the error in TDC counts; the output is the (real-valued)
+    LDO code adjustment, which callers quantize to an integer code.
+    """
+
+    kp: float = 0.8
+    ki: float = 0.15
+    kd: float = 0.05
+    out_min: float = 0.0
+    out_max: float = 63.0
+
+    _integral: float = field(default=0.0, repr=False)
+    _last_error: float = field(default=0.0, repr=False)
+    _initialized: bool = field(default=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.out_min >= self.out_max:
+            raise ValueError(
+                f"need out_min < out_max, got ({self.out_min}, {self.out_max})"
+            )
+
+    def reset(self) -> None:
+        """Clear integral and derivative history."""
+        self._integral = 0.0
+        self._last_error = 0.0
+        self._initialized = False
+
+    def step(self, error: float, bias: float = 0.0) -> float:
+        """One control step; returns the clamped output.
+
+        ``bias`` is a feed-forward term (typically the current LDO code)
+        so the PID only corrects the residual error.
+        """
+        self._integral += error
+        derivative = (
+            (error - self._last_error) if self._initialized else 0.0
+        )
+        self._last_error = error
+        self._initialized = True
+        raw = (
+            bias
+            + self.kp * error
+            + self.ki * self._integral
+            + self.kd * derivative
+        )
+        clamped = min(max(raw, self.out_min), self.out_max)
+        if clamped != raw:
+            # Anti-windup: back out the integration only when the error
+            # pushes further into the saturated rail; errors pointing
+            # back toward the linear region must keep integrating or the
+            # loop can latch at a rail with a stale integral bank.
+            into_high = raw > self.out_max and error > 0
+            into_low = raw < self.out_min and error < 0
+            if into_high or into_low:
+                self._integral -= error
+        return clamped

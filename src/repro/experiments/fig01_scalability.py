@@ -1,0 +1,76 @@
+"""Fig. 1: response-time scaling vs. the workload-change interval.
+
+Solid lines: response time T(N) for software-centralized,
+hardware-centralized, and decentralized power management.  Dashed
+lines: the average SoC-level activity-change interval T_w / N for
+several per-accelerator phase durations.  The intersection of a solid
+and a dashed line is N_max for that (strategy, T_w) pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.scaling.model import ResponseScalingModel, workload_interval_us
+
+#: The three strategy archetypes of Fig. 1.  The software-centralized
+#: controller has ~1 ms response at small N (Section I); the hardware
+#: constants are the paper's fitted taus.
+STRATEGIES: Tuple[ResponseScalingModel, ...] = (
+    ResponseScalingModel(name="SW-centralized", tau_us=100.0, exponent=1.0),
+    ResponseScalingModel(name="HW-centralized", tau_us=0.96, exponent=1.0),
+    ResponseScalingModel(name="Decentralized", tau_us=0.20, exponent=0.5),
+)
+
+#: Per-accelerator workload phase durations shown in the figure.
+T_W_VALUES_US: Tuple[float, ...] = (2_000.0, 5_000.0, 20_000.0)
+
+
+@dataclass(frozen=True)
+class Fig01Result:
+    """Curves and intersections of Fig. 1."""
+
+    n_values: List[int]
+    response_us: Dict[str, List[float]]  # solid lines per strategy
+    interval_us: Dict[float, List[float]]  # dashed lines per T_w
+    n_max: Dict[Tuple[str, float], float]  # (strategy, T_w) -> N_max
+
+
+def run(n_min: int = 2, n_max_range: int = 1000) -> Fig01Result:
+    """Generate the Fig. 1 curves."""
+    n_values = [
+        int(n) for n in np.unique(
+            np.logspace(np.log10(n_min), np.log10(n_max_range), 40).astype(int)
+        )
+    ]
+    response = {
+        m.name: [m.response_time_us(n) for n in n_values] for m in STRATEGIES
+    }
+    intervals = {
+        t_w: [workload_interval_us(t_w, n) for n in n_values]
+        for t_w in T_W_VALUES_US
+    }
+    crossings = {
+        (m.name, t_w): m.n_max(t_w)
+        for m in STRATEGIES
+        for t_w in T_W_VALUES_US
+    }
+    return Fig01Result(
+        n_values=n_values,
+        response_us=response,
+        interval_us=intervals,
+        n_max=crossings,
+    )
+
+
+def format_rows(result: Fig01Result) -> List[str]:
+    """Human-readable N_max summary rows."""
+    rows = []
+    for (name, t_w), nm in sorted(result.n_max.items()):
+        rows.append(
+            f"{name:16s} T_w={t_w / 1000:6.1f} ms  N_max={nm:8.1f}"
+        )
+    return rows

@@ -1,0 +1,108 @@
+"""Fig. 3: packets and cycles to convergence, 1-way vs 4-way.
+
+Monte-Carlo trials from random initial allocations on square SoCs of
+dimension d = 2..20, convergence threshold Err < 1.5, reporting the
+mean packets and NoC cycles per d for both exchange techniques.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.core.config import plain_four_way, plain_one_way
+from repro.core.runner import run_convergence_trial
+
+DEFAULT_DIMS: Sequence[int] = (2, 4, 6, 8, 10, 12, 16, 20)
+THRESHOLD = 1.5
+
+
+@dataclass(frozen=True)
+class ConvergencePoint:
+    """Aggregate of the trials at one (technique, d)."""
+
+    d: int
+    mean_cycles: float
+    mean_packets: float
+    converged_fraction: float
+    cycles_samples: List[int]
+
+
+@dataclass(frozen=True)
+class Fig03Result:
+    """Per-technique convergence curves."""
+
+    points: Dict[str, List[ConvergencePoint]]  # "1-way" / "4-way"
+
+    def curve(self, technique: str) -> List[ConvergencePoint]:
+        return self.points[technique]
+
+
+def _aggregate(
+    technique: str, d: int, trials: int, base_seed: int
+) -> ConvergencePoint:
+    config = plain_one_way() if technique == "1-way" else plain_four_way()
+    cycles: List[int] = []
+    packets: List[int] = []
+    converged = 0
+    for k in range(trials):
+        r = run_convergence_trial(
+            d, config, seed=base_seed * 1000 + k, threshold=THRESHOLD
+        )
+        packets.append(r.packets)
+        if r.converged and r.cycles is not None:
+            converged += 1
+            cycles.append(r.cycles)
+    return ConvergencePoint(
+        d=d,
+        mean_cycles=statistics.mean(cycles) if cycles else float("inf"),
+        mean_packets=statistics.mean(packets),
+        converged_fraction=converged / trials,
+        cycles_samples=cycles,
+    )
+
+
+def run(
+    dims: Sequence[int] = DEFAULT_DIMS,
+    trials: int = 10,
+    base_seed: int = 3,
+) -> Fig03Result:
+    """Run the 1-way / 4-way convergence sweep."""
+    points: Dict[str, List[ConvergencePoint]] = {"1-way": [], "4-way": []}
+    for technique in points:
+        for d in dims:
+            points[technique].append(
+                _aggregate(technique, d, trials, base_seed)
+            )
+    return Fig03Result(points=points)
+
+
+def scaling_exponent(points: List[ConvergencePoint]) -> float:
+    """Fit ``cycles ~ d^b`` and return b (paper shape: b ~ 1).
+
+    Log-log least squares over the finite points.
+    """
+    import numpy as np
+
+    xs, ys = [], []
+    for p in points:
+        if p.mean_cycles != float("inf") and p.d > 1:
+            xs.append(np.log(p.d))
+            ys.append(np.log(p.mean_cycles))
+    if len(xs) < 2:
+        raise ValueError("not enough converged points to fit an exponent")
+    slope, _ = np.polyfit(np.array(xs), np.array(ys), 1)
+    return float(slope)
+
+
+def format_rows(result: Fig03Result) -> List[str]:
+    rows = []
+    for technique, pts in result.points.items():
+        for p in pts:
+            rows.append(
+                f"{technique} d={p.d:2d} N={p.d * p.d:3d}  "
+                f"cycles={p.mean_cycles:10.0f}  packets={p.mean_packets:10.0f}  "
+                f"converged={p.converged_fraction * 100:5.1f}%"
+            )
+    return rows

@@ -1,0 +1,103 @@
+"""Fig. 4: BlitzCoin vs TokenSmart convergence-time distributions.
+
+Seeded trials per SoC dimension for BlitzCoin (preferred embodiment)
+and the ring-based TokenSmart baseline; the paper's headline is ~11x
+faster convergence for BlitzCoin at N = 400 plus TS's heavy outlier
+tail from greedy/fair mode oscillation.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.baselines.tokensmart import run_tokensmart_trial
+from repro.core.config import preferred_embodiment
+from repro.core.runner import run_convergence_trial
+
+DEFAULT_DIMS: Sequence[int] = (4, 8, 12, 16, 20)
+THRESHOLD = 1.5
+
+
+@dataclass(frozen=True)
+class DistributionPoint:
+    """Convergence-time distribution at one (scheme, d)."""
+
+    d: int
+    samples_cycles: List[int]
+    converged_fraction: float
+
+    @property
+    def mean(self) -> float:
+        return statistics.mean(self.samples_cycles) if self.samples_cycles else float("inf")
+
+    @property
+    def median(self) -> float:
+        return statistics.median(self.samples_cycles) if self.samples_cycles else float("inf")
+
+    @property
+    def p95(self) -> float:
+        if not self.samples_cycles:
+            return float("inf")
+        s = sorted(self.samples_cycles)
+        return s[min(len(s) - 1, int(0.95 * len(s)))]
+
+
+@dataclass(frozen=True)
+class Fig04Result:
+    points: Dict[str, List[DistributionPoint]]  # "BC" / "TS"
+
+    def speedup_at(self, d: int) -> float:
+        """TS mean / BC mean at dimension d."""
+        bc = next(p for p in self.points["BC"] if p.d == d)
+        ts = next(p for p in self.points["TS"] if p.d == d)
+        return ts.mean / bc.mean
+
+
+def run(
+    dims: Sequence[int] = DEFAULT_DIMS,
+    trials: int = 10,
+    base_seed: int = 4,
+) -> Fig04Result:
+    """Run the BC vs TS distribution comparison."""
+    bc_cfg = preferred_embodiment()
+    points: Dict[str, List[DistributionPoint]] = {"BC": [], "TS": []}
+    for d in dims:
+        bc_samples, ts_samples = [], []
+        bc_ok = ts_ok = 0
+        for k in range(trials):
+            seed = base_seed * 1000 + k
+            bc = run_convergence_trial(
+                d, bc_cfg, seed=seed, threshold=THRESHOLD
+            )
+            if bc.converged and bc.cycles is not None:
+                bc_ok += 1
+                bc_samples.append(bc.cycles)
+            ts = run_tokensmart_trial(d, seed, threshold=THRESHOLD)
+            if ts.converged and ts.cycles is not None:
+                ts_ok += 1
+                ts_samples.append(ts.cycles)
+        points["BC"].append(
+            DistributionPoint(d, bc_samples, bc_ok / trials)
+        )
+        points["TS"].append(
+            DistributionPoint(d, ts_samples, ts_ok / trials)
+        )
+    return Fig04Result(points=points)
+
+
+def format_rows(result: Fig04Result) -> List[str]:
+    rows = []
+    for scheme, pts in result.points.items():
+        for p in pts:
+            rows.append(
+                f"{scheme} d={p.d:2d}  mean={p.mean:10.0f}  "
+                f"median={p.median:10.0f}  p95={p.p95:10.0f}  "
+                f"converged={p.converged_fraction * 100:5.1f}%"
+            )
+    for p in result.points["BC"]:
+        rows.append(
+            f"speedup(TS/BC) d={p.d:2d}: {result.speedup_at(p.d):6.2f}x"
+        )
+    return rows

@@ -1,0 +1,121 @@
+"""Fig. 6: the benefit of dynamic timing (exponential back-off).
+
+Plain 1-way exchange vs 1-way with dynamic timing.  Two measurements
+per SoC size:
+
+* **time to convergence** (Err < 1.0) from a concentrated random
+  initialization — dynamic timing must not slow the redistribution;
+* **packets over one workload phase** — a fixed horizon covering the
+  convergence transient plus the converged steady period until the next
+  activity change.  This is where back-off pays: "areas that have
+  already converged have fewer unnecessary messages and lower NoC
+  traffic" (Section III-D).  A plain implementation keeps every tile
+  chattering at the base refresh rate for the whole phase.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.core.config import BlitzCoinConfig, ExchangeMode, plain_one_way
+from repro.core.runner import run_convergence_trial, settle_to_residual
+
+DEFAULT_DIMS: Sequence[int] = (4, 8, 12, 16, 20)
+THRESHOLD = 1.0
+
+
+def dynamic_config() -> BlitzCoinConfig:
+    """1-way with dynamic timing only (no wrap-around/random pairing),
+    isolating the Fig. 6 variable."""
+    return BlitzCoinConfig(
+        mode=ExchangeMode.ONE_WAY,
+        dynamic_timing=True,
+        wrap_around=False,
+        random_pairing_every=0,
+    )
+
+
+@dataclass(frozen=True)
+class TimingPoint:
+    d: int
+    mean_cycles: float  # time to convergence
+    mean_packets: float  # packets over the fixed workload phase
+    phase_cycles: int  # the horizon the packets were counted over
+
+
+@dataclass(frozen=True)
+class Fig06Result:
+    points: Dict[str, List[TimingPoint]]  # "plain" / "dynamic"
+
+    def packet_reduction_at(self, d: int) -> float:
+        """plain packets / dynamic packets at dimension d."""
+        plain = next(p for p in self.points["plain"] if p.d == d)
+        dyn = next(p for p in self.points["dynamic"] if p.d == d)
+        return plain.mean_packets / dyn.mean_packets
+
+
+def run(
+    dims: Sequence[int] = DEFAULT_DIMS,
+    trials: int = 5,
+    base_seed: int = 6,
+) -> Fig06Result:
+    configs = {"plain": plain_one_way(), "dynamic": dynamic_config()}
+    points: Dict[str, List[TimingPoint]] = {k: [] for k in configs}
+    for d in dims:
+        # Convergence times from the concentrated initialization.
+        conv: Dict[str, List[int]] = {k: [] for k in configs}
+        for name, cfg in configs.items():
+            for k in range(trials):
+                r = run_convergence_trial(
+                    d, cfg, seed=base_seed * 1000 + k, threshold=THRESHOLD
+                )
+                if r.converged and r.cycles is not None:
+                    conv[name].append(r.cycles)
+        # One workload phase: the slower config's convergence plus an
+        # equal-length converged steady period.
+        worst = max(
+            statistics.mean(c) if c else 10_000.0 for c in conv.values()
+        )
+        phase = int(2 * worst) + 2_000
+        for name, cfg in configs.items():
+            packets = []
+            for k in range(trials):
+                r = settle_to_residual(
+                    d,
+                    cfg,
+                    seed=base_seed * 1000 + k,
+                    settle_cycles=phase,
+                )
+                packets.append(r.packets)
+            points[name].append(
+                TimingPoint(
+                    d=d,
+                    mean_cycles=(
+                        statistics.mean(conv[name])
+                        if conv[name]
+                        else float("inf")
+                    ),
+                    mean_packets=statistics.mean(packets),
+                    phase_cycles=phase,
+                )
+            )
+    return Fig06Result(points=points)
+
+
+def format_rows(result: Fig06Result) -> List[str]:
+    rows = []
+    for name, pts in result.points.items():
+        for p in pts:
+            rows.append(
+                f"{name:8s} d={p.d:2d}  convergence={p.mean_cycles:9.0f} cy  "
+                f"packets/phase={p.mean_packets:10.0f} "
+                f"(phase={p.phase_cycles} cy)"
+            )
+    for p in result.points["plain"]:
+        rows.append(
+            f"packet reduction d={p.d:2d}: "
+            f"{result.packet_reduction_at(p.d):5.2f}x"
+        )
+    return rows

@@ -1,0 +1,112 @@
+"""Fig. 7: residual-error histograms with and without random pairing.
+
+Each trial settles for a fixed horizon, then records the worst per-tile
+absolute error.  Without random pairing some runs get stuck above the
+one-coin quantization floor (local minima / deadlocks); with it, all
+runs land within quantization for both N = 100 and N = 400.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import BlitzCoinConfig, ExchangeMode
+from repro.core.runner import (
+    ScenarioSpec,
+    heterogeneous_scenario,
+    settle_to_residual,
+)
+
+DEFAULT_DIMS: Sequence[int] = (10, 20)  # N = 100 and N = 400
+
+
+def _config(random_pairing: bool) -> BlitzCoinConfig:
+    return BlitzCoinConfig(
+        mode=ExchangeMode.ONE_WAY,
+        dynamic_timing=True,
+        wrap_around=True,
+        random_pairing_every=16 if random_pairing else 0,
+    )
+
+
+def _histogram_scenario(d: int, seed: int) -> ScenarioSpec:
+    """A strongly heterogeneous dense scenario (8 accelerator classes).
+
+    With widely spread per-tile targets and a fractional global ratio,
+    neighbor-only exchanges leave multi-coin local minima behind
+    (non-adjacent tiles with beta_a > alpha > beta_b, Section III-E);
+    random pairing is what clears them.
+    """
+    return heterogeneous_scenario(d, acc_types=8, utilization=0.7, seed=seed)
+
+
+@dataclass(frozen=True)
+class HistogramResult:
+    d: int
+    random_pairing: bool
+    worst_errors: List[float]
+
+    @property
+    def max_error(self) -> float:
+        return max(self.worst_errors) if self.worst_errors else 0.0
+
+    @property
+    def stuck_fraction(self) -> float:
+        """Fraction of runs whose residual exceeds the ~1.5-coin
+        quantization band (i.e. a tile genuinely failed to converge)."""
+        if not self.worst_errors:
+            return 0.0
+        return sum(1 for e in self.worst_errors if e > 1.5) / len(
+            self.worst_errors
+        )
+
+    def histogram(self, bins: int = 20) -> Tuple[np.ndarray, np.ndarray]:
+        return np.histogram(np.array(self.worst_errors), bins=bins)
+
+
+@dataclass(frozen=True)
+class Fig07Result:
+    results: Dict[Tuple[int, bool], HistogramResult]
+
+    def get(self, d: int, random_pairing: bool) -> HistogramResult:
+        return self.results[(d, random_pairing)]
+
+
+def run(
+    dims: Sequence[int] = DEFAULT_DIMS,
+    trials: int = 20,
+    base_seed: int = 7,
+    settle_cycles: int = 150_000,
+) -> Fig07Result:
+    results: Dict[Tuple[int, bool], HistogramResult] = {}
+    for d in dims:
+        for rp in (False, True):
+            errors: List[float] = []
+            for k in range(trials):
+                seed = base_seed * 1000 + k
+                r = settle_to_residual(
+                    d,
+                    _config(rp),
+                    seed,
+                    scenario=_histogram_scenario(d, seed),
+                    settle_cycles=settle_cycles,
+                )
+                errors.append(r.worst_final_error)
+            results[(d, rp)] = HistogramResult(
+                d=d, random_pairing=rp, worst_errors=errors
+            )
+    return Fig07Result(results=results)
+
+
+def format_rows(result: Fig07Result) -> List[str]:
+    rows = []
+    for (d, rp), h in sorted(result.results.items()):
+        rows.append(
+            f"d={d:2d} random_pairing={str(rp):5s}  "
+            f"max_err={h.max_error:7.2f}  "
+            f"stuck>{2.0}: {h.stuck_fraction * 100:5.1f}%"
+        )
+    return rows

@@ -1,0 +1,92 @@
+"""Fig. 8: convergence time vs SoC size and degree of heterogeneity.
+
+accType = 1 is a homogeneous SoC; larger values mean more accelerator
+classes with spread max-coin targets.  Higher heterogeneity raises the
+initial error of a random allocation and with it the convergence time.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.config import preferred_embodiment
+from repro.core.runner import heterogeneous_scenario, run_convergence_trial
+
+DEFAULT_DIMS: Sequence[int] = (4, 8, 12, 16)
+DEFAULT_ACC_TYPES: Sequence[int] = (1, 2, 4, 8)
+THRESHOLD = 1.5
+
+
+@dataclass(frozen=True)
+class HeterogeneityPoint:
+    d: int
+    acc_types: int
+    mean_cycles: float
+    mean_start_error: float
+    converged_fraction: float
+
+
+@dataclass(frozen=True)
+class Fig08Result:
+    points: Dict[Tuple[int, int], HeterogeneityPoint]  # (d, accType)
+
+    def series_for_acc_types(self, acc_types: int) -> List[HeterogeneityPoint]:
+        return sorted(
+            (p for p in self.points.values() if p.acc_types == acc_types),
+            key=lambda p: p.d,
+        )
+
+    def start_error_by_acc_types(self, d: int) -> List[Tuple[int, float]]:
+        return sorted(
+            (p.acc_types, p.mean_start_error)
+            for p in self.points.values()
+            if p.d == d
+        )
+
+
+def run(
+    dims: Sequence[int] = DEFAULT_DIMS,
+    acc_types_values: Sequence[int] = DEFAULT_ACC_TYPES,
+    trials: int = 8,
+    base_seed: int = 8,
+) -> Fig08Result:
+    config = preferred_embodiment()
+    points: Dict[Tuple[int, int], HeterogeneityPoint] = {}
+    for d in dims:
+        for at in acc_types_values:
+            cycles, start_errors = [], []
+            converged = 0
+            for k in range(trials):
+                seed = base_seed * 1000 + k
+                scenario = heterogeneous_scenario(d, at, seed=seed)
+                r = run_convergence_trial(
+                    d, config, seed=seed, scenario=scenario,
+                    threshold=THRESHOLD,
+                )
+                start_errors.append(r.start_error)
+                if r.converged and r.cycles is not None:
+                    converged += 1
+                    cycles.append(r.cycles)
+            points[(d, at)] = HeterogeneityPoint(
+                d=d,
+                acc_types=at,
+                mean_cycles=(
+                    statistics.mean(cycles) if cycles else float("inf")
+                ),
+                mean_start_error=statistics.mean(start_errors),
+                converged_fraction=converged / trials,
+            )
+    return Fig08Result(points=points)
+
+
+def format_rows(result: Fig08Result) -> List[str]:
+    rows = []
+    for (d, at), p in sorted(result.points.items()):
+        rows.append(
+            f"d={d:2d} accType={at}  cycles={p.mean_cycles:10.0f}  "
+            f"start_err={p.mean_start_error:7.2f}  "
+            f"converged={p.converged_fraction * 100:5.1f}%"
+        )
+    return rows

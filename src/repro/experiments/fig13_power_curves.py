@@ -1,0 +1,65 @@
+"""Fig. 13: per-accelerator power/frequency characterization curves.
+
+Voltage sweeps of all six catalog accelerators, reproducing the shapes
+and ranges of the paper's ASIC measurements (FFT / Viterbi / NVDLA) and
+Cadence Joules characterizations (GEMM / Conv2D / Vision).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.power.characterization import ACCELERATOR_CATALOG, get_curve
+
+
+@dataclass(frozen=True)
+class CurveSamples:
+    name: str
+    samples: List[Tuple[float, float, float]]  # (V, F_hz, P_mw)
+
+    @property
+    def p_range_mw(self) -> Tuple[float, float]:
+        powers = [p for _, _, p in self.samples]
+        return (min(powers), max(powers))
+
+    @property
+    def f_range_hz(self) -> Tuple[float, float]:
+        freqs = [f for _, f, _ in self.samples]
+        return (min(freqs), max(freqs))
+
+
+@dataclass(frozen=True)
+class Fig13Result:
+    curves: Dict[str, CurveSamples]
+
+    def dynamic_range(self) -> float:
+        """Max-to-min peak power ratio across accelerator classes.
+
+        The paper motivates fine-grained allocation with an up-to-10x
+        spread in accelerator power [47].
+        """
+        peaks = [c.p_range_mw[1] for c in self.curves.values()]
+        return max(peaks) / min(peaks)
+
+
+def run(n_points: int = 11) -> Fig13Result:
+    curves = {
+        name: CurveSamples(name=name, samples=get_curve(name).sweep(n_points))
+        for name in ACCELERATOR_CATALOG
+    }
+    return Fig13Result(curves=curves)
+
+
+def format_rows(result: Fig13Result) -> List[str]:
+    rows = []
+    for name, c in sorted(result.curves.items()):
+        p_lo, p_hi = c.p_range_mw
+        f_lo, f_hi = c.f_range_hz
+        rows.append(
+            f"{name:8s}  V=[{c.samples[0][0]:.2f},{c.samples[-1][0]:.2f}]  "
+            f"F=[{f_lo / 1e6:5.0f},{f_hi / 1e6:5.0f}] MHz  "
+            f"P=[{p_lo:6.1f},{p_hi:6.1f}] mW"
+        )
+    rows.append(f"peak-power spread: {result.dynamic_range():.1f}x")
+    return rows

@@ -1,0 +1,144 @@
+"""Fig. 17: execution and response time on the 3x3 SoC.
+
+BC vs BC-C vs C-RR across {WL-Par, WL-Dep} x {120 mW, 60 mW}.  Expected
+shape (Section VI-A): BC-C beats C-RR by ~24% on average (allocation
+policy), BC beats the centralized schemes' response times by ~10-12x,
+and BC's total throughput gain over C-RR averages ~34%.
+
+Also hosts the AP-vs-RP allocation comparison (RP wins by a few
+percent), which Section VI-A uses to fix RP for the rest of the paper.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.experiments.soc_runs import run_soc_workload
+from repro.power.allocation import AllocationStrategy
+from repro.soc.executor import SocRunResult
+from repro.soc.pm import PMKind
+from repro.soc.presets import soc_3x3
+from repro.workloads.apps import (
+    autonomous_vehicle_dependent,
+    autonomous_vehicle_parallel,
+)
+
+SCHEMES = (PMKind.BLITZCOIN, PMKind.BLITZCOIN_CENTRAL, PMKind.ROUND_ROBIN)
+CASES: Tuple[Tuple[str, float], ...] = (
+    ("WL-Par", 120.0),
+    ("WL-Par", 60.0),
+    ("WL-Dep", 120.0),
+    ("WL-Dep", 60.0),
+)
+
+
+@dataclass(frozen=True)
+class EvalCell:
+    scheme: str
+    mode: str
+    budget_mw: float
+    makespan_us: float
+    mean_response_us: float
+    result: SocRunResult
+
+
+@dataclass(frozen=True)
+class Fig17Result:
+    cells: Dict[Tuple[str, str, float], EvalCell]
+
+    def get(self, scheme: str, mode: str, budget: float) -> EvalCell:
+        return self.cells[(scheme, mode, budget)]
+
+    def speedup(
+        self, mode: str, budget: float, vs: str = "C-RR", of: str = "BC"
+    ) -> float:
+        """Throughput ratio: makespan(vs) / makespan(of)."""
+        return (
+            self.get(vs, mode, budget).makespan_us
+            / self.get(of, mode, budget).makespan_us
+        )
+
+    def response_improvement(
+        self, mode: str, budget: float, vs: str = "C-RR", of: str = "BC"
+    ) -> float:
+        """Response-time ratio: response(vs) / response(of)."""
+        denom = self.get(of, mode, budget).mean_response_us
+        if denom <= 0:
+            return float("inf")
+        return self.get(vs, mode, budget).mean_response_us / denom
+
+    def mean_speedup(self, vs: str = "C-RR", of: str = "BC") -> float:
+        return statistics.mean(
+            self.speedup(mode, budget, vs=vs, of=of)
+            for mode, budget in CASES
+        )
+
+
+def _graph(mode: str):
+    return (
+        autonomous_vehicle_parallel()
+        if mode == "WL-Par"
+        else autonomous_vehicle_dependent()
+    )
+
+
+def run() -> Fig17Result:
+    cells: Dict[Tuple[str, str, float], EvalCell] = {}
+    for mode, budget in CASES:
+        for scheme in SCHEMES:
+            result = run_soc_workload(soc_3x3(), _graph(mode), scheme, budget)
+            cells[(scheme.value, mode, budget)] = EvalCell(
+                scheme=scheme.value,
+                mode=mode,
+                budget_mw=budget,
+                makespan_us=result.makespan_us,
+                mean_response_us=result.mean_response_us,
+                result=result,
+            )
+    return Fig17Result(cells=cells)
+
+
+@dataclass(frozen=True)
+class ApRpResult:
+    """RP vs AP allocation comparison (Section VI-A)."""
+
+    makespans_us: Dict[Tuple[str, float], float]  # (strategy, budget)
+
+    def rp_gain_percent(self, budget: float) -> float:
+        ap = self.makespans_us[("AP", budget)]
+        rp = self.makespans_us[("RP", budget)]
+        return (ap / rp - 1.0) * 100.0
+
+
+def run_ap_vs_rp(budgets: Tuple[float, ...] = (60.0, 90.0, 120.0)) -> ApRpResult:
+    makespans: Dict[Tuple[str, float], float] = {}
+    for budget in budgets:
+        for name, strategy in (
+            ("AP", AllocationStrategy.ABSOLUTE_PROPORTIONAL),
+            ("RP", AllocationStrategy.RELATIVE_PROPORTIONAL),
+        ):
+            result = run_soc_workload(
+                soc_3x3(),
+                autonomous_vehicle_parallel(),
+                PMKind.BLITZCOIN,
+                budget,
+                strategy=strategy,
+            )
+            makespans[(name, budget)] = result.makespan_us
+    return ApRpResult(makespans_us=makespans)
+
+
+def format_rows(result: Fig17Result) -> List[str]:
+    rows = []
+    for (scheme, mode, budget), c in sorted(result.cells.items()):
+        rows.append(
+            f"{scheme:5s} {mode} @{budget:5.0f} mW  "
+            f"exec={c.makespan_us:9.1f} us  resp={c.mean_response_us:7.2f} us"
+        )
+    rows.append(
+        f"mean speedup BC vs C-RR: {result.mean_speedup():.2f}x ; "
+        f"BC vs BC-C: {result.mean_speedup(vs='BC-C'):.2f}x"
+    )
+    return rows

@@ -1,0 +1,104 @@
+"""Fig. 18: execution and response time on the 4x4 SoC.
+
+The computer-vision workload: WL-Par at 450 mW (33%) and 900 mW (66%),
+WL-Dep at 450 mW.  Expected shape: the same ordering as the 3x3 SoC —
+BC-C ~20% faster than C-RR, BC ~25% faster than C-RR with ~8x better
+response time (Section VI-B).
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.experiments.soc_runs import run_soc_workload
+from repro.soc.executor import SocRunResult
+from repro.soc.pm import PMKind
+from repro.soc.presets import soc_4x4
+from repro.workloads.apps import (
+    computer_vision_dependent,
+    computer_vision_parallel,
+)
+
+SCHEMES = (PMKind.BLITZCOIN, PMKind.BLITZCOIN_CENTRAL, PMKind.ROUND_ROBIN)
+CASES: Tuple[Tuple[str, float], ...] = (
+    ("WL-Par", 450.0),
+    ("WL-Par", 900.0),
+    ("WL-Dep", 450.0),
+)
+
+
+@dataclass(frozen=True)
+class EvalCell:
+    scheme: str
+    mode: str
+    budget_mw: float
+    makespan_us: float
+    mean_response_us: float
+    result: SocRunResult
+
+
+@dataclass(frozen=True)
+class Fig18Result:
+    cells: Dict[Tuple[str, str, float], EvalCell]
+
+    def get(self, scheme: str, mode: str, budget: float) -> EvalCell:
+        return self.cells[(scheme, mode, budget)]
+
+    def speedup(
+        self, mode: str, budget: float, vs: str = "C-RR", of: str = "BC"
+    ) -> float:
+        return (
+            self.get(vs, mode, budget).makespan_us
+            / self.get(of, mode, budget).makespan_us
+        )
+
+    def mean_speedup(self, vs: str = "C-RR", of: str = "BC") -> float:
+        return statistics.mean(
+            self.speedup(mode, budget, vs=vs, of=of) for mode, budget in CASES
+        )
+
+    def mean_response_us(self, scheme: str) -> float:
+        return statistics.mean(
+            self.get(scheme, mode, budget).mean_response_us
+            for mode, budget in CASES
+        )
+
+
+def _graph(mode: str):
+    return (
+        computer_vision_parallel()
+        if mode == "WL-Par"
+        else computer_vision_dependent()
+    )
+
+
+def run() -> Fig18Result:
+    cells: Dict[Tuple[str, str, float], EvalCell] = {}
+    for mode, budget in CASES:
+        for scheme in SCHEMES:
+            result = run_soc_workload(soc_4x4(), _graph(mode), scheme, budget)
+            cells[(scheme.value, mode, budget)] = EvalCell(
+                scheme=scheme.value,
+                mode=mode,
+                budget_mw=budget,
+                makespan_us=result.makespan_us,
+                mean_response_us=result.mean_response_us,
+                result=result,
+            )
+    return Fig18Result(cells=cells)
+
+
+def format_rows(result: Fig18Result) -> List[str]:
+    rows = []
+    for (scheme, mode, budget), c in sorted(result.cells.items()):
+        rows.append(
+            f"{scheme:5s} {mode} @{budget:5.0f} mW  "
+            f"exec={c.makespan_us:9.1f} us  resp={c.mean_response_us:7.2f} us"
+        )
+    rows.append(
+        f"mean speedup BC vs C-RR: {result.mean_speedup():.2f}x ; "
+        f"BC vs BC-C: {result.mean_speedup(vs='BC-C'):.2f}x"
+    )
+    return rows

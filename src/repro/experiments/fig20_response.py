@@ -1,0 +1,93 @@
+"""Fig. 20: coin-exchange response time after an activity change.
+
+The end of the NVDLA task in the 7-accelerator PM-cluster workload
+triggers a redistribution; the paper measures BlitzCoin settling in
+0.68 us vs 1.4 us for BC-C (2.1x) and 15.3 us for C-RR (22.5x).  We run
+the same workload under all three schemes and extract the response
+recorded for the NVDLA-end activity edge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.experiments.fig19_silicon import PM_CLUSTER_BUDGET_MW
+from repro.experiments.soc_runs import run_soc_workload
+from repro.sim import cycles_to_us
+from repro.soc.pm import PMKind
+from repro.soc.presets import soc_6x6_chip
+from repro.workloads.apps import pm_cluster_workload
+
+SCHEMES = (PMKind.BLITZCOIN, PMKind.BLITZCOIN_CENTRAL, PMKind.ROUND_ROBIN)
+
+
+@dataclass(frozen=True)
+class ResponseMeasurement:
+    scheme: str
+    nvdla_end_us: float
+    response_us: Optional[float]
+    all_responses_us: List[float]
+
+
+@dataclass(frozen=True)
+class Fig20Result:
+    measurements: Dict[str, ResponseMeasurement]
+
+    def ratio(self, scheme: str) -> float:
+        """Response-time ratio of ``scheme`` over BlitzCoin."""
+        bc = self.measurements["BC"].response_us
+        other = self.measurements[scheme].response_us
+        if bc is None or other is None or bc <= 0:
+            return float("nan")
+        return other / bc
+
+
+def _response_after(pm, change_cycle: int) -> Optional[float]:
+    """The response recorded for the first change at/after ``change_cycle``."""
+    candidates = [
+        resp
+        for (change, resp) in pm.response_log
+        if change >= change_cycle - 2
+    ]
+    if not candidates:
+        return None
+    return cycles_to_us(candidates[0])
+
+
+def run() -> Fig20Result:
+    config = soc_6x6_chip()
+    measurements: Dict[str, ResponseMeasurement] = {}
+    for scheme in SCHEMES:
+        pm_box: List = []
+        result = run_soc_workload(
+            config,
+            pm_cluster_workload(7),
+            scheme,
+            PM_CLUSTER_BUDGET_MW,
+            pm_out=pm_box,
+        )
+        pm = pm_box[0]
+        nvdla_end = result.task_finish_cycles["dla0"]
+        measurements[scheme.value] = ResponseMeasurement(
+            scheme=scheme.value,
+            nvdla_end_us=cycles_to_us(nvdla_end),
+            response_us=_response_after(pm, nvdla_end),
+            all_responses_us=[
+                cycles_to_us(r) for r in result.response_times_cycles
+            ],
+        )
+    return Fig20Result(measurements=measurements)
+
+
+def format_rows(result: Fig20Result) -> List[str]:
+    rows = []
+    for scheme, m in result.measurements.items():
+        resp = f"{m.response_us:7.2f}" if m.response_us is not None else "   n/a"
+        rows.append(
+            f"{scheme:5s}  NVDLA ends at {m.nvdla_end_us:8.1f} us  "
+            f"response={resp} us"
+        )
+    for scheme in ("BC-C", "C-RR"):
+        rows.append(f"ratio {scheme}/BC: {result.ratio(scheme):5.1f}x")
+    return rows

@@ -1,0 +1,123 @@
+"""Fig. 21: extrapolation to large SoCs.
+
+Left: maximum supported accelerator count N_max as a function of the
+workload phase duration T_w for BC, BC-C, C-RR, TS and PT.  Right: the
+fraction of runtime spent in power management vs N at T_w = 10 ms.
+
+The scaling constants can come either from the paper's published fits
+or from this repository's own measured response times (Figs. 17/18/20),
+passed in as (N, response_us) samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.baselines.pricetheory import PriceTheoryModel
+from repro.scaling.model import (
+    ResponseScalingModel,
+    fit_tau_us,
+    n_max_curve,
+    pm_overhead_curve,
+)
+
+HW_SCHEMES = ("BC", "BC-C", "C-RR", "TS")
+
+
+@dataclass(frozen=True)
+class Fig21Result:
+    models: Dict[str, ResponseScalingModel]
+    pt_model: PriceTheoryModel
+    t_w_values_us: List[float]
+    n_values: List[int]
+    n_max: Dict[str, List[float]]  # per scheme, aligned with t_w_values
+    pt_n_max: List[float]
+    pm_fraction: Dict[str, List[float]]  # per scheme, aligned with n_values
+    pt_pm_fraction: List[float]
+
+    def n_max_advantage(self, t_w_us: float, vs: str) -> float:
+        """BC's N_max over another scheme's at one T_w."""
+        idx = self.t_w_values_us.index(t_w_us)
+        if vs == "PT":
+            return self.n_max["BC"][idx] / self.pt_n_max[idx]
+        return self.n_max["BC"][idx] / self.n_max[vs][idx]
+
+
+def run(
+    measured_responses: Optional[
+        Dict[str, Iterable[Tuple[float, float]]]
+    ] = None,
+    t_w_values_us: Optional[List[float]] = None,
+    n_values: Optional[List[int]] = None,
+    t_w_overhead_us: float = 10_000.0,
+) -> Fig21Result:
+    """Build the Fig. 21 curves.
+
+    ``measured_responses`` maps scheme name to (N, response_us) samples;
+    schemes without samples fall back to the paper's published taus.
+    """
+    if t_w_values_us is None:
+        t_w_values_us = [float(t) for t in (200.0, 1_000.0, 7_000.0, 10_000.0)]
+    if n_values is None:
+        n_values = sorted(
+            set(
+                int(n)
+                for n in np.logspace(0.5, 3.0, 24).astype(int)
+            )
+            | {10, 100, 1000}
+        )
+    models: Dict[str, ResponseScalingModel] = {}
+    for scheme in HW_SCHEMES:
+        paper = ResponseScalingModel.from_paper(scheme)
+        if measured_responses and scheme in measured_responses:
+            tau = fit_tau_us(measured_responses[scheme], paper.exponent)
+            models[scheme] = ResponseScalingModel(
+                name=scheme, tau_us=tau, exponent=paper.exponent
+            )
+        else:
+            models[scheme] = paper
+    pt = PriceTheoryModel()
+    model_list = [models[s] for s in HW_SCHEMES]
+    n_max = n_max_curve(model_list, t_w_values_us)
+    pm_fraction = pm_overhead_curve(model_list, n_values, t_w_overhead_us)
+    pt_n_max = [pt.n_max(t / 1e6) for t in t_w_values_us]
+    pt_fraction = [
+        pt.response_time_s(n) / ((t_w_overhead_us / 1e6) / n)
+        for n in n_values
+    ]
+    return Fig21Result(
+        models=models,
+        pt_model=pt,
+        t_w_values_us=t_w_values_us,
+        n_values=n_values,
+        n_max=n_max,
+        pt_n_max=pt_n_max,
+        pm_fraction=pm_fraction,
+        pt_pm_fraction=pt_fraction,
+    )
+
+
+def format_rows(result: Fig21Result) -> List[str]:
+    rows = []
+    for scheme, model in result.models.items():
+        rows.append(
+            f"{scheme:5s} tau={model.tau_us:6.3f} us  N^{model.exponent:.1f}"
+        )
+    for i, t_w in enumerate(result.t_w_values_us):
+        parts = [
+            f"{s}={result.n_max[s][i]:7.1f}" for s in HW_SCHEMES
+        ]
+        parts.append(f"PT={result.pt_n_max[i]:7.1f}")
+        rows.append(f"T_w={t_w / 1000:6.1f} ms  N_max: " + "  ".join(parts))
+    # PM overhead at N=100, T_w=10 ms (the paper's worked example).
+    if 100 in result.n_values:
+        idx = result.n_values.index(100)
+        parts = [
+            f"{s}={result.pm_fraction[s][idx] * 100:6.1f}%"
+            for s in HW_SCHEMES
+        ]
+        rows.append("PM overhead @N=100, T_w=10ms: " + "  ".join(parts))
+    return rows

@@ -1,0 +1,103 @@
+"""Table I: comparison of implemented power-management strategies.
+
+Builds the quantitative rows of the paper's comparison table from this
+repository's own measurements: response time at N = 13 (the 4x4 SoC),
+DVFS levels, control style, and scaling class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.experiments import fig18_4x4_eval
+from repro.power.budget import MAX_COINS_PER_TILE
+from repro.scaling.model import PAPER_TAUS_US
+
+
+@dataclass(frozen=True)
+class StrategyRow:
+    strategy: str
+    control: str
+    power_cap: bool
+    dvfs_levels: int
+    response_us_at_13: Optional[float]
+    scaling: str
+
+
+@dataclass(frozen=True)
+class Table1Result:
+    rows: Dict[str, StrategyRow]
+
+    def ordered(self) -> List[StrategyRow]:
+        order = ("BC", "BC-C", "C-RR", "TS", "static")
+        return [self.rows[k] for k in order if k in self.rows]
+
+
+def run(fig18_result: Optional["fig18_4x4_eval.Fig18Result"] = None) -> Table1Result:
+    """Assemble the table; reuses a Fig. 18 result if already computed."""
+    if fig18_result is None:
+        fig18_result = fig18_4x4_eval.run()
+    levels = MAX_COINS_PER_TILE + 1
+    rows = {
+        "BC": StrategyRow(
+            strategy="BlitzCoin",
+            control="Decentralized",
+            power_cap=True,
+            dvfs_levels=levels,
+            response_us_at_13=fig18_result.mean_response_us("BC"),
+            scaling="O(sqrt(N))",
+        ),
+        "BC-C": StrategyRow(
+            strategy="BlitzCoin-Centralized",
+            control="Centralized",
+            power_cap=True,
+            dvfs_levels=levels,
+            response_us_at_13=fig18_result.mean_response_us("BC-C"),
+            scaling="O(N)",
+        ),
+        "C-RR": StrategyRow(
+            strategy="Round robin",
+            control="Centralized",
+            power_cap=True,
+            dvfs_levels=levels,
+            response_us_at_13=fig18_result.mean_response_us("C-RR"),
+            scaling="O(N)",
+        ),
+        "TS": StrategyRow(
+            strategy="Fair-greedy (TokenSmart)",
+            control="Decentralized",
+            power_cap=True,
+            dvfs_levels=levels,
+            response_us_at_13=PAPER_TAUS_US["TS"][0] * 13,
+            scaling="O(N)",
+        ),
+        "static": StrategyRow(
+            strategy="Static allocation",
+            control="None",
+            power_cap=True,
+            dvfs_levels=1,
+            response_us_at_13=None,
+            scaling="O(1)",
+        ),
+    }
+    return Table1Result(rows=rows)
+
+
+def format_rows(result: Table1Result) -> List[str]:
+    out = [
+        f"{'Strategy':26s} {'Control':14s} {'Cap':4s} "
+        f"{'Levels':7s} {'Resp@N=13':>10s}  Scaling"
+    ]
+    for row in result.ordered():
+        resp = (
+            f"{row.response_us_at_13:7.2f}us"
+            if row.response_us_at_13 is not None
+            else "      —"
+        )
+        out.append(
+            f"{row.strategy:26s} {row.control:14s} "
+            f"{'Yes' if row.power_cap else 'No':4s} "
+            f"{row.dvfs_levels:<7d} {resp:>10s}  {row.scaling}"
+        )
+    return out

@@ -1,0 +1,30 @@
+"""2D-mesh network-on-chip substrate.
+
+Two fidelities share a single interface (:class:`NocFabric`):
+
+* :class:`CycleNoc` — a cycle-level multi-plane mesh with per-router
+  round-robin arbitration and one-cycle-per-hop throughput, used for the
+  SoC-level experiments (Figs. 16-20).
+* :class:`BehavioralNoc` — a contention-free hop-latency model used for
+  the Monte-Carlo convergence studies (Figs. 3-8), matching the paper's
+  own Python emulator.
+"""
+
+from repro.noc.behavioral import BehavioralNoc
+from repro.noc.fabric import DeliveryHandler, NocFabric
+from repro.noc.packet import MessageType, Packet, Plane
+from repro.noc.router import CycleNoc, Router
+from repro.noc.topology import MeshTopology, TopologyError
+
+__all__ = [
+    "BehavioralNoc",
+    "CycleNoc",
+    "DeliveryHandler",
+    "MeshTopology",
+    "MessageType",
+    "NocFabric",
+    "Packet",
+    "Plane",
+    "Router",
+    "TopologyError",
+]

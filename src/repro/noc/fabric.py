@@ -1,0 +1,57 @@
+"""Common interface implemented by both NoC fidelities."""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Dict
+
+from repro.noc.packet import Packet, PacketStats
+from repro.noc.topology import MeshTopology
+from repro.sim.kernel import Simulator
+
+#: A tile-side callback invoked when a packet arrives at its destination.
+DeliveryHandler = Callable[[Packet], None]
+
+
+class NocFabric(abc.ABC):
+    """Abstract packet transport over a mesh.
+
+    Tiles register a delivery handler for their id; :meth:`send` injects a
+    packet which will be delivered (handler invoked) after the fabric's
+    latency model elapses.
+    """
+
+    def __init__(self, sim: Simulator, topology: MeshTopology) -> None:
+        self.sim = sim
+        self.topology = topology
+        self.stats = PacketStats()
+        self._handlers: Dict[int, DeliveryHandler] = {}
+
+    def attach(self, tid: int, handler: DeliveryHandler) -> None:
+        """Register the delivery handler for tile ``tid``."""
+        self.topology._check(tid)
+        self._handlers[tid] = handler
+
+    def detach(self, tid: int) -> None:
+        """Remove the handler for tile ``tid`` (late packets are dropped)."""
+        self._handlers.pop(tid, None)
+
+    def send(self, packet: Packet) -> None:
+        """Inject ``packet`` at its source tile."""
+        self.topology._check(packet.src)
+        self.topology._check(packet.dst)
+        packet.injected_at = self.sim.now
+        self.stats.on_inject(packet)
+        self._transport(packet)
+
+    @abc.abstractmethod
+    def _transport(self, packet: Packet) -> None:
+        """Fidelity-specific movement from source to destination."""
+
+    def _deliver(self, packet: Packet) -> None:
+        packet.delivered_at = self.sim.now
+        hops = self.topology.hop_distance(packet.src, packet.dst)
+        self.stats.on_deliver(packet, hops)
+        handler = self._handlers.get(packet.dst)
+        if handler is not None:
+            handler(packet)

@@ -1,0 +1,128 @@
+"""NoC packets, planes, and message types.
+
+The ESP NoC the paper integrates with has six planes; power-management
+traffic rides Plane 5 (memory-mapped registers + interrupts), to which the
+paper adds a new coin-exchange message class (Section IV-B).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+class Plane(enum.IntEnum):
+    """The six NoC planes of the ESP architecture (Section IV-B)."""
+
+    COHERENCE_REQ = 0
+    COHERENCE_FWD = 1
+    COHERENCE_RSP = 2
+    DMA_TO_MEM = 3
+    DMA_FROM_MEM = 4
+    MMIO_IRQ = 5  # registers, interrupts, and the new coin messages
+
+
+class MessageType(enum.Enum):
+    """Message classes used by the power-management protocols."""
+
+    # BlitzCoin 1-way / 4-way exchange (Fig. 2)
+    COIN_REQUEST = "coin_request"  # 4-way only: ask neighbor for status
+    COIN_STATUS = "coin_status"  # reply/push of (has, max)
+    COIN_UPDATE = "coin_update"  # new coin count for the receiver
+
+    # Centralized baselines (C-RR, BC-C)
+    PM_POLL = "pm_poll"  # controller asks a tile for its status
+    PM_STATUS = "pm_status"  # tile's reply to the controller
+    PM_SET = "pm_set"  # controller pushes a V/F or coin setting
+    PM_NOTIFY = "pm_notify"  # tile notifies controller of activity change
+
+    # TokenSmart ring
+    TOKEN_POOL = "token_pool"  # the circulating pool of tokens
+
+    # Generic traffic (background load / register access)
+    REGISTER_ACCESS = "register_access"
+    DMA = "dma"
+
+    @property
+    def is_coin_message(self) -> bool:
+        """True for the three BlitzCoin exchange message classes."""
+        return self in (
+            MessageType.COIN_REQUEST,
+            MessageType.COIN_STATUS,
+            MessageType.COIN_UPDATE,
+        )
+
+
+_packet_ids = itertools.count()
+
+
+@dataclass
+class Packet:
+    """One NoC message.
+
+    ``size_flits`` models serialization latency in the cycle-level NoC:
+    a packet occupies each link for ``size_flits`` cycles.  All
+    power-management messages are single-flit (a coin count and a max fit
+    in one 64-bit flit), matching the compact hardware encoding.
+    """
+
+    src: int
+    dst: int
+    msg_type: MessageType
+    plane: Plane = Plane.MMIO_IRQ
+    payload: Any = None
+    size_flits: int = 1
+    injected_at: Optional[int] = None
+    delivered_at: Optional[int] = None
+    uid: int = field(default_factory=lambda: next(_packet_ids))
+
+    def __post_init__(self) -> None:
+        if self.size_flits < 1:
+            raise ValueError(f"packet must have >=1 flit, got {self.size_flits}")
+        if self.src < 0 or self.dst < 0:
+            raise ValueError(f"invalid endpoints ({self.src} -> {self.dst})")
+
+    @property
+    def latency(self) -> Optional[int]:
+        """Injection-to-delivery latency in cycles, if delivered."""
+        if self.injected_at is None or self.delivered_at is None:
+            return None
+        return self.delivered_at - self.injected_at
+
+
+@dataclass
+class PacketStats:
+    """Aggregate packet accounting for one simulation."""
+
+    injected: int = 0
+    delivered: int = 0
+    total_hops: int = 0
+    total_latency: int = 0
+    by_type: dict = field(default_factory=dict)
+
+    def on_inject(self, packet: Packet) -> None:
+        self.injected += 1
+        key = packet.msg_type.value
+        self.by_type[key] = self.by_type.get(key, 0) + 1
+
+    def on_deliver(self, packet: Packet, hops: int) -> None:
+        self.delivered += 1
+        self.total_hops += hops
+        if packet.latency is not None:
+            self.total_latency += packet.latency
+
+    @property
+    def mean_latency(self) -> float:
+        """Mean delivery latency in cycles (0.0 when nothing delivered)."""
+        return self.total_latency / self.delivered if self.delivered else 0.0
+
+    @property
+    def coin_packets(self) -> int:
+        """Count of BlitzCoin exchange packets injected."""
+        return sum(
+            self.by_type.get(t.value, 0)
+            for t in MessageType
+            if t.is_coin_message
+        )

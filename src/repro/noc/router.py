@@ -1,0 +1,95 @@
+"""Cycle-level mesh NoC with per-link serialization.
+
+Packets advance hop-by-hop along deterministic XY routes.  Each router
+output link carries one flit per cycle per plane; contended packets
+serialize in FIFO order on the link (round-robin arbitration is modeled
+by the deterministic event order of same-cycle requests).  This captures
+the two properties of the paper's NoC that matter for the experiments:
+one-cycle-per-hop uncongested throughput, and queuing delay when coin
+messages compete with other Plane-5 traffic (Section IV-B).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.noc.fabric import NocFabric
+from repro.noc.packet import Packet, Plane
+from repro.noc.topology import MeshTopology
+from repro.sim.kernel import Simulator
+
+
+class Router:
+    """Per-tile link-occupancy bookkeeping.
+
+    ``next_free[(dst_tile, plane)]`` is the first cycle at which the output
+    link toward ``dst_tile`` on ``plane`` is idle.
+    """
+
+    def __init__(self, tid: int) -> None:
+        self.tid = tid
+        self.next_free: Dict[Tuple[int, Plane], int] = {}
+        self.flits_forwarded = 0
+
+    def reserve(self, dst: int, plane: Plane, arrival: int, flits: int) -> int:
+        """Reserve the output link; returns the cycle the tail flit leaves."""
+        key = (dst, plane)
+        start = max(arrival, self.next_free.get(key, 0))
+        depart = start + flits
+        self.next_free[key] = depart
+        self.flits_forwarded += flits
+        return depart
+
+
+class CycleNoc(NocFabric):
+    """Hop-by-hop XY-routed mesh with link contention."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: MeshTopology,
+        *,
+        ejection_delay: int = 1,
+    ) -> None:
+        super().__init__(sim, topology)
+        if ejection_delay < 0:
+            raise ValueError(f"ejection_delay must be >= 0, got {ejection_delay}")
+        self.ejection_delay = ejection_delay
+        self.routers: List[Router] = [Router(t) for t in topology.all_tiles()]
+
+    def _transport(self, packet: Packet) -> None:
+        route = self.topology.xy_route(packet.src, packet.dst)
+        self._advance(packet, route, 0, self.sim.now)
+
+    def _advance(
+        self, packet: Packet, route: List[int], index: int, arrival: int
+    ) -> None:
+        """Move the packet from ``route[index]`` toward its next hop."""
+        here = route[index]
+        if here == packet.dst:
+            # Eject into the tile's NoC-domain socket.
+            self.sim.schedule(
+                max(0, arrival + self.ejection_delay - self.sim.now),
+                lambda p=packet: self._deliver(p),
+            )
+            return
+        nxt = route[index + 1]
+        depart = self.routers[here].reserve(nxt, packet.plane, arrival, packet.size_flits)
+        # The head flit reaches the next router one cycle after the tail
+        # clears the link in this serialized model.
+        self.sim.schedule(
+            max(0, depart - self.sim.now),
+            lambda p=packet, r=route, i=index + 1, t=depart: self._advance(p, r, i, t),
+        )
+
+    def link_utilization(self, horizon: int) -> float:
+        """Fraction of link-cycles used across the mesh up to ``horizon``.
+
+        A coarse congestion indicator: total flits forwarded divided by the
+        total link capacity (4 outgoing links per tile x horizon cycles).
+        """
+        if horizon <= 0:
+            return 0.0
+        capacity = 4 * self.topology.n_tiles * horizon
+        used = sum(r.flits_forwarded for r in self.routers)
+        return used / capacity

@@ -1,0 +1,94 @@
+"""Power-allocation strategies (Section V-B).
+
+A strategy maps the set of active tiles (with their power capabilities)
+to per-tile *target powers* whose sum equals the SoC budget:
+
+* **Absolute Proportional (AP)** — every active tile gets the same
+  absolute power target.
+* **Relative Proportional (RP)** — each active tile's target is
+  proportional to its power at F_max, i.e. all tiles end up at the same
+  *fraction* of their maximum power (the workload-aware strategy the
+  paper adopts after Section VI-A).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Mapping
+
+
+class AllocationError(ValueError):
+    """Raised for infeasible allocation requests."""
+
+
+class AllocationStrategy(enum.Enum):
+    """The two strategies evaluated in the paper."""
+
+    ABSOLUTE_PROPORTIONAL = "AP"
+    RELATIVE_PROPORTIONAL = "RP"
+
+
+def absolute_proportional(
+    p_max_by_tile: Mapping[int, float], budget_mw: float
+) -> Dict[int, float]:
+    """Equal absolute power target for every active tile.
+
+    Targets are capped at each tile's own ``p_max``; power freed by capped
+    tiles is redistributed among the uncapped ones (water-filling), so the
+    full budget is used whenever the combined p_max allows it.
+    """
+    _validate(p_max_by_tile, budget_mw)
+    tiles = dict(p_max_by_tile)
+    targets: Dict[int, float] = {}
+    remaining = min(budget_mw, sum(tiles.values()))
+    uncapped = set(tiles)
+    while uncapped:
+        share = remaining / len(uncapped)
+        newly_capped = {t for t in uncapped if tiles[t] <= share}
+        if not newly_capped:
+            for t in uncapped:
+                targets[t] = share
+            return targets
+        for t in newly_capped:
+            targets[t] = tiles[t]
+            remaining -= tiles[t]
+        uncapped -= newly_capped
+    return targets
+
+
+def relative_proportional(
+    p_max_by_tile: Mapping[int, float], budget_mw: float
+) -> Dict[int, float]:
+    """Targets proportional to each tile's power at F_max.
+
+    Every tile runs at the same fraction ``budget / sum(p_max)`` of its
+    maximum power (clamped to 1.0 when the budget exceeds the combined
+    maximum).
+    """
+    _validate(p_max_by_tile, budget_mw)
+    total_max = sum(p_max_by_tile.values())
+    fraction = min(1.0, budget_mw / total_max) if total_max > 0 else 0.0
+    return {t: p * fraction for t, p in p_max_by_tile.items()}
+
+
+def allocate(
+    strategy: AllocationStrategy,
+    p_max_by_tile: Mapping[int, float],
+    budget_mw: float,
+) -> Dict[int, float]:
+    """Dispatch to the requested strategy."""
+    if strategy is AllocationStrategy.ABSOLUTE_PROPORTIONAL:
+        return absolute_proportional(p_max_by_tile, budget_mw)
+    if strategy is AllocationStrategy.RELATIVE_PROPORTIONAL:
+        return relative_proportional(p_max_by_tile, budget_mw)
+    raise AllocationError(f"unknown strategy {strategy!r}")
+
+
+def _validate(p_max_by_tile: Mapping[int, float], budget_mw: float) -> None:
+    if not p_max_by_tile:
+        raise AllocationError("no active tiles to allocate power to")
+    if budget_mw <= 0:
+        raise AllocationError(f"budget must be positive, got {budget_mw}")
+    bad = {t: p for t, p in p_max_by_tile.items() if p <= 0}
+    if bad:
+        raise AllocationError(f"tiles with non-positive p_max: {bad}")

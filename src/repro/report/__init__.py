@@ -1,0 +1,39 @@
+"""Result export and post-processing (the paper's artifact workflow).
+
+The artifact appendix describes the evaluation outputs as "CSV data
+with post-processing scripts for figure generation".  This package
+reproduces that workflow:
+
+* :mod:`~repro.report.csv_export` — write any experiment result as CSV
+  files (one per series), with a manifest describing the figure.
+* :mod:`~repro.report.post_process` — the artifact's
+  ``post_process.py`` equivalent: reconstruct power traces, execution
+  times, and response times from a recorded SoC run, and render
+  quick-look ASCII charts.
+"""
+
+from repro.report.csv_export import (
+    CsvExportError,
+    export_figure,
+    export_rows,
+    export_soc_run,
+    read_csv,
+)
+from repro.report.post_process import (
+    ascii_chart,
+    extract_execution_times,
+    extract_response_times,
+    reconstruct_power_trace,
+)
+
+__all__ = [
+    "CsvExportError",
+    "ascii_chart",
+    "export_figure",
+    "export_rows",
+    "export_soc_run",
+    "extract_execution_times",
+    "extract_response_times",
+    "read_csv",
+    "reconstruct_power_trace",
+]

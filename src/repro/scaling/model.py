@@ -1,0 +1,132 @@
+"""Response-time scaling and N_max extrapolation (Section V-E).
+
+The paper models each scheme's response time as ``T(N) = tau * N^e``
+with ``e = 1`` for the centralized schemes and TokenSmart and
+``e = 1/2`` for BlitzCoin, fits ``tau`` to the measured SoCs, and solves
+``T(N_max) = T_w / N_max`` for the largest supportable SoC:
+
+* centralized / TS:  ``N_max = (T_w / tau)^(1/2)``    (Eqs. 5.1, 5.2)
+* BlitzCoin:         ``N_max = (T_w / tau)^(2/3)``    (Eq. 5.3)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+import numpy as np
+
+
+class ScalingError(ValueError):
+    """Raised for invalid scaling-model inputs."""
+
+
+#: The paper's fitted scaling constants (microseconds), Section VI-D.
+PAPER_TAUS_US: Dict[str, Tuple[float, float]] = {
+    # scheme: (tau_us, exponent)
+    "BC": (0.20, 0.5),
+    "BC-C": (0.66, 1.0),
+    "C-RR": (0.96, 1.0),
+    "TS": (0.22, 1.0),
+}
+
+
+@dataclass(frozen=True)
+class ResponseScalingModel:
+    """``T(N) = tau * N^exponent`` for one power-management scheme."""
+
+    name: str
+    tau_us: float
+    exponent: float
+
+    def __post_init__(self) -> None:
+        if self.tau_us <= 0:
+            raise ScalingError(f"{self.name}: tau must be > 0, got {self.tau_us}")
+        if self.exponent <= 0:
+            raise ScalingError(
+                f"{self.name}: exponent must be > 0, got {self.exponent}"
+            )
+
+    def response_time_us(self, n: float) -> float:
+        """Response time for an N-accelerator SoC."""
+        if n < 1:
+            raise ScalingError(f"n must be >= 1, got {n}")
+        return self.tau_us * n**self.exponent
+
+    def n_max(self, t_w_us: float) -> float:
+        """Largest N with ``T(N) <= T_w / N``."""
+        if t_w_us <= 0:
+            raise ScalingError(f"T_w must be > 0, got {t_w_us}")
+        return (t_w_us / self.tau_us) ** (1.0 / (1.0 + self.exponent))
+
+    def pm_time_fraction(self, n: float, t_w_us: float) -> float:
+        """Fraction of runtime spent in PM decisions (Fig. 21, right).
+
+        One decision is needed every ``T_w / N`` on average; values above
+        1.0 mean the scheme cannot keep up (N > N_max).
+        """
+        if t_w_us <= 0:
+            raise ScalingError(f"T_w must be > 0, got {t_w_us}")
+        return self.response_time_us(n) / (t_w_us / n)
+
+    @classmethod
+    def from_paper(cls, scheme: str) -> "ResponseScalingModel":
+        """Model with the paper's fitted constants."""
+        if scheme not in PAPER_TAUS_US:
+            raise ScalingError(
+                f"unknown scheme {scheme!r}; known: {sorted(PAPER_TAUS_US)}"
+            )
+        tau, exp = PAPER_TAUS_US[scheme]
+        return cls(name=scheme, tau_us=tau, exponent=exp)
+
+
+def fit_tau_us(
+    measurements: Iterable[Tuple[float, float]], exponent: float
+) -> float:
+    """Least-squares fit of ``tau`` through the origin in N^e space.
+
+    ``measurements`` are (N, response_us) pairs — e.g. the measured
+    response times at N = 6, 7 and 13 the paper uses (Section VI-D).
+    """
+    pts = list(measurements)
+    if not pts:
+        raise ScalingError("need at least one measurement to fit tau")
+    x = np.array([n**exponent for n, _ in pts], dtype=float)
+    y = np.array([t for _, t in pts], dtype=float)
+    if np.any(x <= 0) or np.any(y <= 0):
+        raise ScalingError(f"measurements must be positive, got {pts}")
+    return float(np.dot(x, y) / np.dot(x, x))
+
+
+def workload_interval_us(t_w_us: float, n: float) -> float:
+    """Average interval between SoC-level activity changes (T_w / N).
+
+    The dashed curves of Fig. 1.
+    """
+    if t_w_us <= 0 or n < 1:
+        raise ScalingError(f"invalid (T_w={t_w_us}, N={n})")
+    return t_w_us / n
+
+
+def n_max_curve(
+    models: List[ResponseScalingModel], t_w_values_us: Iterable[float]
+) -> Dict[str, List[float]]:
+    """N_max(T_w) series per scheme (Fig. 21, left)."""
+    out: Dict[str, List[float]] = {m.name: [] for m in models}
+    for t_w in t_w_values_us:
+        for m in models:
+            out[m.name].append(m.n_max(t_w))
+    return out
+
+
+def pm_overhead_curve(
+    models: List[ResponseScalingModel],
+    n_values: Iterable[float],
+    t_w_us: float,
+) -> Dict[str, List[float]]:
+    """PM time fraction vs N per scheme (Fig. 21, right)."""
+    out: Dict[str, List[float]] = {m.name: [] for m in models}
+    for n in n_values:
+        for m in models:
+            out[m.name].append(m.pm_time_fraction(n, t_w_us))
+    return out

@@ -1,0 +1,129 @@
+"""Time-series trace recording.
+
+Traces are (time, value) step functions: a sample recorded at time ``t``
+holds until the next sample.  This matches how the paper's post-processing
+reconstructs per-tile power from LDO-setting changes (Section V-A).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass
+class StateTrace:
+    """A single step-function signal."""
+
+    name: str
+    times: List[int] = field(default_factory=list)
+    values: List[float] = field(default_factory=list)
+
+    def record(self, time: int, value: float) -> None:
+        """Append a sample; same-time re-records overwrite the last value."""
+        if self.times and time < self.times[-1]:
+            raise ValueError(
+                f"trace {self.name!r}: time went backwards "
+                f"({time} < {self.times[-1]})"
+            )
+        if self.times and time == self.times[-1]:
+            self.values[-1] = value
+            return
+        # Skip redundant samples so long steady states stay O(1) in memory.
+        if self.values and self.values[-1] == value:
+            return
+        self.times.append(time)
+        self.values.append(value)
+
+    def value_at(self, time: int) -> float:
+        """Value of the step function at ``time`` (0.0 before first sample)."""
+        idx = bisect_right(self.times, time) - 1
+        if idx < 0:
+            return 0.0
+        return self.values[idx]
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def __iter__(self) -> Iterator[Tuple[int, float]]:
+        return iter(zip(self.times, self.values))
+
+    def integral(self, t0: int, t1: int) -> float:
+        """Integrate the step function over ``[t0, t1)`` (value x cycles)."""
+        if t1 <= t0:
+            return 0.0
+        total = 0.0
+        current = t0
+        idx = bisect_right(self.times, t0) - 1
+        while current < t1:
+            nxt = self.times[idx + 1] if idx + 1 < len(self.times) else t1
+            seg_end = min(nxt, t1)
+            value = self.values[idx] if idx >= 0 else 0.0
+            total += value * (seg_end - current)
+            current = seg_end
+            idx += 1
+        return total
+
+    def mean(self, t0: int, t1: int) -> float:
+        """Time-average of the signal over ``[t0, t1)``."""
+        if t1 <= t0:
+            return 0.0
+        return self.integral(t0, t1) / (t1 - t0)
+
+    def max_value(self) -> float:
+        """Largest recorded sample (0.0 for an empty trace)."""
+        return max(self.values) if self.values else 0.0
+
+    def resample(self, times: np.ndarray) -> np.ndarray:
+        """Evaluate the step function at each time in ``times``."""
+        return np.array([self.value_at(int(t)) for t in times], dtype=float)
+
+
+class TraceRecorder:
+    """A named collection of :class:`StateTrace` signals."""
+
+    def __init__(self) -> None:
+        self._traces: Dict[str, StateTrace] = {}
+
+    def trace(self, name: str) -> StateTrace:
+        """Get (creating if needed) the trace called ``name``."""
+        if name not in self._traces:
+            self._traces[name] = StateTrace(name)
+        return self._traces[name]
+
+    def record(self, name: str, time: int, value: float) -> None:
+        """Record one sample into the trace called ``name``."""
+        self.trace(name).record(time, value)
+
+    def names(self) -> List[str]:
+        """Sorted list of trace names."""
+        return sorted(self._traces)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._traces
+
+    def __getitem__(self, name: str) -> StateTrace:
+        return self._traces[name]
+
+    def get(self, name: str) -> Optional[StateTrace]:
+        """Trace called ``name`` or None when it was never recorded."""
+        return self._traces.get(name)
+
+    def sum_at(self, time: int, prefix: str = "") -> float:
+        """Sum of all traces whose name starts with ``prefix`` at ``time``."""
+        return sum(
+            t.value_at(time)
+            for name, t in self._traces.items()
+            if name.startswith(prefix)
+        )
+
+    def aggregate(self, prefix: str, times: np.ndarray) -> np.ndarray:
+        """Sum of matching traces evaluated at each time in ``times``."""
+        total = np.zeros(len(times), dtype=float)
+        for name, trace in self._traces.items():
+            if name.startswith(prefix):
+                total += trace.resample(times)
+        return total

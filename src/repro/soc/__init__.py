@@ -1,0 +1,39 @@
+"""Full-SoC integration: tiles, presets, power managers, workload executor.
+
+This package is the Python analogue of the paper's ESP integration
+(Section IV-B): it composes a tile grid over a NoC, attaches a power
+manager (BlitzCoin, BC-C, C-RR, or static), runs a task-graph workload,
+and records per-tile power traces — everything the SoC-level
+evaluations (Figs. 16-20) need.
+"""
+
+from repro.soc.executor import ExecutorError, SocRunResult, WorkloadExecutor
+from repro.soc.pm import (
+    BlitzCoinPM,
+    CentralizedPM,
+    PMKind,
+    StaticPM,
+    build_pm,
+)
+from repro.soc.presets import soc_3x3, soc_4x4, soc_6x6_chip
+from repro.soc.soc import Soc, SocError
+from repro.soc.tile import SocConfig, TileKind, TileSpec
+
+__all__ = [
+    "BlitzCoinPM",
+    "CentralizedPM",
+    "ExecutorError",
+    "PMKind",
+    "Soc",
+    "SocConfig",
+    "SocError",
+    "SocRunResult",
+    "StaticPM",
+    "TileKind",
+    "TileSpec",
+    "WorkloadExecutor",
+    "build_pm",
+    "soc_3x3",
+    "soc_4x4",
+    "soc_6x6_chip",
+]

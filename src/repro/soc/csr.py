@@ -1,0 +1,247 @@
+"""Control and Status Registers of the NoC-domain socket (Section IV-B).
+
+Each BlitzCoin-enabled tile carries a register file in the NoC power
+domain: configuration registers for the BlitzCoin unit and the ring
+oscillator, plus live status reads.  Registers are accessed over NoC
+Plane 5 with ``REGISTER_ACCESS`` packets; :class:`CsrMaster` is the
+CPU-side helper that issues those accesses, and :class:`CsrSlave`
+serves them at the tile.
+
+The register map (word offsets):
+
+========  ===============  ==========================================
+offset    name             semantics
+========  ===============  ==========================================
+0x00      HAS_COINS        live coin count (read-only, sign-extended)
+0x04      MAX_COINS        target register; writes retarget the tile
+0x08      THERMAL_CAP      per-tile coin cap (0xFFFF clears it)
+0x0C      INTERVAL         current dynamic refresh interval (RO)
+0x10      STATUS           bit0 busy, bit1 locked (read-only)
+0x14      RO_TUNE          ring-oscillator trim code
+0x18      EXCHANGES        exchanges initiated so far (read-only)
+========  ===============  ==========================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.core.engine import CoinExchangeEngine
+from repro.dvfs.oscillator import RingOscillator
+from repro.noc.fabric import NocFabric
+from repro.noc.packet import MessageType, Packet
+
+
+class CsrError(RuntimeError):
+    """Raised for invalid register accesses."""
+
+
+CAP_CLEAR_SENTINEL = 0xFFFF
+
+HAS_COINS = 0x00
+MAX_COINS = 0x04
+THERMAL_CAP = 0x08
+INTERVAL = 0x0C
+STATUS = 0x10
+RO_TUNE = 0x14
+EXCHANGES = 0x18
+
+_VALID_OFFSETS = {
+    HAS_COINS,
+    MAX_COINS,
+    THERMAL_CAP,
+    INTERVAL,
+    STATUS,
+    RO_TUNE,
+    EXCHANGES,
+}
+_WRITABLE = {MAX_COINS, THERMAL_CAP, RO_TUNE}
+
+
+@dataclass
+class _CsrRequest:
+    """Payload of a REGISTER_ACCESS packet."""
+
+    write: bool
+    offset: int
+    value: int = 0
+    req_id: int = 0
+    reply_to: Optional[int] = None  # None marks the response leg
+
+
+class CsrSlave:
+    """One tile's register file, bound to its engine state."""
+
+    def __init__(
+        self,
+        engine: CoinExchangeEngine,
+        tid: int,
+        oscillator: Optional[RingOscillator] = None,
+    ) -> None:
+        if tid not in engine.fsm:
+            raise CsrError(f"tile {tid} is not managed by BlitzCoin")
+        self.engine = engine
+        self.tid = tid
+        self.oscillator = oscillator
+
+    # ----------------------------------------------------------------- read
+    def read(self, offset: int) -> int:
+        fsm = self.engine.fsm[self.tid]
+        if offset == HAS_COINS:
+            return fsm.coins.has
+        if offset == MAX_COINS:
+            return fsm.coins.max
+        if offset == THERMAL_CAP:
+            cap = self.engine.cap_overrides.get(
+                self.tid, self.engine.config.cap_for(self.tid)
+            )
+            return CAP_CLEAR_SENTINEL if cap is None else cap
+        if offset == INTERVAL:
+            return fsm.interval
+        if offset == STATUS:
+            return (1 if fsm.busy else 0) | (2 if fsm.locked else 0)
+        if offset == RO_TUNE:
+            return self.oscillator.tune_code if self.oscillator else 0
+        if offset == EXCHANGES:
+            return fsm.exchange_count
+        raise CsrError(f"read from unmapped offset {offset:#x}")
+
+    # ---------------------------------------------------------------- write
+    def write(self, offset: int, value: int) -> None:
+        if offset not in _VALID_OFFSETS:
+            raise CsrError(f"write to unmapped offset {offset:#x}")
+        if offset not in _WRITABLE:
+            raise CsrError(f"offset {offset:#x} is read-only")
+        if offset == MAX_COINS:
+            self.engine.set_max(self.tid, int(value))
+        elif offset == THERMAL_CAP:
+            cap = None if value == CAP_CLEAR_SENTINEL else int(value)
+            self.engine.set_thermal_cap(self.tid, cap)
+        elif offset == RO_TUNE:
+            if self.oscillator is None:
+                raise CsrError(f"tile {self.tid} has no tunable oscillator")
+            self.oscillator.set_tune_code(int(value))
+
+    # ------------------------------------------------------------- protocol
+    def handle(self, packet: Packet) -> None:
+        """Serve one REGISTER_ACCESS packet and send the response."""
+        req: _CsrRequest = packet.payload
+        if req.write:
+            self.write(req.offset, req.value)
+            data = req.value
+        else:
+            data = self.read(req.offset)
+        if req.reply_to is not None:
+            self.engine.noc.send(
+                Packet(
+                    src=self.tid,
+                    dst=req.reply_to,
+                    msg_type=MessageType.REGISTER_ACCESS,
+                    payload=_CsrRequest(
+                        write=req.write,
+                        offset=req.offset,
+                        value=data,
+                        req_id=req.req_id,
+                        reply_to=None,
+                    ),
+                )
+            )
+
+
+class CsrMaster:
+    """CPU-side register access over the NoC (Plane 5).
+
+    Reads and writes are posted; completion callbacks fire when the
+    response packet arrives, mirroring how the bare-metal driver polls
+    PM registers in the artifact's software.
+    """
+
+    def __init__(self, noc: NocFabric, cpu_tile: int) -> None:
+        self.noc = noc
+        self.cpu_tile = cpu_tile
+        self._req_id = 0
+        self._pending: Dict[int, Callable[[int], None]] = {}
+        self.noc.attach(cpu_tile, self._on_packet)
+
+    def _on_packet(self, packet: Packet) -> None:
+        if packet.msg_type is not MessageType.REGISTER_ACCESS:
+            return
+        req: _CsrRequest = packet.payload
+        callback = self._pending.pop(req.req_id, None)
+        if callback is not None:
+            callback(req.value)
+
+    def _issue(
+        self,
+        tile: int,
+        write: bool,
+        offset: int,
+        value: int,
+        on_complete: Optional[Callable[[int], None]],
+    ) -> None:
+        self._req_id += 1
+        if on_complete is not None:
+            self._pending[self._req_id] = on_complete
+        self.noc.send(
+            Packet(
+                src=self.cpu_tile,
+                dst=tile,
+                msg_type=MessageType.REGISTER_ACCESS,
+                payload=_CsrRequest(
+                    write=write,
+                    offset=offset,
+                    value=value,
+                    req_id=self._req_id,
+                    reply_to=self.cpu_tile,
+                ),
+            )
+        )
+
+    def read(
+        self, tile: int, offset: int, on_complete: Callable[[int], None]
+    ) -> None:
+        """Post a register read; ``on_complete(value)`` fires on reply."""
+        self._issue(tile, False, offset, 0, on_complete)
+
+    def write(
+        self,
+        tile: int,
+        offset: int,
+        value: int,
+        on_complete: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        """Post a register write (optionally acknowledged)."""
+        self._issue(tile, True, offset, value, on_complete)
+
+
+def attach_csrs(
+    engine: CoinExchangeEngine,
+    oscillators: Optional[Dict[int, RingOscillator]] = None,
+) -> Dict[int, CsrSlave]:
+    """Create a CSR slave per managed tile and splice it into the NoC.
+
+    The tile's NoC handler becomes a dispatcher: coin-exchange messages
+    go to the BlitzCoin FSM as before, REGISTER_ACCESS requests go to
+    the register file — the round-robin arbiter of Fig. 11, where the
+    deterministic event order stands in for the arbiter.
+    """
+    slaves: Dict[int, CsrSlave] = {}
+    for tid in engine.managed:
+        osc = (oscillators or {}).get(tid)
+        slave = CsrSlave(engine, tid, osc)
+        slaves[tid] = slave
+
+        def dispatch(packet: Packet, _slave=slave) -> None:
+            req = packet.payload
+            if (
+                packet.msg_type is MessageType.REGISTER_ACCESS
+                and isinstance(req, _CsrRequest)
+                and req.reply_to is not None
+            ):
+                _slave.handle(packet)
+            else:
+                engine._on_packet(packet)
+
+        engine.noc.attach(tid, dispatch)
+    return slaves

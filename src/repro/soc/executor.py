@@ -1,0 +1,286 @@
+"""Workload execution on a managed SoC.
+
+The CPU tile dispatches tasks of a :class:`~repro.workloads.dag.TaskGraph`
+to accelerator tiles as their dependencies complete (the bare-metal C
+program of Section V-A).  A running task's progress integrates the tile
+clock: power management modulates frequency, frequency modulates task
+duration, and the resulting makespan is the paper's throughput metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.sim import NOC_FREQUENCY_HZ, cycles_to_us
+from repro.sim.kernel import Event
+from repro.soc.soc import Soc
+from repro.workloads.dag import TaskGraph
+
+
+class ExecutorError(RuntimeError):
+    """Raised for unmappable workloads or broken execution invariants."""
+
+
+@dataclass
+class _RunningTask:
+    name: str
+    tile: int
+    work_remaining: float  # accelerator cycles
+    last_update: int  # NoC cycle of last progress integration
+    f_hz: float = 0.0  # clock the tile ran at since last_update
+    completion_event: Optional[Event] = None
+
+
+@dataclass
+class SocRunResult:
+    """Everything a benchmark needs from one SoC run."""
+
+    soc_name: str
+    pm_name: str
+    budget_mw: float
+    makespan_cycles: int
+    response_times_cycles: List[int]
+    task_finish_cycles: Dict[str, int]
+    task_start_cycles: Dict[str, int]
+    recorder: "object" = field(repr=False, default=None)
+    managed_tiles: List[int] = field(default_factory=list)
+
+    @property
+    def makespan_us(self) -> float:
+        return cycles_to_us(self.makespan_cycles)
+
+    @property
+    def mean_response_us(self) -> float:
+        if not self.response_times_cycles:
+            return 0.0
+        return cycles_to_us(
+            sum(self.response_times_cycles) / len(self.response_times_cycles)
+        )
+
+    # --------------------------------------------------------- power series
+    def power_series(self, n_points: int = 500) -> Tuple[np.ndarray, np.ndarray]:
+        """(times_us, total managed power mW) sampled over the run."""
+        times = np.linspace(0, self.makespan_cycles, n_points)
+        totals = np.zeros(n_points)
+        for tid in self.managed_tiles:
+            trace = self.recorder.get(f"power/{tid}")
+            if trace is not None:
+                totals += trace.resample(times)
+        return times * cycles_to_us(1), totals
+
+    def peak_power_mw(self) -> float:
+        """Exact peak of the summed per-tile step functions."""
+        change_times = {0}
+        for tid in self.managed_tiles:
+            trace = self.recorder.get(f"power/{tid}")
+            if trace is not None:
+                change_times.update(trace.times)
+        peak = 0.0
+        for t in change_times:
+            total = sum(
+                self.recorder.get(f"power/{tid}").value_at(t)
+                for tid in self.managed_tiles
+                if self.recorder.get(f"power/{tid}") is not None
+            )
+            peak = max(peak, total)
+        return peak
+
+    def average_power_mw(self) -> float:
+        """Time-averaged managed power over the makespan."""
+        if self.makespan_cycles <= 0:
+            return 0.0
+        total = 0.0
+        for tid in self.managed_tiles:
+            trace = self.recorder.get(f"power/{tid}")
+            if trace is not None:
+                total += trace.integral(0, self.makespan_cycles)
+        return total / self.makespan_cycles
+
+    def energy_mj(self) -> float:
+        """Managed-domain energy over the run (millijoules)."""
+        return self.average_power_mw() * self.makespan_cycles / NOC_FREQUENCY_HZ
+
+    def budget_utilization(self) -> float:
+        """Average power over the active window divided by the budget."""
+        if self.budget_mw <= 0:
+            return 0.0
+        return self.average_power_mw() / self.budget_mw
+
+    def budget_violation_mw(self, slack_mw: float = 0.0) -> float:
+        """Worst instantaneous excess over the budget (0 if compliant)."""
+        return max(0.0, self.peak_power_mw() - self.budget_mw - slack_mw)
+
+
+class WorkloadExecutor:
+    """Dispatch a task graph onto a SoC under a power manager."""
+
+    def __init__(
+        self,
+        soc: Soc,
+        graph: TaskGraph,
+        pm,
+        *,
+        dispatch_cycles: int = 200,
+        tiles: Optional[List[int]] = None,
+    ) -> None:
+        self.soc = soc
+        self.graph = graph
+        self.pm = pm
+        if dispatch_cycles < 0:
+            raise ExecutorError(f"dispatch_cycles must be >= 0, got {dispatch_cycles}")
+        self.dispatch_cycles = dispatch_cycles
+        pool = tiles if tiles is not None else soc.config.managed_accelerators()
+        self.binding = self._bind_tasks(pool)
+        self._tile_queue: Dict[int, List[str]] = {t: [] for t in pool}
+        self._tile_busy: Dict[int, bool] = {t: False for t in pool}
+        self._deps_left: Dict[str, int] = {
+            name: len(task.deps) for name, task in graph.tasks.items()
+        }
+        self._running: Dict[int, _RunningTask] = {}
+        self.task_start: Dict[str, int] = {}
+        self.task_finish: Dict[str, int] = {}
+        self._remaining = len(graph)
+        soc.add_frequency_listener(self._on_frequency_change)
+
+    # -------------------------------------------------------------- binding
+    def _bind_tasks(self, pool: List[int]) -> Dict[str, int]:
+        by_class: Dict[str, List[int]] = {}
+        for t in pool:
+            by_class.setdefault(self.soc.config.class_of(t), []).append(t)
+        rr: Dict[str, int] = {c: 0 for c in by_class}
+        binding: Dict[str, int] = {}
+        for name in self.graph.topological_order():
+            task = self.graph[name]
+            if task.tile_hint is not None:
+                if task.tile_hint not in pool:
+                    raise ExecutorError(
+                        f"task {name!r} pinned to tile {task.tile_hint}, "
+                        "which is not in the executor's tile pool"
+                    )
+                binding[name] = task.tile_hint
+                continue
+            candidates = by_class.get(task.acc_class)
+            if not candidates:
+                raise ExecutorError(
+                    f"no {task.acc_class!r} tile available for task {name!r}"
+                )
+            idx = rr[task.acc_class] % len(candidates)
+            rr[task.acc_class] += 1
+            binding[name] = sorted(candidates)[idx]
+        return binding
+
+    # ------------------------------------------------------------------ run
+    def run(self, max_cycles: int = 50_000_000) -> SocRunResult:
+        """Execute the whole graph; returns the run result."""
+        self.pm.start()
+        for name in self.graph.roots():
+            self._enqueue(name)
+        self.soc.sim.run(until=self.soc.sim.now + max_cycles)
+        if self._remaining:
+            unfinished = sorted(set(self.graph.tasks) - set(self.task_finish))
+            raise ExecutorError(
+                f"workload did not finish within {max_cycles} cycles; "
+                f"stuck tasks: {unfinished[:8]}"
+            )
+        makespan = max(self.task_finish.values(), default=0)
+        return SocRunResult(
+            soc_name=self.soc.config.name,
+            pm_name=type(self.pm).__name__,
+            budget_mw=getattr(self.pm, "budget_mw", 0.0),
+            makespan_cycles=makespan,
+            response_times_cycles=list(self.pm.response_times),
+            task_finish_cycles=dict(self.task_finish),
+            task_start_cycles=dict(self.task_start),
+            recorder=self.soc.recorder,
+            managed_tiles=list(self.soc.config.managed_accelerators()),
+        )
+
+    # ------------------------------------------------------------- dispatch
+    def _enqueue(self, name: str) -> None:
+        tile = self.binding[name]
+        self._tile_queue[tile].append(name)
+        self._try_dispatch(tile)
+
+    def _try_dispatch(self, tile: int) -> None:
+        if self._tile_busy[tile] or not self._tile_queue[tile]:
+            return
+        name = self._tile_queue[tile].pop(0)
+        self._tile_busy[tile] = True
+        # CPU dispatch latency: driver code plus the NoC register writes.
+        self.soc.sim.schedule(
+            self.dispatch_cycles, lambda: self._start_task(name, tile)
+        )
+
+    def _start_task(self, name: str, tile: int) -> None:
+        task = self.graph[name]
+        self.task_start[name] = self.soc.sim.now
+        self._running[tile] = _RunningTask(
+            name=name,
+            tile=tile,
+            work_remaining=float(task.work_cycles),
+            last_update=self.soc.sim.now,
+            f_hz=self.soc.frequency(tile),
+        )
+        self.soc.set_active(tile, True)
+        self.pm.on_tile_start(tile)
+        self._reschedule_completion(tile)
+
+    # ------------------------------------------------------------- progress
+    def _integrate(self, run: _RunningTask) -> None:
+        """Charge elapsed time at the clock that actually prevailed.
+
+        ``run.f_hz`` is the tile frequency since ``last_update``; the
+        piecewise-constant integral must use it, not the frequency the
+        tile just transitioned to — otherwise a stalled interval would
+        be credited at the new (higher) clock.
+        """
+        now = self.soc.sim.now
+        dt = now - run.last_update
+        if dt > 0:
+            run.work_remaining -= dt * run.f_hz / NOC_FREQUENCY_HZ
+            run.last_update = now
+        run.f_hz = self.soc.frequency(run.tile)
+
+    def _reschedule_completion(self, tile: int) -> None:
+        run = self._running.get(tile)
+        if run is None:
+            return
+        self._integrate(run)
+        if run.completion_event is not None:
+            run.completion_event.cancel()
+            run.completion_event = None
+        if run.work_remaining <= 1e-9:
+            self._complete_task(tile)
+            return
+        f = self.soc.frequency(tile)
+        if f <= 0:
+            return  # stalled until the PM grants power
+        cycles = int(np.ceil(run.work_remaining * NOC_FREQUENCY_HZ / f))
+        run.completion_event = self.soc.sim.schedule(
+            max(1, cycles), lambda: self._reschedule_completion(tile)
+        )
+
+    def _on_frequency_change(self, tile: int, f_hz: float) -> None:
+        if tile in self._running:
+            self._reschedule_completion(tile)
+
+    # ------------------------------------------------------------ completion
+    def _complete_task(self, tile: int) -> None:
+        run = self._running.pop(tile)
+        self.task_finish[run.name] = self.soc.sim.now
+        self._remaining -= 1
+        if self._remaining == 0:
+            # Workload done: stop the run; the PM processes would
+            # otherwise keep exchanging (harmlessly) forever.
+            self.soc.sim.stop()
+        self.soc.set_active(tile, False)
+        self.pm.on_tile_end(tile)
+        self._tile_busy[tile] = False
+        for child in self.graph.dependents_of(run.name):
+            self._deps_left[child] -= 1
+            if self._deps_left[child] == 0:
+                self._enqueue(child)
+        self._try_dispatch(tile)

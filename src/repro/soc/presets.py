@@ -1,0 +1,117 @@
+"""The three SoC configurations the paper evaluates (Figs. 12 and 15)."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.soc.tile import SocConfig, TileKind, TileSpec
+
+
+def _acc(cls: str, label: str = "", pm: bool = True) -> TileSpec:
+    return TileSpec(
+        kind=TileKind.ACCELERATOR, acc_class=cls, pm_enabled=pm, label=label
+    )
+
+
+def soc_3x3() -> SocConfig:
+    """The 3x3 connected-autonomous-vehicle SoC (Fig. 12, left).
+
+    Three FFT tiles (depth estimation), two Viterbi tiles (V2V
+    communication), one NVDLA (object detection), plus CPU / memory /
+    auxiliary tiles.
+    """
+    tiles: Dict[int, TileSpec] = {
+        0: TileSpec(kind=TileKind.CPU, label="cva6"),
+        1: _acc("FFT", "fft0"),
+        2: _acc("FFT", "fft1"),
+        3: _acc("Viterbi", "vit0"),
+        4: _acc("NVDLA", "dla0"),
+        5: _acc("Viterbi", "vit1"),
+        6: TileSpec(kind=TileKind.MEM, label="mem0"),
+        7: _acc("FFT", "fft2"),
+        8: TileSpec(kind=TileKind.IO, label="io0"),
+    }
+    return SocConfig(name="soc-3x3-av", width=3, height=3, tiles=tiles)
+
+
+def soc_4x4() -> SocConfig:
+    """The 4x4 computer-vision SoC (Fig. 12, right).
+
+    Thirteen accelerators — five GEMM, four Conv2D, four Vision — plus
+    CPU, memory and I/O tiles (N=13 managed DVFS domains, as in
+    Table I's BC-C row).
+    """
+    tiles: Dict[int, TileSpec] = {
+        0: TileSpec(kind=TileKind.CPU, label="cva6"),
+        1: _acc("Vision", "vis0"),
+        2: _acc("GEMM", "gemm0"),
+        3: _acc("Conv2D", "conv0"),
+        4: _acc("GEMM", "gemm1"),
+        5: _acc("Vision", "vis1"),
+        6: _acc("Conv2D", "conv1"),
+        7: _acc("GEMM", "gemm2"),
+        8: _acc("Conv2D", "conv2"),
+        9: _acc("GEMM", "gemm3"),
+        10: TileSpec(kind=TileKind.MEM, label="mem0"),
+        11: _acc("Vision", "vis2"),
+        12: _acc("GEMM", "gemm4"),
+        13: _acc("Conv2D", "conv3"),
+        14: _acc("Vision", "vis3"),
+        15: TileSpec(kind=TileKind.IO, label="io0"),
+    }
+    return SocConfig(name="soc-4x4-cv", width=4, height=4, tiles=tiles)
+
+
+def soc_6x6_chip() -> SocConfig:
+    """The fabricated 64 mm^2 12 nm SoC (Fig. 15).
+
+    A 6x6 grid with a 10-tile *PM cluster* running BlitzCoin (NVDLA,
+    three FFT, four Viterbi, two Vision), four CVA6 CPU tiles, four
+    memory tiles, four 1-MB scratchpads, one I/O tile, and eight other
+    accelerator tiles outside the PM domain — including the ``FFT
+    No-PM`` baseline tile used to measure BlitzCoin's overhead
+    (Section V-D).
+    """
+    tiles: Dict[int, TileSpec] = {
+        # Row 0: CPUs and IO
+        0: TileSpec(kind=TileKind.CPU, label="cva6-0"),
+        1: TileSpec(kind=TileKind.CPU, label="cva6-1"),
+        2: TileSpec(kind=TileKind.IO, label="io0"),
+        3: TileSpec(kind=TileKind.CPU, label="cva6-2"),
+        4: TileSpec(kind=TileKind.CPU, label="cva6-3"),
+        5: TileSpec(kind=TileKind.MEM, label="mem0"),
+        # Rows 1-2: the 10-tile PM cluster (BlitzCoin enabled)
+        6: _acc("NVDLA", "pm-dla0"),
+        7: _acc("FFT", "pm-fft0"),
+        8: _acc("FFT", "pm-fft1"),
+        9: _acc("Viterbi", "pm-vit0"),
+        10: _acc("Viterbi", "pm-vit1"),
+        11: TileSpec(kind=TileKind.MEM, label="mem1"),
+        12: _acc("FFT", "pm-fft2"),
+        13: _acc("Viterbi", "pm-vit2"),
+        14: _acc("Viterbi", "pm-vit3"),
+        15: _acc("Vision", "pm-vis0"),
+        16: _acc("Vision", "pm-vis1"),
+        17: TileSpec(kind=TileKind.MEM, label="mem2"),
+        # Row 3: scratchpads and memory
+        18: TileSpec(kind=TileKind.SCRATCHPAD, label="sram0"),
+        19: TileSpec(kind=TileKind.SCRATCHPAD, label="sram1"),
+        20: TileSpec(kind=TileKind.SCRATCHPAD, label="sram2"),
+        21: TileSpec(kind=TileKind.SCRATCHPAD, label="sram3"),
+        22: TileSpec(kind=TileKind.MEM, label="mem3"),
+        23: TileSpec(kind=TileKind.AUX, label="aux0"),
+        # Rows 4-5: accelerators outside the PM domain
+        24: _acc("FFT", "fft-no-pm", pm=False),
+        25: _acc("GEMM", "gemm0", pm=False),
+        26: _acc("GEMM", "gemm1", pm=False),
+        27: _acc("Conv2D", "conv0", pm=False),
+        28: _acc("Conv2D", "conv1", pm=False),
+        29: TileSpec(kind=TileKind.AUX, label="aux1"),
+        30: _acc("Vision", "vis0", pm=False),
+        31: _acc("GEMM", "gemm2", pm=False),
+        32: _acc("NVDLA", "dla1", pm=False),
+        33: TileSpec(kind=TileKind.AUX, label="aux2"),
+        34: TileSpec(kind=TileKind.AUX, label="aux3"),
+        35: TileSpec(kind=TileKind.AUX, label="aux4"),
+    }
+    return SocConfig(name="soc-6x6-chip", width=6, height=6, tiles=tiles)

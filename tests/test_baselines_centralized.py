@@ -1,0 +1,183 @@
+"""Tests for the centralized controller (C-RR / BC-C)."""
+
+import pytest
+
+from repro.baselines.centralized import (
+    CentralizedScheme,
+    ControllerTiming,
+    ProportionalPolicy,
+    RoundRobinPolicy,
+)
+from repro.noc.behavioral import BehavioralNoc
+from repro.noc.topology import MeshTopology
+from repro.sim.kernel import Simulator
+
+
+class TestRoundRobinPolicy:
+    def test_grants_rotate(self):
+        policy = RoundRobinPolicy({1: 1.0, 2: 1.0, 3: 1.0})
+        p_max = {1: 50.0, 2: 50.0, 3: 50.0}
+        first = policy.allocate(p_max, 55.0)
+        second = policy.allocate(p_max, 55.0)
+        granted_first = {t for t, p in first.items() if p > 40}
+        granted_second = {t for t, p in second.items() if p > 40}
+        assert granted_first != granted_second
+
+    def test_budget_respected(self):
+        policy = RoundRobinPolicy({1: 1.0, 2: 1.0, 3: 1.0})
+        targets = policy.allocate({1: 50.0, 2: 50.0, 3: 50.0}, 80.0)
+        assert sum(targets.values()) <= 80.0 + 1e-9
+
+    def test_floor_above_budget_degrades_proportionally(self):
+        policy = RoundRobinPolicy({1: 30.0, 2: 40.0})
+        targets = policy.allocate({1: 100.0, 2: 100.0}, 35.0)
+        assert sum(targets.values()) == pytest.approx(35.0)
+
+    def test_clamped_grant_when_headroom_substantial(self):
+        # One big tile alone: it gets the headroom, not nothing.
+        policy = RoundRobinPolicy({1: 2.0})
+        targets = policy.allocate({1: 176.0}, 60.0)
+        assert targets[1] == pytest.approx(60.0)
+
+    def test_tiny_grants_skipped(self):
+        # Headroom below 25% of p_max buys almost no progress: skip.
+        policy = RoundRobinPolicy({1: 2.0, 2: 2.0})
+        targets = policy.allocate({1: 50.0, 2: 400.0}, 56.0)
+        assert targets[1] == pytest.approx(50.0)
+        assert targets[2] == pytest.approx(2.0)
+
+    def test_empty_allocation(self):
+        policy = RoundRobinPolicy({})
+        assert policy.allocate({}, 100.0) == {}
+
+
+class TestProportionalPolicy:
+    def test_same_fraction(self):
+        policy = ProportionalPolicy()
+        targets = policy.allocate({1: 100.0, 2: 50.0}, 75.0)
+        assert targets[1] == pytest.approx(50.0)
+        assert targets[2] == pytest.approx(25.0)
+
+    def test_clamped_at_max(self):
+        policy = ProportionalPolicy()
+        targets = policy.allocate({1: 10.0}, 100.0)
+        assert targets[1] == pytest.approx(10.0)
+
+
+class TestControllerTiming:
+    def test_defaults_valid(self):
+        t = ControllerTiming()
+        assert t.poll_overhead > 0
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            ControllerTiming(poll_overhead=-1)
+        with pytest.raises(ValueError):
+            ControllerTiming(idle_period=0)
+
+
+class TestCentralizedScheme:
+    def _build(self, policy=None):
+        sim = Simulator()
+        topo = MeshTopology(3, 3)
+        noc = BehavioralNoc(sim, topo)
+        applied = {}
+        capability = lambda tid: 50.0
+        scheme = CentralizedScheme(
+            sim,
+            noc,
+            controller_tile=0,
+            managed_tiles=[1, 2, 4],
+            policy=policy or ProportionalPolicy(),
+            budget_mw=90.0,
+            capability=capability,
+            apply_target=lambda tid, p: applied.__setitem__(tid, p),
+        )
+        return sim, scheme, applied
+
+    def test_periodic_loop_applies_targets(self):
+        sim, scheme, applied = self._build()
+        scheme.start()
+        sim.run(until=20_000)
+        assert set(applied) == {1, 2, 4}
+
+    def test_activity_change_triggers_loop_and_response(self):
+        sim, scheme, applied = self._build()
+        scheme.start()
+        sim.run(until=10_000)
+        n_before = len(scheme.response_times)
+        scheme.on_activity_change(4)
+        sim.run(until=sim.now + 30_000)
+        assert len(scheme.response_times) > n_before
+
+    def test_response_time_scales_with_managed_count(self):
+        """The O(N) loop: doubling tiles roughly doubles the response."""
+
+        def measure(n_tiles):
+            sim = Simulator()
+            topo = MeshTopology(5, 5)
+            noc = BehavioralNoc(sim, topo)
+            scheme = CentralizedScheme(
+                sim,
+                noc,
+                0,
+                list(range(1, 1 + n_tiles)),
+                ProportionalPolicy(),
+                100.0,
+                capability=lambda tid: 10.0,
+                apply_target=lambda tid, p: None,
+            )
+            scheme.start()
+            sim.run(until=5_000)
+            scheme.on_activity_change(1)
+            sim.run(until=sim.now + 200_000)
+            return scheme.response_times[-1]
+
+        r6 = measure(6)
+        r12 = measure(12)
+        assert 1.5 < r12 / r6 < 3.0
+
+    def test_double_start_rejected(self):
+        sim, scheme, _ = self._build()
+        scheme.start()
+        with pytest.raises(RuntimeError):
+            scheme.start()
+
+    def test_decreases_applied_before_increases(self):
+        """Cap safety: the set sequence ramps tiles down first."""
+        sim = Simulator()
+        topo = MeshTopology(3, 3)
+        noc = BehavioralNoc(sim, topo)
+        order = []
+        state = {"phase": 0}
+
+        def capability(tid):
+            if state["phase"] == 0:
+                return 50.0 if tid == 1 else 0.0
+            return 50.0 if tid == 2 else 0.0
+
+        scheme = CentralizedScheme(
+            sim,
+            noc,
+            0,
+            [1, 2],
+            ProportionalPolicy(),
+            50.0,
+            capability=capability,
+            apply_target=lambda tid, p: order.append((tid, p)),
+        )
+        scheme.start()
+        sim.run(until=10_000)
+        state["phase"] = 1
+        scheme.on_activity_change(1)
+        start = len(order)
+        sim.run(until=sim.now + 20_000)
+        new = order[start:]
+        # Find the loop where tile 1 drops and tile 2 rises.
+        drop_idx = next(
+            i for i, (tid, p) in enumerate(new) if tid == 1 and p == 0.0
+        )
+        rise_idx = next(
+            i for i, (tid, p) in enumerate(new) if tid == 2 and p > 0.0
+        )
+        assert drop_idx < rise_idx

@@ -1,0 +1,111 @@
+"""Tests for the TokenSmart ring baseline."""
+
+import pytest
+
+from repro.baselines.tokensmart import (
+    TokenSmartConfig,
+    TokenSmartSim,
+    run_tokensmart_trial,
+)
+from repro.core.runner import homogeneous_scenario
+from repro.noc.topology import MeshTopology
+
+
+def make_sim(d=3, max_per_tile=8, initial=None, config=None):
+    topo = MeshTopology(d, d)
+    n = topo.n_tiles
+    if initial is None:
+        initial = [max_per_tile] * n
+    return TokenSmartSim(
+        topo,
+        config or TokenSmartConfig(),
+        [max_per_tile] * n,
+        initial,
+    )
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        cfg = TokenSmartConfig()
+        assert cfg.hop_cycles >= 1
+
+    def test_invalid_timing_rejected(self):
+        with pytest.raises(ValueError):
+            TokenSmartConfig(hop_cycles=0)
+        with pytest.raises(ValueError):
+            TokenSmartConfig(starvation_passes=0)
+
+
+class TestRingWalk:
+    def test_fair_state_converges_immediately(self):
+        sim = make_sim()
+        assert sim.run_until_converged(10_000) == 0
+
+    def test_concentrated_tokens_redistribute(self):
+        initial = [0] * 9
+        initial[0] = 54  # 0.75 utilization of 9*8
+        sim = make_sim(initial=initial)
+        cycles = sim.run_until_converged(500_000)
+        assert cycles is not None
+        sim.check_conservation()
+        # Fair share is alpha*8 = 6 per tile.
+        assert all(abs(h - 6) <= 2 for h in sim.has)
+
+    def test_conservation_always_holds(self):
+        initial = [0] * 9
+        initial[4] = 54
+        sim = make_sim(initial=initial)
+        sim.run_until_converged(500_000)
+        sim.check_conservation()
+
+    def test_inactive_tiles_relinquish_to_pool(self):
+        topo = MeshTopology(2, 2)
+        cfg = TokenSmartConfig()
+        sim = TokenSmartSim(topo, cfg, [0, 8, 8, 8], [12, 0, 0, 0])
+        sim.run_until_converged(100_000)
+        assert sim.has[0] == 0
+
+    def test_visits_accumulate_time(self):
+        initial = [0] * 9
+        initial[0] = 54
+        sim = make_sim(initial=initial)
+        sim.run_until_converged(500_000)
+        cfg = TokenSmartConfig()
+        assert sim.now >= sim.visits * cfg.process_cycles
+
+
+class TestModes:
+    def test_starvation_triggers_fair_mode(self):
+        # Pool smaller than greedy demand: greedy mode starves tiles.
+        initial = [0] * 9
+        initial[0] = 36  # 0.5 utilization
+        sim = make_sim(initial=initial)
+        sim.run_until_converged(2_000_000)
+        assert sim.mode_switches > 0
+
+    def test_trial_runner_reports(self):
+        r = run_tokensmart_trial(4, seed=0, threshold=1.5)
+        assert r.converged
+        assert r.visits > 0
+
+    def test_trial_deterministic(self):
+        a = run_tokensmart_trial(4, seed=3, threshold=1.5)
+        b = run_tokensmart_trial(4, seed=3, threshold=1.5)
+        assert a == b
+
+
+class TestScaling:
+    def test_convergence_scales_superlinearly_with_n(self):
+        """TS walks the whole ring, so cycles grow ~O(N) (Fig. 4)."""
+        small = [
+            run_tokensmart_trial(4, seed=s, threshold=1.5).cycles
+            for s in range(3)
+        ]
+        large = [
+            run_tokensmart_trial(12, seed=s, threshold=1.5).cycles
+            for s in range(3)
+        ]
+        mean_small = sum(small) / len(small)
+        mean_large = sum(large) / len(large)
+        # N grows 9x; expect at least ~4x growth in cycles.
+        assert mean_large > 4 * mean_small

@@ -1,0 +1,64 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_soc_run_defaults(self):
+        args = build_parser().parse_args(["soc-run"])
+        assert args.soc == "3x3"
+        assert args.scheme == "BC"
+
+    def test_invalid_scheme_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["soc-run", "--scheme", "magic"])
+
+
+class TestCommands:
+    def test_soc_run_prints_summary(self, capsys):
+        rc = main(
+            ["soc-run", "--soc", "3x3", "--workload", "av-par",
+             "--scheme", "static"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "makespan" in out
+        assert "peak power" in out
+
+    def test_soc_run_custom_budget(self, capsys):
+        rc = main(
+            ["soc-run", "--scheme", "static", "--budget", "90"]
+        )
+        assert rc == 0
+        assert "budget=90" in capsys.readouterr().out
+
+    def test_convergence_trials(self, capsys):
+        rc = main(
+            ["convergence", "--dim", "4", "--trials", "2",
+             "--variant", "1way"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "mean:" in out
+        assert "N=16" in out
+
+    def test_figure_by_exact_name(self, capsys):
+        rc = main(["figure", "fig01_scalability"])
+        assert rc == 0
+        assert "N_max" in capsys.readouterr().out
+
+    def test_figure_by_prefix(self, capsys):
+        rc = main(["figure", "fig13"])
+        assert rc == 0
+        assert "peak-power spread" in capsys.readouterr().out
+
+    def test_unknown_figure_errors(self, capsys):
+        rc = main(["figure", "fig99"])
+        assert rc == 2
+        assert "unknown figure" in capsys.readouterr().err

@@ -1,0 +1,103 @@
+"""Tests for the Section III-E convergence lemma and deadlock detection."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.analysis import (
+    ExchangeCase,
+    build_deadlock_grid,
+    classify_exchange,
+    is_local_minimum,
+    pair_error,
+)
+from repro.core.coins import TileCoins, pairwise_exchange
+from repro.noc.topology import MeshTopology
+
+active_tile = st.builds(
+    TileCoins, has=st.integers(0, 100), max=st.integers(1, 32)
+)
+
+
+class TestClassification:
+    def test_both_above_target(self):
+        # alpha small: both tiles hold too many coins.
+        case = classify_exchange(TileCoins(20, 8), TileCoins(12, 8), alpha=0.5)
+        assert case is ExchangeCase.BOTH_ABOVE
+
+    def test_both_below_target(self):
+        case = classify_exchange(TileCoins(2, 8), TileCoins(1, 8), alpha=2.0)
+        assert case is ExchangeCase.BOTH_BELOW
+
+    def test_straddle(self):
+        case = classify_exchange(TileCoins(16, 8), TileCoins(0, 8), alpha=1.0)
+        assert case in (
+            ExchangeCase.STRADDLE_HIGH,
+            ExchangeCase.STRADDLE_LOW,
+        )
+
+    def test_inactive_tiles_rejected(self):
+        with pytest.raises(ValueError):
+            classify_exchange(TileCoins(1, 0), TileCoins(1, 1), alpha=1.0)
+
+    @given(active_tile, active_tile, st.floats(0.1, 3.0))
+    @settings(max_examples=300, deadline=None)
+    def test_lemma_error_never_increases_beyond_rounding(self, i, j, alpha):
+        """Section III-E: every exchange leaves E_i + E_j constant or
+        smaller, up to one coin of quantization slack."""
+        result = pairwise_exchange(i, j)
+        before = pair_error(i, j, alpha)
+        i2 = TileCoins(i.has + result.deltas[0], i.max)
+        j2 = TileCoins(j.has + result.deltas[1], j.max)
+        after = pair_error(i2, j2, alpha)
+        assert after <= before + 1.0 + 1e-9
+
+    @given(active_tile, active_tile)
+    @settings(max_examples=300, deadline=None)
+    def test_straddle_cases_strictly_reduce_pair_error(self, i, j):
+        """When the pair's own alpha separates the two ratios, the
+        exchange reduces the pair error to the quantization floor."""
+        alpha = (i.has + j.has) / (i.max + j.max)
+        hi, lo = (i, j) if i.ratio >= j.ratio else (j, i)
+        if not (hi.ratio > alpha > lo.ratio):
+            return
+        result = pairwise_exchange(i, j)
+        i2 = TileCoins(i.has + result.deltas[0], i.max)
+        j2 = TileCoins(j.has + result.deltas[1], j.max)
+        assert pair_error(i2, j2, alpha) <= 2.0 + 1e-9
+
+
+class TestLocalMinimum:
+    def test_fair_state_is_not_a_local_minimum(self):
+        topo = MeshTopology(3, 3)
+        assert not is_local_minimum([8] * 9, [8] * 9, topo)
+
+    def test_detects_stuck_configuration(self):
+        """Two active tiles separated by inactive ones, with all coins
+        near one of them: neighbor exchanges cannot make progress."""
+        topo = MeshTopology(3, 3)
+        max_ = build_deadlock_grid(3)
+        active = [t for t in range(9) if max_[t] > 0]
+        rich, poor = active[0], active[1]
+        has = [0] * 9
+        has[rich] = 12
+        # Neighbor exchanges from 'rich' only see inactive neighbors
+        # (which cannot accept coins), so nothing can move even though
+        # the allocation is unfair.
+        stuck = is_local_minimum(has, max_, topo, wrap_around=False)
+        assert stuck
+        assert has[poor] == 0
+
+    def test_imbalanced_but_connected_is_not_stuck(self):
+        topo = MeshTopology(3, 3)
+        has = [72] + [0] * 8
+        assert not is_local_minimum(has, [8] * 9, topo)
+
+    def test_vector_length_checked(self):
+        topo = MeshTopology(3, 3)
+        with pytest.raises(ValueError):
+            is_local_minimum([1, 2], [1, 2], topo)
+
+    def test_build_deadlock_grid_requires_3x3(self):
+        with pytest.raises(ValueError):
+            build_deadlock_grid(2)

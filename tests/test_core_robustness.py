@@ -1,0 +1,146 @@
+"""Robustness tests: the engine must stay live under packet loss.
+
+The real NoC never drops packets, but a robust FSM must not rely on
+that: a misrouted/corrupted message (or a powered-down partner) should
+cost at most one abandoned exchange, never a wedged tile.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.config import plain_four_way, preferred_embodiment
+from repro.core.engine import CoinExchangeEngine
+from repro.noc.behavioral import BehavioralNoc
+from repro.noc.packet import MessageType, Packet
+from repro.noc.topology import MeshTopology
+from repro.sim.kernel import Simulator
+from repro.sim.rng import rng_for
+
+
+class LossyNoc(BehavioralNoc):
+    """Behavioral NoC that drops a deterministic subset of packets."""
+
+    def __init__(self, sim, topology, *, drop_types, drop_every=7):
+        super().__init__(sim, topology)
+        self.drop_types = set(drop_types)
+        self.drop_every = drop_every
+        self.dropped = 0
+        self._counter = 0
+
+    def _transport(self, packet: Packet) -> None:
+        if packet.msg_type in self.drop_types:
+            self._counter += 1
+            if self._counter % self.drop_every == 0:
+                self.dropped += 1
+                return  # swallowed by the fabric
+        super()._transport(packet)
+
+
+def build(drop_types, config=None, d=3, drop_every=7):
+    topo = MeshTopology(d, d)
+    sim = Simulator()
+    noc = LossyNoc(
+        sim, topo, drop_types=drop_types, drop_every=drop_every
+    )
+    n = topo.n_tiles
+    config = config or dataclasses.replace(
+        preferred_embodiment(), exchange_timeout_cycles=512
+    )
+    initial = [0] * n
+    initial[0] = 8 * n
+    engine = CoinExchangeEngine(
+        sim, noc, config, [8] * n, initial, rng=rng_for(13)
+    )
+    engine.start()
+    return sim, noc, engine
+
+
+class TestLostStatuses:
+    def test_engine_stays_live_and_converges(self):
+        sim, noc, engine = build({MessageType.COIN_STATUS})
+        converged = engine.run_until_converged(500_000)
+        assert noc.dropped > 0
+        assert converged is not None
+        # Lost statuses carry no coins: conservation is exact.
+        engine.check_conservation()
+
+    def test_timeouts_are_counted(self):
+        sim, noc, engine = build({MessageType.COIN_STATUS}, drop_every=3)
+        sim.run_for(100_000)
+        assert engine.exchanges_timed_out > 0
+
+    def test_no_tile_stays_busy_forever(self):
+        sim, noc, engine = build({MessageType.COIN_STATUS}, drop_every=3)
+        sim.run_for(50_000)
+        persistent = None
+        for _ in range(4):
+            busy_now = {
+                (t, f.pending_uid)
+                for t, f in engine.fsm.items()
+                if f.busy
+            }
+            persistent = busy_now if persistent is None else persistent & busy_now
+            sim.run_for(2_000)
+        assert not persistent
+
+
+class TestLostUpdates:
+    def test_engine_stays_live_with_stranded_coins_accounted(self):
+        """A lost update strands its coins as permanently in-flight; the
+        accounting still balances and the FSMs keep running."""
+        sim, noc, engine = build({MessageType.COIN_UPDATE}, drop_every=11)
+        sim.run_for(200_000)
+        assert noc.dropped > 0
+        engine.check_conservation()  # tiles + in-flight == pool, always
+        assert engine.exchanges_started > 100  # nothing wedged
+
+
+class TestFourWayLoss:
+    def test_lost_requests_do_not_wedge_participants(self):
+        config = dataclasses.replace(
+            plain_four_way(), exchange_timeout_cycles=512
+        )
+        sim, noc, engine = build(
+            {MessageType.COIN_REQUEST}, config=config, drop_every=4
+        )
+        sim.run_for(100_000)
+        assert noc.dropped > 0
+        # Locks must clear: sample twice and require no persistent lock.
+        persistent = None
+        for _ in range(4):
+            locked = {
+                (t, f.lock_uid)
+                for t, f in engine.fsm.items()
+                if f.locked
+            }
+            persistent = locked if persistent is None else persistent & locked
+            sim.run_for(2_000)
+        assert not persistent
+        engine.check_conservation()
+
+    def test_lost_fourway_statuses_handled(self):
+        config = dataclasses.replace(
+            plain_four_way(), exchange_timeout_cycles=512
+        )
+        sim, noc, engine = build(
+            {MessageType.COIN_STATUS}, config=config, drop_every=6
+        )
+        sim.run_for(100_000)
+        assert engine.exchanges_timed_out > 0
+        engine.check_conservation()
+
+
+class TestWatchdogDisabled:
+    def test_none_disables_the_watchdog(self):
+        config = dataclasses.replace(
+            preferred_embodiment(), exchange_timeout_cycles=None
+        )
+        sim, noc, engine = build(
+            {MessageType.COIN_STATUS}, config=config, drop_every=2
+        )
+        sim.run_for(60_000)
+        assert engine.exchanges_timed_out == 0
+        # Without the watchdog, dropped statuses wedge initiators: some
+        # tiles stay busy forever — the failure mode the watchdog fixes.
+        assert any(f.busy for f in engine.fsm.values())

@@ -1,0 +1,114 @@
+"""Tests for the Monte-Carlo trial runner."""
+
+import pytest
+
+from repro.core.config import plain_one_way, preferred_embodiment
+from repro.core.runner import (
+    ScenarioSpec,
+    heterogeneous_scenario,
+    homogeneous_scenario,
+    random_initial_allocation,
+    run_convergence_trial,
+    run_trials,
+    settle_to_residual,
+)
+from repro.sim.rng import rng_for
+
+
+class TestScenarios:
+    def test_homogeneous_pool_size(self):
+        s = homogeneous_scenario(4, max_per_tile=32, utilization=0.5)
+        assert s.n_tiles == 16
+        assert s.pool == 16 * 32 // 2
+
+    def test_heterogeneous_types_spread_max_values(self):
+        s = heterogeneous_scenario(4, acc_types=4, base_max=8, seed=1)
+        distinct = set(s.max_by_tile)
+        assert distinct == {8, 16, 24, 32}
+
+    def test_heterogeneous_single_type_is_homogeneous(self):
+        s = heterogeneous_scenario(4, acc_types=1, base_max=8)
+        assert set(s.max_by_tile) == {8}
+
+    def test_invalid_scenario_rejected(self):
+        with pytest.raises(ValueError):
+            ScenarioSpec(max_by_tile=[1, -2], pool=5)
+        with pytest.raises(ValueError):
+            ScenarioSpec(max_by_tile=[1], pool=-1)
+        with pytest.raises(ValueError):
+            heterogeneous_scenario(4, acc_types=0)
+
+
+class TestInitialAllocation:
+    def test_allocation_sums_to_pool(self):
+        s = homogeneous_scenario(5)
+        has = random_initial_allocation(s, rng_for(3))
+        assert sum(has) == s.pool
+        assert len(has) == 25
+
+    def test_donor_concentration(self):
+        s = homogeneous_scenario(10)
+        has = random_initial_allocation(s, rng_for(3), donor_fraction=0.1)
+        donors = sum(1 for h in has if h > 0)
+        assert donors <= 10  # at most 10% of 100 tiles
+
+    def test_full_spread_with_unit_fraction(self):
+        s = homogeneous_scenario(10)
+        has = random_initial_allocation(s, rng_for(3), donor_fraction=1.0)
+        donors = sum(1 for h in has if h > 0)
+        assert donors > 50  # nearly all tiles get something
+
+    def test_deterministic_under_seed(self):
+        s = homogeneous_scenario(6)
+        a = random_initial_allocation(s, rng_for(9))
+        b = random_initial_allocation(s, rng_for(9))
+        assert a == b
+
+    def test_invalid_fraction_rejected(self):
+        s = homogeneous_scenario(4)
+        with pytest.raises(ValueError):
+            random_initial_allocation(s, rng_for(0), donor_fraction=0.0)
+
+
+class TestTrials:
+    def test_trial_converges_and_reports(self):
+        r = run_convergence_trial(4, plain_one_way(), seed=0, threshold=1.5)
+        assert r.converged
+        assert r.cycles is not None and r.cycles > 0
+        assert r.packets > 0
+        assert r.final_error < 1.5
+        assert r.start_error > r.final_error
+
+    def test_trial_is_deterministic(self):
+        a = run_convergence_trial(4, plain_one_way(), seed=7, threshold=1.5)
+        b = run_convergence_trial(4, plain_one_way(), seed=7, threshold=1.5)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = run_convergence_trial(6, plain_one_way(), seed=1, threshold=1.5)
+        b = run_convergence_trial(6, plain_one_way(), seed=2, threshold=1.5)
+        assert a.cycles != b.cycles or a.packets != b.packets
+
+    def test_run_trials_count(self):
+        results = run_trials(3, plain_one_way(), 4)
+        assert len(results) == 4
+
+    def test_preferred_embodiment_converges_on_larger_grid(self):
+        r = run_convergence_trial(
+            8, preferred_embodiment(), seed=0, threshold=1.5
+        )
+        assert r.converged
+
+
+class TestSettle:
+    def test_settle_reports_residual(self):
+        r = settle_to_residual(
+            4, preferred_embodiment(), seed=0, settle_cycles=60_000
+        )
+        assert r.worst_final_error < 4.0
+        assert r.exchanges > 0
+
+    def test_settle_is_deterministic(self):
+        a = settle_to_residual(4, preferred_embodiment(), seed=5, settle_cycles=30_000)
+        b = settle_to_residual(4, preferred_embodiment(), seed=5, settle_cycles=30_000)
+        assert a == b

@@ -1,0 +1,40 @@
+"""Smoke tests: the example scripts run end-to-end.
+
+Only the fast ones run in CI; each is executed in-process (imported as a
+module and driven through main) so coverage tools see them.
+"""
+
+import runpy
+import sys
+
+import pytest
+
+
+def run_example(name, argv=()):
+    old_argv = sys.argv
+    sys.argv = [name, *argv]
+    try:
+        runpy.run_path(f"examples/{name}", run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+def test_quickstart_runs(capsys):
+    run_example("quickstart.py")
+    out = capsys.readouterr().out
+    assert "Makespan" in out
+    assert "Budget utilization" in out
+
+
+def test_convergence_study_quick_runs(capsys):
+    run_example("convergence_study.py", argv=["--quick"])
+    out = capsys.readouterr().out
+    assert "TokenSmart" in out
+    assert "accType" in out
+
+
+@pytest.mark.slow
+def test_autonomous_vehicle_runs(capsys):
+    run_example("autonomous_vehicle.py")
+    out = capsys.readouterr().out
+    assert "power trace" in out

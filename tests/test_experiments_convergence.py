@@ -1,0 +1,101 @@
+"""Tests for the Monte-Carlo experiment drivers at reduced scale.
+
+These exercise the full driver plumbing (aggregation, formatting,
+result accessors) with tiny dims/trials so they stay fast; the full
+shape assertions live in the benchmark harness.
+"""
+
+import math
+
+from repro.experiments import (
+    fig03_convergence,
+    fig04_tokensmart,
+    fig06_dynamic_timing,
+    fig07_random_pairing,
+    fig08_heterogeneity,
+)
+
+
+class TestFig03Driver:
+    def test_runs_and_aggregates(self):
+        r = fig03_convergence.run(dims=(3, 5), trials=2)
+        for technique in ("1-way", "4-way"):
+            pts = r.curve(technique)
+            assert [p.d for p in pts] == [3, 5]
+            for p in pts:
+                assert p.converged_fraction == 1.0
+                assert p.mean_packets > 0
+                assert math.isfinite(p.mean_cycles)
+
+    def test_scaling_exponent_fit(self):
+        r = fig03_convergence.run(dims=(4, 8, 12), trials=3)
+        b = fig03_convergence.scaling_exponent(r.curve("1-way"))
+        assert 0.2 < b < 3.0
+
+    def test_format_rows_cover_all_points(self):
+        r = fig03_convergence.run(dims=(3,), trials=1)
+        assert len(fig03_convergence.format_rows(r)) == 2
+
+
+class TestFig04Driver:
+    def test_distribution_statistics(self):
+        r = fig04_tokensmart.run(dims=(4,), trials=3)
+        bc = r.points["BC"][0]
+        ts = r.points["TS"][0]
+        assert bc.median <= bc.p95
+        assert ts.converged_fraction == 1.0
+        assert r.speedup_at(4) > 0
+
+    def test_format_rows(self):
+        r = fig04_tokensmart.run(dims=(4,), trials=2)
+        rows = fig04_tokensmart.format_rows(r)
+        assert any("speedup" in row for row in rows)
+
+
+class TestFig06Driver:
+    def test_phase_packets_and_reduction(self):
+        r = fig06_dynamic_timing.run(dims=(4,), trials=2)
+        plain = r.points["plain"][0]
+        dyn = r.points["dynamic"][0]
+        assert plain.phase_cycles == dyn.phase_cycles
+        assert r.packet_reduction_at(4) > 0.8
+
+    def test_dynamic_config_isolates_the_variable(self):
+        cfg = fig06_dynamic_timing.dynamic_config()
+        assert cfg.dynamic_timing
+        assert not cfg.wrap_around
+        assert cfg.random_pairing_every == 0
+
+
+class TestFig07Driver:
+    def test_histograms_and_accessors(self):
+        r = fig07_random_pairing.run(
+            dims=(6,), trials=2, settle_cycles=40_000
+        )
+        with_rp = r.get(6, True)
+        without = r.get(6, False)
+        assert len(with_rp.worst_errors) == 2
+        counts, edges = with_rp.histogram(bins=5)
+        assert counts.sum() == 2
+        assert 0.0 <= without.stuck_fraction <= 1.0
+
+    def test_format_rows(self):
+        r = fig07_random_pairing.run(dims=(6,), trials=1, settle_cycles=20_000)
+        assert len(fig07_random_pairing.format_rows(r)) == 2
+
+
+class TestFig08Driver:
+    def test_grid_of_points(self):
+        r = fig08_heterogeneity.run(
+            dims=(4, 6), acc_types_values=(1, 4), trials=2
+        )
+        assert set(r.points) == {(4, 1), (4, 4), (6, 1), (6, 4)}
+        series = r.series_for_acc_types(4)
+        assert [p.d for p in series] == [4, 6]
+
+    def test_heterogeneity_raises_start_error(self):
+        r = fig08_heterogeneity.run(
+            dims=(6,), acc_types_values=(1, 8), trials=3
+        )
+        errors = dict(r.start_error_by_acc_types(6))
+        assert errors[8] > errors[1]

@@ -1,0 +1,117 @@
+"""Tests for the cheap (analytic) experiment drivers: Figs. 1, 13, 21,
+Table I structure, and the formatting helpers."""
+
+import pytest
+
+from repro.experiments import (
+    fig01_scalability,
+    fig13_power_curves,
+    fig21_scaling,
+    table1,
+)
+
+
+class TestFig01:
+    def test_curves_cover_strategies_and_tws(self):
+        r = fig01_scalability.run()
+        assert set(r.response_us) == {
+            "SW-centralized",
+            "HW-centralized",
+            "Decentralized",
+        }
+        assert set(r.interval_us) == set(fig01_scalability.T_W_VALUES_US)
+
+    def test_decentralized_supports_most_accelerators(self):
+        r = fig01_scalability.run()
+        for t_w in fig01_scalability.T_W_VALUES_US:
+            dec = r.n_max[("Decentralized", t_w)]
+            hw = r.n_max[("HW-centralized", t_w)]
+            sw = r.n_max[("SW-centralized", t_w)]
+            assert dec > hw > sw
+
+    def test_sw_centralized_cannot_reach_10_tiles_at_20ms(self):
+        # The Fig. 1 anchor: the red curve fails before N = 10-15 for
+        # T_w <= 20 ms.
+        r = fig01_scalability.run()
+        assert r.n_max[("SW-centralized", 20_000.0)] < 16
+
+    def test_decentralized_handles_100_tiles_at_millisecond_tw(self):
+        r = fig01_scalability.run()
+        assert r.n_max[("Decentralized", 2_000.0)] > 100
+
+    def test_format_rows(self):
+        rows = fig01_scalability.format_rows(fig01_scalability.run())
+        assert len(rows) == 9
+
+
+class TestFig13:
+    def test_all_six_curves_present(self):
+        r = fig13_power_curves.run()
+        assert len(r.curves) == 6
+
+    def test_power_spread_is_large(self):
+        # The heterogeneity motivation: multi-x spread in peak power.
+        r = fig13_power_curves.run()
+        assert r.dynamic_range() > 4.0
+
+    def test_monotone_power_in_voltage(self):
+        r = fig13_power_curves.run()
+        for c in r.curves.values():
+            powers = [p for _, _, p in c.samples]
+            assert powers == sorted(powers)
+
+    def test_format_rows(self):
+        rows = fig13_power_curves.format_rows(fig13_power_curves.run())
+        assert len(rows) == 7
+
+
+class TestFig21:
+    def test_paper_constants_reproduce_headlines(self):
+        r = fig21_scaling.run()
+        # BC supports 5.7-13.3x more accelerators than BC-C / C-RR and
+        # 3.2-6.2x more than TS (Section VI-D).
+        for t_w in r.t_w_values_us:
+            assert 3.0 < r.n_max_advantage(t_w, "BC-C") < 20.0
+            assert 3.0 < r.n_max_advantage(t_w, "C-RR") < 20.0
+            assert 2.0 < r.n_max_advantage(t_w, "TS") < 10.0
+
+    def test_pt_comparison_present(self):
+        r = fig21_scaling.run()
+        assert len(r.pt_n_max) == len(r.t_w_values_us)
+        for t_w in r.t_w_values_us:
+            assert r.n_max_advantage(t_w, "PT") > 1.0
+
+    def test_measured_taus_override_paper(self):
+        r = fig21_scaling.run(
+            measured_responses={"BC": [(6, 0.6), (13, 1.0)]}
+        )
+        assert r.models["BC"].tau_us != fig21_scaling.run().models["BC"].tau_us
+
+    def test_pm_fraction_monotone_in_n(self):
+        r = fig21_scaling.run()
+        for scheme, series in r.pm_fraction.items():
+            assert series == sorted(series)
+
+    def test_format_rows_nonempty(self):
+        rows = fig21_scaling.format_rows(fig21_scaling.run())
+        assert len(rows) >= 8
+
+
+class TestTable1Structure:
+    def test_rows_without_rerunning_fig18(self):
+        # Inject a lightweight stand-in for the Fig. 18 result.
+        class FakeFig18:
+            def mean_response_us(self, scheme):
+                return {"BC": 0.7, "BC-C": 6.0, "C-RR": 8.0}[scheme]
+
+        r = table1.run(FakeFig18())
+        ordered = r.ordered()
+        assert [row.strategy for row in ordered][:3] == [
+            "BlitzCoin",
+            "BlitzCoin-Centralized",
+            "Round robin",
+        ]
+        assert ordered[0].dvfs_levels == 64
+        assert ordered[0].scaling == "O(sqrt(N))"
+        rows = table1.format_rows(r)
+        assert len(rows) == 6

@@ -1,0 +1,50 @@
+"""Tests for the streaming experiment and the pipelined unroll."""
+
+import pytest
+
+from repro.experiments import streaming
+from repro.workloads.apps import autonomous_vehicle_dependent
+from repro.workloads.scenarios import pipeline_frames
+
+
+class TestPipelineFrames:
+    def test_unrolls_without_interframe_deps(self):
+        base = autonomous_vehicle_dependent()
+        unrolled = pipeline_frames(base, 3)
+        assert len(unrolled) == 3 * len(base)
+        # Frame 1 roots have no dependencies on frame 0.
+        assert unrolled["fft0@f1"].deps == ()
+
+    def test_intraframe_deps_preserved(self):
+        base = autonomous_vehicle_dependent()
+        unrolled = pipeline_frames(base, 2)
+        assert unrolled["dla0@f1"].deps == ("fft1@f1", "fft2@f1")
+
+    def test_single_frame_identity(self):
+        base = autonomous_vehicle_dependent()
+        assert pipeline_frames(base, 1) is base
+
+    def test_concurrency_grows_with_frames(self):
+        base = autonomous_vehicle_dependent()
+        unrolled = pipeline_frames(base, 3)
+        assert unrolled.max_concurrency() > base.max_concurrency()
+
+
+class TestStreamingDriver:
+    def test_two_frame_run(self):
+        result = streaming.run(frames=2)
+        assert set(result.cells) == {"BC", "BC-C", "C-RR"}
+        for cell in result.cells.values():
+            assert cell.makespan_us > 0
+            assert cell.frame_time_us == pytest.approx(
+                cell.makespan_us / 2
+            )
+
+    def test_invalid_frame_count_rejected(self):
+        with pytest.raises(ValueError):
+            streaming.run(frames=1)
+
+    def test_format_rows(self):
+        result = streaming.run(frames=2)
+        rows = streaming.format_rows(result)
+        assert len(rows) == 4

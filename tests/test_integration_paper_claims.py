@@ -1,0 +1,124 @@
+"""Integration tests asserting the paper's headline result shapes.
+
+These run small but complete end-to-end experiments (reduced trial
+counts / grid sizes) and check *who wins and by roughly what factor* —
+the reproduction contract of the benchmark harness, enforced in CI.
+"""
+
+import statistics
+
+import pytest
+
+from repro.baselines.tokensmart import run_tokensmart_trial
+from repro.core.config import preferred_embodiment
+from repro.core.runner import run_convergence_trial
+from repro.experiments.soc_runs import run_soc_workload
+from repro.soc.pm import PMKind
+from repro.soc.presets import soc_3x3, soc_6x6_chip
+from repro.workloads.apps import (
+    autonomous_vehicle_parallel,
+    pm_cluster_workload,
+)
+
+
+def mean_cycles(results):
+    xs = [r.cycles for r in results if r.converged]
+    assert xs, "no converged trials"
+    return statistics.mean(xs)
+
+
+class TestConvergenceScaling:
+    def test_blitzcoin_scales_sublinearly_in_n(self):
+        """Section III-B: convergence time ~ sqrt(N), so growing N by 9x
+        should grow time far less than 9x."""
+        cfg = preferred_embodiment()
+        small = mean_cycles(
+            [run_convergence_trial(4, cfg, seed=s, threshold=1.5) for s in range(4)]
+        )
+        large = mean_cycles(
+            [run_convergence_trial(12, cfg, seed=s, threshold=1.5) for s in range(4)]
+        )
+        assert large / small < 9.0
+
+    def test_blitzcoin_beats_tokensmart_at_scale(self):
+        """Fig. 4: BC converges much faster than TS on larger SoCs."""
+        d = 12
+        bc = mean_cycles(
+            [
+                run_convergence_trial(
+                    d, preferred_embodiment(), seed=s, threshold=1.5
+                )
+                for s in range(4)
+            ]
+        )
+        ts = mean_cycles(
+            [run_tokensmart_trial(d, seed=s, threshold=1.5) for s in range(4)]
+        )
+        assert ts / bc > 2.0
+
+
+class TestSocHeadlines:
+    @pytest.fixture(scope="class")
+    def runs_3x3(self):
+        out = {}
+        for kind in (
+            PMKind.BLITZCOIN,
+            PMKind.BLITZCOIN_CENTRAL,
+            PMKind.ROUND_ROBIN,
+        ):
+            out[kind.value] = run_soc_workload(
+                soc_3x3(), autonomous_vehicle_parallel(), kind, 120.0
+            )
+        return out
+
+    def test_every_scheme_enforces_the_cap(self, runs_3x3):
+        for name, result in runs_3x3.items():
+            assert result.peak_power_mw() <= 1.10 * 120.0, name
+
+    def test_bc_throughput_beats_crr(self, runs_3x3):
+        speedup = (
+            runs_3x3["C-RR"].makespan_us / runs_3x3["BC"].makespan_us
+        )
+        assert speedup > 1.10  # paper: 25-34%
+
+    def test_bc_not_slower_than_bcc(self, runs_3x3):
+        ratio = runs_3x3["BC-C"].makespan_us / runs_3x3["BC"].makespan_us
+        assert ratio > 0.97
+
+    def test_bc_response_much_faster_than_centralized(self, runs_3x3):
+        bc = runs_3x3["BC"].mean_response_us
+        assert bc < runs_3x3["BC-C"].mean_response_us / 1.5
+        assert bc < runs_3x3["C-RR"].mean_response_us / 1.5
+
+    def test_bc_and_bcc_utilize_budget_better_than_crr(self, runs_3x3):
+        assert (
+            runs_3x3["BC"].average_power_mw()
+            > runs_3x3["C-RR"].average_power_mw()
+        )
+
+
+class TestSiliconHeadlines:
+    def test_pm_cluster_budget_enforced_with_high_utilization(self):
+        result = run_soc_workload(
+            soc_6x6_chip(), pm_cluster_workload(7), PMKind.BLITZCOIN, 180.0
+        )
+        assert result.peak_power_mw() <= 1.05 * 180.0
+        assert result.budget_utilization() > 0.75  # paper: 97%
+
+    def test_bc_beats_static_allocation(self):
+        bc = run_soc_workload(
+            soc_6x6_chip(), pm_cluster_workload(7), PMKind.BLITZCOIN, 180.0
+        )
+        static = run_soc_workload(
+            soc_6x6_chip(), pm_cluster_workload(7), PMKind.STATIC, 180.0
+        )
+        assert static.makespan_us / bc.makespan_us > 1.05
+
+    def test_sub_microsecond_scale_response_on_pm_cluster(self):
+        result = run_soc_workload(
+            soc_6x6_chip(), pm_cluster_workload(7), PMKind.BLITZCOIN, 180.0
+        )
+        finite = [r for r in result.response_times_cycles]
+        assert finite
+        # Paper: 0.68 us measured; allow a few us in the behavioral model.
+        assert min(finite) * 1.25e-3 < 3.0  # cycles -> us at 800 MHz

@@ -1,0 +1,119 @@
+"""Cross-cutting smaller behaviours not covered elsewhere."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.noc.behavioral import BehavioralNoc
+from repro.noc.packet import MessageType, Packet
+from repro.noc.router import CycleNoc
+from repro.noc.topology import MeshTopology
+from repro.report.csv_export import fig04_series
+from repro.sim import (
+    CYCLE_TIME_S,
+    NOC_FREQUENCY_HZ,
+    cycles_to_us,
+    us_to_cycles,
+)
+from repro.sim.kernel import Simulator
+
+
+class TestTimeConversions:
+    def test_cycle_time_matches_800mhz(self):
+        assert NOC_FREQUENCY_HZ == 800e6
+        assert CYCLE_TIME_S == pytest.approx(1.25e-9)
+
+    def test_roundtrip(self):
+        assert cycles_to_us(800) == pytest.approx(1.0)
+        assert us_to_cycles(1.0) == 800
+
+    @given(st.integers(0, 10**9))
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip_property(self, cycles):
+        assert us_to_cycles(cycles_to_us(cycles)) == cycles
+
+
+class TestCycleNocProperties:
+    @given(
+        st.integers(2, 5),
+        st.lists(
+            st.tuples(st.integers(0, 24), st.integers(0, 24)),
+            min_size=1,
+            max_size=30,
+        ),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_every_packet_delivered_exactly_once(self, d, pairs):
+        sim = Simulator()
+        topo = MeshTopology(d, d)
+        noc = CycleNoc(sim, topo)
+        delivered = []
+        for t in topo.all_tiles():
+            noc.attach(t, lambda p: delivered.append(p.uid))
+        n = topo.n_tiles
+        sent = []
+        for src, dst in pairs:
+            pkt = Packet(
+                src=src % n, dst=dst % n, msg_type=MessageType.DMA
+            )
+            sent.append(pkt.uid)
+            noc.send(pkt)
+        sim.run()
+        assert sorted(delivered) == sorted(sent)
+
+    @given(st.integers(2, 5), st.integers(0, 24), st.integers(0, 24))
+    @settings(max_examples=40, deadline=None)
+    def test_latency_at_least_hop_count(self, d, a, b):
+        sim = Simulator()
+        topo = MeshTopology(d, d)
+        noc = CycleNoc(sim, topo)
+        n = topo.n_tiles
+        src, dst = a % n, b % n
+        times = []
+        noc.attach(dst, lambda p: times.append(sim.now))
+        noc.send(Packet(src=src, dst=dst, msg_type=MessageType.DMA))
+        sim.run()
+        assert times[0] >= topo.hop_distance(src, dst)
+
+
+class TestFabricDetach:
+    def test_detached_tile_drops_packets(self):
+        sim = Simulator()
+        noc = BehavioralNoc(sim, MeshTopology(2, 2))
+        got = []
+        noc.attach(3, got.append)
+        noc.detach(3)
+        noc.send(Packet(src=0, dst=3, msg_type=MessageType.DMA))
+        sim.run()
+        assert got == []
+
+
+class TestExportSeriesHelpers:
+    def test_fig04_series_flattening(self):
+        import repro.experiments.fig04_tokensmart as f4
+
+        r = f4.run(dims=(3,), trials=1)
+        series = fig04_series(r)
+        assert set(series) == {"BC", "TS"}
+        row = series["BC"][0]
+        assert row["d"] == 3
+        assert row["converged_fraction"] == 1.0
+
+
+class TestPackageSurface:
+    def test_top_level_exports(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+        assert hasattr(repro, "Soc")
+        assert hasattr(repro, "build_pm")
+
+    def test_all_experiment_modules_have_run_and_format(self):
+        import repro.experiments as experiments
+
+        for name in experiments.__all__:
+            mod = getattr(experiments, name)
+            assert hasattr(mod, "run") or hasattr(mod, "run_sustained"), name
+
+    def test_main_module_importable(self):
+        import repro.__main__  # noqa: F401

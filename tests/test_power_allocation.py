@@ -1,0 +1,96 @@
+"""Tests for the AP/RP allocation strategies."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.power.allocation import (
+    AllocationError,
+    AllocationStrategy,
+    absolute_proportional,
+    allocate,
+    relative_proportional,
+)
+
+tile_powers = st.dictionaries(
+    st.integers(0, 20),
+    st.floats(1.0, 500.0),
+    min_size=1,
+    max_size=10,
+)
+
+
+class TestAbsoluteProportional:
+    def test_equal_shares_when_uncapped(self):
+        targets = absolute_proportional({1: 100.0, 2: 100.0}, 60.0)
+        assert targets[1] == pytest.approx(30.0)
+        assert targets[2] == pytest.approx(30.0)
+
+    def test_capped_tile_frees_power_for_others(self):
+        targets = absolute_proportional({1: 10.0, 2: 100.0}, 60.0)
+        assert targets[1] == pytest.approx(10.0)
+        assert targets[2] == pytest.approx(50.0)
+
+    def test_budget_above_combined_max_caps_everyone(self):
+        targets = absolute_proportional({1: 10.0, 2: 20.0}, 100.0)
+        assert targets == {1: pytest.approx(10.0), 2: pytest.approx(20.0)}
+
+    @given(tile_powers, st.floats(1.0, 2000.0))
+    @settings(max_examples=200, deadline=None)
+    def test_budget_and_caps_respected_property(self, p_max, budget):
+        targets = absolute_proportional(p_max, budget)
+        assert sum(targets.values()) <= min(budget, sum(p_max.values())) * (
+            1 + 1e-9
+        )
+        for t, p in targets.items():
+            assert p <= p_max[t] * (1 + 1e-9)
+
+    @given(tile_powers, st.floats(1.0, 2000.0))
+    @settings(max_examples=200, deadline=None)
+    def test_budget_fully_used_when_feasible_property(self, p_max, budget):
+        targets = absolute_proportional(p_max, budget)
+        expected = min(budget, sum(p_max.values()))
+        assert sum(targets.values()) == pytest.approx(expected, rel=1e-9)
+
+
+class TestRelativeProportional:
+    def test_same_fraction_for_everyone(self):
+        targets = relative_proportional({1: 100.0, 2: 50.0}, 75.0)
+        assert targets[1] / 100.0 == pytest.approx(targets[2] / 50.0)
+        assert sum(targets.values()) == pytest.approx(75.0)
+
+    def test_fraction_clamped_at_one(self):
+        targets = relative_proportional({1: 10.0, 2: 10.0}, 100.0)
+        assert targets == {1: pytest.approx(10.0), 2: pytest.approx(10.0)}
+
+    @given(tile_powers, st.floats(1.0, 2000.0))
+    @settings(max_examples=200, deadline=None)
+    def test_rp_invariants_property(self, p_max, budget):
+        targets = relative_proportional(p_max, budget)
+        total_max = sum(p_max.values())
+        fraction = min(1.0, budget / total_max)
+        for t, p in targets.items():
+            assert p == pytest.approx(p_max[t] * fraction)
+
+
+class TestDispatch:
+    def test_dispatch_by_enum(self):
+        p_max = {1: 100.0, 2: 50.0}
+        assert allocate(
+            AllocationStrategy.ABSOLUTE_PROPORTIONAL, p_max, 60.0
+        ) == absolute_proportional(p_max, 60.0)
+        assert allocate(
+            AllocationStrategy.RELATIVE_PROPORTIONAL, p_max, 60.0
+        ) == relative_proportional(p_max, 60.0)
+
+    def test_empty_tiles_rejected(self):
+        with pytest.raises(AllocationError):
+            relative_proportional({}, 60.0)
+
+    def test_nonpositive_budget_rejected(self):
+        with pytest.raises(AllocationError):
+            absolute_proportional({1: 10.0}, 0.0)
+
+    def test_nonpositive_pmax_rejected(self):
+        with pytest.raises(AllocationError):
+            relative_proportional({1: 0.0}, 60.0)

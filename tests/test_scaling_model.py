@@ -1,0 +1,117 @@
+"""Tests for the analytical scaling models (Eqs. 5.1-5.3)."""
+
+import pytest
+
+from repro.scaling.model import (
+    PAPER_TAUS_US,
+    ResponseScalingModel,
+    ScalingError,
+    fit_tau_us,
+    n_max_curve,
+    pm_overhead_curve,
+    workload_interval_us,
+)
+
+
+class TestResponseScalingModel:
+    def test_linear_scheme_scales_linearly(self):
+        m = ResponseScalingModel("C-RR", tau_us=0.96, exponent=1.0)
+        assert m.response_time_us(100) == pytest.approx(96.0)
+
+    def test_sqrt_scheme_scales_with_root(self):
+        m = ResponseScalingModel("BC", tau_us=0.20, exponent=0.5)
+        assert m.response_time_us(400) == pytest.approx(4.0)
+
+    def test_n_max_solves_the_crossing(self):
+        m = ResponseScalingModel("BC", tau_us=0.20, exponent=0.5)
+        t_w = 7000.0
+        n = m.n_max(t_w)
+        assert m.response_time_us(n) == pytest.approx(t_w / n, rel=1e-9)
+
+    def test_paper_headline_bc_supports_1000_accelerators_at_7ms(self):
+        # Section VI-D: N ~ 1000 for T_w >= 7.0 ms.
+        bc = ResponseScalingModel.from_paper("BC")
+        assert bc.n_max(7000.0) == pytest.approx(1000, rel=0.08)
+
+    def test_paper_headline_bc_supports_100_at_0p2ms(self):
+        bc = ResponseScalingModel.from_paper("BC")
+        assert bc.n_max(200.0) == pytest.approx(100, rel=0.05)
+
+    def test_bc_supports_5_to_13x_more_than_centralized(self):
+        bc = ResponseScalingModel.from_paper("BC")
+        for other_name in ("BC-C", "C-RR"):
+            other = ResponseScalingModel.from_paper(other_name)
+            for t_w in (200.0, 1000.0, 7000.0):
+                advantage = bc.n_max(t_w) / other.n_max(t_w)
+                assert 3.0 < advantage < 20.0
+
+    def test_pm_fraction_worked_example(self):
+        # Section VI-D: at N=100, T_w=10 ms: C-RR 96%, BC-C 66%, BC 2%.
+        assert ResponseScalingModel.from_paper("C-RR").pm_time_fraction(
+            100, 10_000.0
+        ) == pytest.approx(0.96, rel=1e-6)
+        assert ResponseScalingModel.from_paper("BC-C").pm_time_fraction(
+            100, 10_000.0
+        ) == pytest.approx(0.66, rel=1e-6)
+        assert ResponseScalingModel.from_paper("BC").pm_time_fraction(
+            100, 10_000.0
+        ) == pytest.approx(0.02, rel=1e-6)
+
+    def test_unknown_paper_scheme_rejected(self):
+        with pytest.raises(ScalingError):
+            ResponseScalingModel.from_paper("XYZ")
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ScalingError):
+            ResponseScalingModel("x", tau_us=0.0, exponent=1.0)
+        m = ResponseScalingModel("x", tau_us=1.0, exponent=1.0)
+        with pytest.raises(ScalingError):
+            m.response_time_us(0)
+        with pytest.raises(ScalingError):
+            m.n_max(0.0)
+
+
+class TestFitting:
+    def test_single_point_fit_exact(self):
+        tau = fit_tau_us([(13, 2.6)], exponent=1.0)
+        assert tau == pytest.approx(0.2)
+
+    def test_multi_point_least_squares(self):
+        pts = [(4, 0.4), (16, 0.8), (64, 1.6)]  # tau=0.2 at exponent 0.5
+        tau = fit_tau_us(pts, exponent=0.5)
+        assert tau == pytest.approx(0.2, rel=1e-6)
+
+    def test_empty_measurements_rejected(self):
+        with pytest.raises(ScalingError):
+            fit_tau_us([], exponent=1.0)
+
+    def test_nonpositive_measurements_rejected(self):
+        with pytest.raises(ScalingError):
+            fit_tau_us([(13, 0.0)], exponent=1.0)
+
+
+class TestCurves:
+    def test_workload_interval(self):
+        assert workload_interval_us(5000.0, 20) == pytest.approx(250.0)
+
+    def test_n_max_curve_ordering(self):
+        models = [
+            ResponseScalingModel.from_paper(s)
+            for s in ("BC", "BC-C", "C-RR", "TS")
+        ]
+        curves = n_max_curve(models, [200.0, 7000.0])
+        for idx in range(2):
+            assert curves["BC"][idx] > curves["TS"][idx]
+            assert curves["TS"][idx] > curves["BC-C"][idx]
+            assert curves["BC-C"][idx] > curves["C-RR"][idx]
+
+    def test_pm_overhead_curve_inverse_ordering(self):
+        models = [
+            ResponseScalingModel.from_paper(s) for s in ("BC", "C-RR")
+        ]
+        curves = pm_overhead_curve(models, [10, 100, 1000], 10_000.0)
+        for a, b in zip(curves["BC"], curves["C-RR"]):
+            assert a < b
+
+    def test_paper_constants_registered(self):
+        assert set(PAPER_TAUS_US) == {"BC", "BC-C", "C-RR", "TS"}

@@ -1,0 +1,48 @@
+"""Tests for seeded RNG management."""
+
+import numpy as np
+import pytest
+
+from repro.sim.rng import SeedSequenceError, rng_for, spawn_rng
+
+
+class TestSpawn:
+    def test_same_seed_same_streams(self):
+        a = spawn_rng(42, 3)
+        b = spawn_rng(42, 3)
+        for ga, gb in zip(a, b):
+            assert ga.integers(0, 1000) == gb.integers(0, 1000)
+
+    def test_different_seeds_differ(self):
+        a = spawn_rng(1, 1)[0]
+        b = spawn_rng(2, 1)[0]
+        assert list(a.integers(0, 10**9, 8)) != list(b.integers(0, 10**9, 8))
+
+    def test_spawned_streams_are_independent(self):
+        a, b = spawn_rng(7, 2)
+        assert list(a.integers(0, 10**9, 8)) != list(b.integers(0, 10**9, 8))
+
+    def test_invalid_counts_rejected(self):
+        with pytest.raises(SeedSequenceError):
+            spawn_rng(1, 0)
+        with pytest.raises(SeedSequenceError):
+            spawn_rng(-1, 1)
+
+
+class TestRngFor:
+    def test_deterministic_by_tags(self):
+        a = rng_for(5, 1, 2)
+        b = rng_for(5, 1, 2)
+        assert a.integers(0, 10**9) == b.integers(0, 10**9)
+
+    def test_distinct_tags_distinct_streams(self):
+        a = rng_for(5, 1, 2)
+        b = rng_for(5, 2, 1)
+        assert list(a.integers(0, 10**9, 8)) != list(b.integers(0, 10**9, 8))
+
+    def test_negative_tags_rejected(self):
+        with pytest.raises(SeedSequenceError):
+            rng_for(5, -1)
+
+    def test_returns_numpy_generator(self):
+        assert isinstance(rng_for(0), np.random.Generator)

@@ -1,0 +1,143 @@
+"""Tests for the NoC-domain socket CSR interface (Section IV-B)."""
+
+import pytest
+
+from repro.core.config import preferred_embodiment
+from repro.core.engine import CoinExchangeEngine
+from repro.dvfs.oscillator import RingOscillator
+from repro.noc.behavioral import BehavioralNoc
+from repro.noc.topology import MeshTopology
+from repro.power.characterization import get_curve
+from repro.sim.kernel import Simulator
+from repro.soc.csr import (
+    EXCHANGES,
+    HAS_COINS,
+    INTERVAL,
+    MAX_COINS,
+    RO_TUNE,
+    STATUS,
+    THERMAL_CAP,
+    CAP_CLEAR_SENTINEL,
+    CsrError,
+    CsrMaster,
+    CsrSlave,
+    attach_csrs,
+)
+
+
+@pytest.fixture
+def system():
+    """A 3x3 engine with CSRs attached and a CPU-side master at tile 0.
+
+    Tile 0 is left unmanaged so the CPU master owns its NoC port.
+    """
+    topo = MeshTopology(3, 3)
+    sim = Simulator()
+    noc = BehavioralNoc(sim, topo)
+    managed = list(range(1, 9))
+    max_vec = [0] + [8] * 8
+    initial = [0] + [8] * 8
+    engine = CoinExchangeEngine(
+        sim,
+        noc,
+        preferred_embodiment(),
+        max_vec,
+        initial,
+        managed_tiles=managed,
+    )
+    oscillators = {t: RingOscillator(get_curve("FFT")) for t in managed}
+    slaves = attach_csrs(engine, oscillators)
+    master = CsrMaster(noc, cpu_tile=0)
+    engine.start()
+    return sim, engine, slaves, master, oscillators
+
+
+class TestCsrSlave:
+    def test_reads_live_state(self, system):
+        sim, engine, slaves, master, _ = system
+        slave = slaves[4]
+        assert slave.read(HAS_COINS) == engine.coins(4).has
+        assert slave.read(MAX_COINS) == 8
+        assert slave.read(INTERVAL) == engine.fsm[4].interval
+        assert slave.read(EXCHANGES) == engine.fsm[4].exchange_count
+
+    def test_status_bits(self, system):
+        sim, engine, slaves, master, _ = system
+        status = slaves[4].read(STATUS)
+        assert status in (0, 1, 2, 3)
+
+    def test_write_max_retargets_tile(self, system):
+        sim, engine, slaves, master, _ = system
+        slaves[4].write(MAX_COINS, 32)
+        assert engine.coins(4).max == 32
+
+    def test_write_thermal_cap_and_clear(self, system):
+        sim, engine, slaves, master, _ = system
+        slaves[4].write(THERMAL_CAP, 10)
+        assert engine.cap_overrides[4] == 10
+        assert slaves[4].read(THERMAL_CAP) == 10
+        slaves[4].write(THERMAL_CAP, CAP_CLEAR_SENTINEL)
+        assert 4 not in engine.cap_overrides
+
+    def test_write_ro_tune(self, system):
+        sim, engine, slaves, master, oscillators = system
+        slaves[4].write(RO_TUNE, 3)
+        assert oscillators[4].tune_code == 3
+
+    def test_read_only_register_rejects_write(self, system):
+        sim, engine, slaves, master, _ = system
+        with pytest.raises(CsrError):
+            slaves[4].write(HAS_COINS, 99)
+
+    def test_unmapped_offset_rejected(self, system):
+        sim, engine, slaves, master, _ = system
+        with pytest.raises(CsrError):
+            slaves[4].read(0x1000)
+        with pytest.raises(CsrError):
+            slaves[4].write(0x1000, 1)
+
+    def test_unmanaged_tile_rejected(self, system):
+        sim, engine, slaves, master, _ = system
+        with pytest.raises(CsrError):
+            CsrSlave(engine, 0)
+
+
+class TestCsrOverNoc:
+    def test_remote_read(self, system):
+        sim, engine, slaves, master, _ = system
+        got = []
+        master.read(4, MAX_COINS, got.append)
+        sim.run_for(100)
+        assert got == [8]
+
+    def test_remote_write_takes_effect(self, system):
+        sim, engine, slaves, master, _ = system
+        acks = []
+        master.write(4, MAX_COINS, 24, acks.append)
+        sim.run_for(100)
+        assert engine.coins(4).max == 24
+        assert acks == [24]
+
+    def test_remote_cap_write_changes_exchange_behaviour(self, system):
+        sim, engine, slaves, master, _ = system
+        master.write(4, THERMAL_CAP, 4)
+        sim.run_for(50_000)
+        # Capped at 4: the tile cannot accumulate beyond its cap even
+        # though its fair share is ~8.
+        assert engine.coins(4).has <= 4
+
+    def test_coin_exchange_still_works_with_csrs_attached(self, system):
+        """The dispatcher must not starve the BlitzCoin FSM."""
+        sim, engine, slaves, master, _ = system
+        engine.set_max(4, 0)
+        sim.run_for(60_000)
+        engine.check_conservation()
+        assert engine.coins(4).has <= 1
+
+    def test_concurrent_reads_resolve_by_req_id(self, system):
+        sim, engine, slaves, master, _ = system
+        got = {}
+        master.read(4, MAX_COINS, lambda v: got.__setitem__("a", v))
+        master.read(5, MAX_COINS, lambda v: got.__setitem__("b", v))
+        sim.run_for(200)
+        assert got == {"a": 8, "b": 8}

@@ -1,0 +1,101 @@
+"""Tests for synthetic SoC generation."""
+
+import pytest
+
+from repro.soc.synthetic import (
+    accelerator_census,
+    suggested_budget_mw,
+    synthetic_soc,
+    synthetic_workload,
+)
+from repro.soc.tile import TileKind
+
+
+class TestSyntheticSoc:
+    def test_grid_filled_with_accelerators(self):
+        cfg = synthetic_soc(5, seed=1)
+        assert cfg.topology.n_tiles == 25
+        assert len(cfg.managed_accelerators()) == 22  # 25 - cpu/mem/io
+
+    def test_infrastructure_tiles_present(self):
+        cfg = synthetic_soc(5, seed=1)
+        kinds = [s.kind for s in cfg.tiles.values()]
+        assert kinds.count(TileKind.CPU) == 1
+        assert kinds.count(TileKind.MEM) == 1
+        assert kinds.count(TileKind.IO) == 1
+
+    def test_deterministic_by_seed(self):
+        a = synthetic_soc(6, seed=3)
+        b = synthetic_soc(6, seed=3)
+        assert accelerator_census(a) == accelerator_census(b)
+
+    def test_different_seeds_differ(self):
+        a = synthetic_soc(8, seed=1)
+        b = synthetic_soc(8, seed=2)
+        assert accelerator_census(a) != accelerator_census(b)
+
+    def test_mix_controls_composition(self):
+        cfg = synthetic_soc(6, seed=1, mix={"FFT": 1.0})
+        assert set(accelerator_census(cfg)) == {"FFT"}
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            synthetic_soc(1)
+        with pytest.raises(ValueError):
+            synthetic_soc(4, mix={"TPU": 1.0})
+        with pytest.raises(ValueError):
+            synthetic_soc(4, mix={"FFT": 0.0})
+
+
+class TestSyntheticWorkload:
+    def test_one_task_per_tile_by_default(self):
+        cfg = synthetic_soc(5, seed=1)
+        graph = synthetic_workload(cfg, seed=1)
+        assert len(graph) == len(cfg.managed_accelerators())
+        assert graph.is_parallel()
+
+    def test_tasks_pinned_to_matching_tiles(self):
+        cfg = synthetic_soc(4, seed=2)
+        graph = synthetic_workload(cfg, seed=2)
+        for task in graph.tasks.values():
+            assert cfg.class_of(task.tile_hint) == task.acc_class
+
+    def test_oversubscription(self):
+        cfg = synthetic_soc(4, seed=2)
+        graph = synthetic_workload(cfg, seed=2, tasks_per_tile=2.0)
+        assert len(graph) == 2 * len(cfg.managed_accelerators())
+
+    def test_invalid_work_range_rejected(self):
+        cfg = synthetic_soc(4, seed=0)
+        with pytest.raises(ValueError):
+            synthetic_workload(cfg, work_range=(10, 5))
+
+
+class TestBudget:
+    def test_budget_is_fraction_of_combined_peak(self):
+        cfg = synthetic_soc(4, seed=5)
+        b30 = suggested_budget_mw(cfg, 0.30)
+        b60 = suggested_budget_mw(cfg, 0.60)
+        assert b60 == pytest.approx(2 * b30)
+        assert b30 > 0
+
+    def test_invalid_fraction_rejected(self):
+        cfg = synthetic_soc(4, seed=5)
+        with pytest.raises(ValueError):
+            suggested_budget_mw(cfg, 0.0)
+
+
+class TestEndToEnd:
+    def test_synthetic_soc_runs_under_blitzcoin(self):
+        from repro.soc.executor import WorkloadExecutor
+        from repro.soc.pm import PMKind, build_pm
+        from repro.soc.soc import Soc
+
+        cfg = synthetic_soc(4, seed=7)
+        soc = Soc(cfg)
+        budget = suggested_budget_mw(cfg)
+        pm = build_pm(PMKind.BLITZCOIN, soc, budget)
+        graph = synthetic_workload(cfg, seed=7)
+        result = WorkloadExecutor(soc, graph, pm).run()
+        assert result.makespan_cycles > 0
+        assert result.peak_power_mw() <= 1.10 * budget

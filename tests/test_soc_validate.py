@@ -1,0 +1,83 @@
+"""Tests for the run validator."""
+
+import pytest
+
+from repro.soc.executor import WorkloadExecutor
+from repro.soc.pm import PMKind, build_pm
+from repro.soc.presets import soc_3x3
+from repro.soc.soc import Soc
+from repro.soc.validate import RunValidator, Violation
+from repro.workloads.apps import autonomous_vehicle_parallel
+
+
+def run_validated(kind, budget=120.0, **validator_kwargs):
+    soc = Soc(soc_3x3())
+    pm = build_pm(kind, soc, budget)
+    validator = RunValidator(soc, pm, budget, **validator_kwargs)
+    executor = WorkloadExecutor(soc, autonomous_vehicle_parallel(), pm)
+    validator.start()
+    result = executor.run()
+    return result, validator
+
+
+class TestCleanRuns:
+    @pytest.mark.parametrize(
+        "kind", [PMKind.BLITZCOIN, PMKind.ROUND_ROBIN, PMKind.STATIC]
+    )
+    def test_healthy_schemes_validate_clean(self, kind):
+        result, validator = run_validated(kind)
+        assert validator.samples > 100
+        assert validator.clean, validator.report()
+
+    def test_report_format(self):
+        _, validator = run_validated(PMKind.BLITZCOIN)
+        assert "validation clean" in validator.report()
+
+
+class TestViolationDetection:
+    def test_cap_violation_detected_with_zero_slack_tiny_budget(self):
+        """A validator told the budget is lower than the PM's actual
+        target must flag cap violations — proving the check bites."""
+        soc = Soc(soc_3x3())
+        pm = build_pm(PMKind.BLITZCOIN, soc, 120.0)
+        validator = RunValidator(soc, pm, budget_mw=50.0, cap_slack=0.0)
+        executor = WorkloadExecutor(
+            soc, autonomous_vehicle_parallel(), pm
+        )
+        validator.start()
+        executor.run()
+        assert not validator.clean
+        assert any(v.kind == "power-cap" for v in validator.violations)
+        assert "FAILED" in validator.report()
+
+    def test_strict_mode_raises(self):
+        soc = Soc(soc_3x3())
+        pm = build_pm(PMKind.BLITZCOIN, soc, 120.0)
+        validator = RunValidator(
+            soc, pm, budget_mw=50.0, cap_slack=0.0, strict=True
+        )
+        executor = WorkloadExecutor(
+            soc, autonomous_vehicle_parallel(), pm
+        )
+        validator.start()
+        with pytest.raises(AssertionError):
+            executor.run()
+
+    def test_violation_records_cycle_and_kind(self):
+        v = Violation(cycle=42, kind="power-cap", detail="x")
+        assert v.cycle == 42
+
+    def test_invalid_sample_period_rejected(self):
+        soc = Soc(soc_3x3())
+        pm = build_pm(PMKind.STATIC, soc, 120.0)
+        validator = RunValidator(soc, pm, 120.0, sample_cycles=0)
+        with pytest.raises(ValueError):
+            validator.start()
+
+    def test_double_start_rejected(self):
+        soc = Soc(soc_3x3())
+        pm = build_pm(PMKind.STATIC, soc, 120.0)
+        validator = RunValidator(soc, pm, 120.0)
+        validator.start()
+        with pytest.raises(RuntimeError):
+            validator.start()

@@ -1,0 +1,99 @@
+"""Tests for workload persistence (CSV round-trips)."""
+
+import pytest
+
+from repro.workloads.apps import (
+    autonomous_vehicle_dependent,
+    computer_vision_dependent,
+)
+from repro.workloads.synthetic import random_phase_trace
+from repro.workloads.trace_io import (
+    TraceIoError,
+    load_phase_trace,
+    load_taskgraph,
+    save_phase_trace,
+    save_taskgraph,
+)
+
+
+class TestTaskGraphRoundTrip:
+    @pytest.mark.parametrize(
+        "builder",
+        [autonomous_vehicle_dependent, computer_vision_dependent],
+    )
+    def test_roundtrip_preserves_structure(self, tmp_path, builder):
+        graph = builder()
+        path = save_taskgraph(graph, tmp_path / "wl.csv")
+        back = load_taskgraph(path)
+        assert set(back.tasks) == set(graph.tasks)
+        for name, task in graph.tasks.items():
+            loaded = back[name]
+            assert loaded.acc_class == task.acc_class
+            assert loaded.work_cycles == task.work_cycles
+            assert set(loaded.deps) == set(task.deps)
+
+    def test_tile_hints_preserved(self, tmp_path):
+        from repro.workloads.dag import Task, TaskGraph
+
+        graph = TaskGraph([Task("a", "FFT", 100, tile_hint=7)])
+        back = load_taskgraph(save_taskgraph(graph, tmp_path / "w.csv"))
+        assert back["a"].tile_hint == 7
+
+    def test_loaded_graph_is_runnable(self, tmp_path):
+        from repro.soc.executor import WorkloadExecutor
+        from repro.soc.pm import PMKind, build_pm
+        from repro.soc.presets import soc_3x3
+        from repro.soc.soc import Soc
+
+        path = save_taskgraph(
+            autonomous_vehicle_dependent(), tmp_path / "wl.csv"
+        )
+        graph = load_taskgraph(path)
+        soc = Soc(soc_3x3())
+        pm = build_pm(PMKind.STATIC, soc, 120.0)
+        result = WorkloadExecutor(soc, graph, pm).run()
+        assert len(result.task_finish_cycles) == len(graph)
+
+    def test_bad_header_rejected(self, tmp_path):
+        bad = tmp_path / "bad.csv"
+        bad.write_text("foo,bar\n1,2\n")
+        with pytest.raises(TraceIoError):
+            load_taskgraph(bad)
+
+    def test_bad_work_value_rejected(self, tmp_path):
+        bad = tmp_path / "bad.csv"
+        bad.write_text(
+            "name,acc_class,work_cycles,deps,tile_hint\na,FFT,notanint,,\n"
+        )
+        with pytest.raises(TraceIoError) as err:
+            load_taskgraph(bad)
+        assert ":2:" in str(err.value)
+
+    def test_cycle_rejected_at_load(self, tmp_path):
+        bad = tmp_path / "bad.csv"
+        bad.write_text(
+            "name,acc_class,work_cycles,deps,tile_hint\n"
+            "a,FFT,10,b,\nb,FFT,10,a,\n"
+        )
+        with pytest.raises(TraceIoError):
+            load_taskgraph(bad)
+
+
+class TestPhaseTraceRoundTrip:
+    def test_roundtrip(self, tmp_path):
+        trace = random_phase_trace(6, 5_000, 40_000, seed=3)
+        path = save_phase_trace(trace, tmp_path / "trace.csv")
+        back = load_phase_trace(path)
+        assert back == trace
+
+    def test_missing_metadata_rejected(self, tmp_path):
+        bad = tmp_path / "bad.csv"
+        bad.write_text("time_cycles,tile,active\n10,0,1\n")
+        with pytest.raises(TraceIoError):
+            load_phase_trace(bad)
+
+    def test_bad_header_rejected(self, tmp_path):
+        bad = tmp_path / "bad.csv"
+        bad.write_text("a,b,c\n")
+        with pytest.raises(TraceIoError):
+            load_phase_trace(bad)
