@@ -20,4 +20,7 @@ setup(
     packages=find_packages(where="src"),
     python_requires=">=3.9",
     install_requires=["numpy>=1.20"],
+    entry_points={
+        "console_scripts": ["blitzcoin-repro = repro.cli:main"],
+    },
 )

@@ -1,0 +1,42 @@
+"""Static analysis (blitzlint) and the runtime invariant sanitizer.
+
+``repro.analysis.lint`` enforces the repo's determinism and
+coin-conservation coding rules at the AST level;
+``repro.analysis.sanitize`` checks the same invariants dynamically,
+event by event, when ``BLITZCOIN_SANITIZE=1`` (or
+``BlitzCoinConfig.sanitize``) is set.  See ``docs/STATIC_ANALYSIS.md``.
+"""
+
+from repro.analysis.lint import (
+    RULES,
+    Finding,
+    LintError,
+    lint_file,
+    lint_paths,
+    lint_source,
+    render_json,
+    render_text,
+)
+from repro.analysis.sanitize import (
+    Sanitizer,
+    SanitizerError,
+    TraceEntry,
+    attach_sanitizer,
+    sanitize_enabled,
+)
+
+__all__ = [
+    "RULES",
+    "Finding",
+    "LintError",
+    "Sanitizer",
+    "SanitizerError",
+    "TraceEntry",
+    "attach_sanitizer",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "render_json",
+    "render_text",
+    "sanitize_enabled",
+]

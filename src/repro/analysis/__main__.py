@@ -1,0 +1,83 @@
+"""``python -m repro.analysis``: run blitzlint from the command line.
+
+Thin wrapper over the same implementation the ``blitzcoin-repro lint``
+subcommand uses, so CI can invoke the linter without installing the
+console script.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.lint import (
+    RULES,
+    LintError,
+    lint_paths,
+    render_json,
+    render_text,
+)
+
+
+def default_lint_target() -> str:
+    """The installed ``repro`` package directory (lintable from anywhere)."""
+    import repro
+
+    return str(__import__("pathlib").Path(repro.__file__).parent)
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach blitzlint's arguments to ``parser`` (shared with the CLI)."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the repro package)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="report format",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        help=f"comma-separated rule codes to run (default: all of "
+        f"{', '.join(RULES)})",
+    )
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Execute a lint run described by parsed arguments.
+
+    Exit status: 0 clean, 1 findings, 2 usage/parse error.
+    """
+    paths = args.paths or [default_lint_target()]
+    rules: Optional[List[str]] = None
+    if args.rules:
+        rules = [r.strip().upper() for r in args.rules.split(",") if r.strip()]
+    try:
+        findings = lint_paths(paths, rules=rules)
+    except LintError as exc:
+        print(f"blitzlint: error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(render_json(findings))
+    else:
+        print(render_text(findings))
+    return 1 if findings else 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="blitzlint",
+        description="BlitzCoin repo-specific static analysis "
+        "(determinism / coin-conservation rules)",
+    )
+    add_lint_arguments(parser)
+    return run_lint(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

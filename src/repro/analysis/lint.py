@@ -1,0 +1,535 @@
+"""blitzlint: the repo-specific static-analysis pass.
+
+The reproduction's value rests on two properties the paper proves in
+hardware: exchanges are *exactly* coin-conserving (Section III-B /
+Fig. 2) and a run is bit-reproducible from its seed alone.  Both are
+easy to break with ordinary Python idioms (a stray ``random.random()``,
+a float division in the exchange arithmetic, an event handler poking a
+coin register directly), so this module walks the AST of every module
+under ``repro`` and enforces the coding rules that keep them true.
+
+Rule catalog (see ``docs/STATIC_ANALYSIS.md`` for the full rationale):
+
+``D1`` determinism
+    No wall-clock or unseeded randomness anywhere outside
+    ``repro.sim.rng``, and no iteration over unordered ``set`` /
+    ``dict.keys()`` results in the event-scheduling packages
+    (``repro.core``, ``repro.noc``, ``repro.sim``).
+``C1`` coin integrality
+    No float literals, ``/`` true division, or float ``==``/``!=``
+    comparisons in ``repro.core.coins`` or the delta-computation
+    helpers of ``repro.core.engine``.
+``S1`` state discipline
+    Coin registers (``*.coins.has`` / ``*.coins.max``) may only be
+    mutated by the engine's blessed mutation points, never directly
+    from a packet/event handler.
+``U1`` units
+    Public functions in ``repro.core`` / ``repro.noc`` whose name or
+    docstring mentions time must state the unit (cycles or seconds).
+
+Suppression: append ``# blitzlint: disable=<code>[,<code>...]`` (or
+``disable=all``) to the offending line.  Files outside ``src/repro``
+may pin their effective module identity for rule scoping with a
+``# blitzlint: scope=<dotted.module>`` comment on any line.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Finding",
+    "LintError",
+    "RULES",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "render_json",
+    "render_text",
+]
+
+
+class LintError(RuntimeError):
+    """Raised when a target cannot be linted (bad path, syntax error)."""
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "rule": RULES[self.code],
+            "message": self.message,
+        }
+
+
+#: code -> short rule name, the stable public catalog.
+RULES: Dict[str, str] = {
+    "D1": "determinism",
+    "C1": "coin-integrality",
+    "S1": "state-discipline",
+    "U1": "units",
+}
+
+_DISABLE_RE = re.compile(
+    r"#\s*blitzlint:\s*disable=([A-Za-z0-9_,\s]+|all)"
+)
+_SCOPE_RE = re.compile(r"#\s*blitzlint:\s*scope=([A-Za-z0-9_.]+)")
+
+# ---------------------------------------------------------------- D1 tables
+#: Module allowed to talk to the RNG machinery directly.
+RNG_MODULE = "repro.sim.rng"
+#: Wall-clock calls that break seed-only reproducibility.
+_WALL_CLOCK_CALLS = {
+    ("time", "time"),
+    ("time", "time_ns"),
+    ("time", "monotonic"),
+    ("time", "monotonic_ns"),
+    ("time", "perf_counter"),
+    ("time", "perf_counter_ns"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+    ("datetime", "today"),
+    ("date", "today"),
+}
+#: np.random.* constructors that take an explicit seed and are fine.
+_SEEDED_RNG_CTORS = {
+    "Generator",
+    "BitGenerator",
+    "SeedSequence",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "SFC64",
+    "MT19937",
+}
+#: Packages whose event-scheduling code must not iterate unordered sets.
+_ORDERED_ITERATION_SCOPES = ("repro.core", "repro.noc", "repro.sim")
+
+# ---------------------------------------------------------------- C1 tables
+_C1_WHOLE_MODULES = ("repro.core.coins",)
+#: Delta-computation helpers of the engine: the code between receiving a
+#: status and emitting/applying a delta must stay integral.
+_C1_ENGINE_FUNCS = {
+    "_apply_delta",
+    "_serve_one_way",
+    "_collect_four_way",
+    "_on_update",
+    "apply_and_reply",
+    "apply_and_update",
+    "check_conservation",
+}
+_C1_ENGINE_MODULE = "repro.core.engine"
+
+# ---------------------------------------------------------------- S1 tables
+_S1_SCOPES = ("repro.core", "repro.noc")
+#: The only functions allowed to write a coin register directly: the
+#: engine's single delta-application point, the activity-edge API, and
+#: object construction.
+_S1_BLESSED_FUNCS = {"_apply_delta", "set_max", "__init__", "__post_init__"}
+
+# ---------------------------------------------------------------- U1 tables
+_U1_SCOPES = ("repro.core", "repro.noc")
+_U1_TRIGGERS = re.compile(
+    r"\b(time|latency|delay|duration|timeout|interval|period)\b", re.I
+)
+_U1_UNITS = re.compile(
+    r"\b(cycle|cycles|second|seconds|sec|us|ms|ns|hz|mhz|ghz|"
+    r"microsecond|microseconds|millisecond|milliseconds)\b",
+    re.I,
+)
+
+
+def _in_scope(module: str, scopes: Sequence[str]) -> bool:
+    return any(
+        module == s or module.startswith(s + ".") for s in scopes
+    )
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    """Render an attribute/name chain like ``np.random.default_rng``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+@dataclass
+class _Context:
+    """Everything a rule needs to know about the module being linted."""
+
+    path: str
+    module: str
+    tree: ast.Module
+    #: node -> name of the nearest enclosing function, "" at module level.
+    func_of: Dict[ast.AST, str]
+
+
+def _build_function_map(tree: ast.Module) -> Dict[ast.AST, str]:
+    func_of: Dict[ast.AST, str] = {}
+
+    def visit(node: ast.AST, current: str) -> None:
+        func_of[node] = current
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                visit(child, child.name)
+            else:
+                visit(child, current)
+
+    visit(tree, "")
+    return func_of
+
+
+# ===================================================================== rules
+def _check_d1(ctx: _Context) -> Iterator[Finding]:
+    if ctx.module == RNG_MODULE:
+        return
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "random" or alias.name.startswith("random."):
+                    yield Finding(
+                        ctx.path, node.lineno, node.col_offset, "D1",
+                        "import of stdlib `random`: all randomness must "
+                        "come from a seeded repro.sim.rng generator",
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "random":
+                yield Finding(
+                    ctx.path, node.lineno, node.col_offset, "D1",
+                    "import from stdlib `random`: all randomness must "
+                    "come from a seeded repro.sim.rng generator",
+                )
+        elif isinstance(node, ast.Call):
+            dotted = _dotted(node.func)
+            if dotted is None:
+                continue
+            parts = dotted.split(".")
+            if len(parts) >= 2 and tuple(parts[-2:]) in _WALL_CLOCK_CALLS:
+                yield Finding(
+                    ctx.path, node.lineno, node.col_offset, "D1",
+                    f"wall-clock call `{dotted}()` breaks seed-only "
+                    "reproducibility; derive times from Simulator.now",
+                )
+            elif len(parts) >= 3 and parts[-2] == "random" and parts[-3] in (
+                "np", "numpy"
+            ):
+                fn = parts[-1]
+                if fn in _SEEDED_RNG_CTORS:
+                    continue
+                if fn == "default_rng" and (node.args or node.keywords):
+                    continue
+                yield Finding(
+                    ctx.path, node.lineno, node.col_offset, "D1",
+                    f"`{dotted}()` uses numpy's global/unseeded RNG; "
+                    "spawn a generator via repro.sim.rng instead",
+                )
+    if not _in_scope(ctx.module, _ORDERED_ITERATION_SCOPES):
+        return
+    for node in ast.walk(ctx.tree):
+        iters: List[ast.expr] = []
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            iters = [node.iter]
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                               ast.GeneratorExp)):
+            iters = [gen.iter for gen in node.generators]
+        for it in iters:
+            reason = _unordered_iterable(it)
+            if reason is not None:
+                yield Finding(
+                    ctx.path, it.lineno, it.col_offset, "D1",
+                    f"iteration over {reason} in event-scheduling code; "
+                    "iterate a list or wrap in sorted() so event order "
+                    "cannot depend on hash order",
+                )
+
+
+def _unordered_iterable(node: ast.expr) -> Optional[str]:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return "a set literal"
+    if isinstance(node, ast.Call):
+        if isinstance(node.func, ast.Name) and node.func.id in (
+            "set", "frozenset"
+        ):
+            return f"a `{node.func.id}(...)` result"
+        if isinstance(node.func, ast.Attribute) and node.func.attr == "keys":
+            return "a `.keys()` view"
+    return None
+
+
+def _is_float_node(node: ast.expr) -> bool:
+    if isinstance(node, ast.Constant) and isinstance(node.value, float):
+        return True
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "float"
+    ):
+        return True
+    return False
+
+
+def _check_c1(ctx: _Context) -> Iterator[Finding]:
+    whole = ctx.module in _C1_WHOLE_MODULES
+    engine = ctx.module == _C1_ENGINE_MODULE
+    if not (whole or engine):
+        return
+    for node in ast.walk(ctx.tree):
+        if engine and ctx.func_of.get(node) not in _C1_ENGINE_FUNCS:
+            continue
+        if isinstance(node, ast.Constant) and isinstance(node.value, float):
+            yield Finding(
+                ctx.path, node.lineno, node.col_offset, "C1",
+                f"float literal {node.value!r} in coin arithmetic; "
+                "exchange math must be exact integer arithmetic",
+            )
+        elif isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
+            yield Finding(
+                ctx.path, node.lineno, node.col_offset, "C1",
+                "true division `/` in coin arithmetic; use `//` "
+                "(scaled integer) so deltas stay integral",
+            )
+        elif isinstance(node, ast.AugAssign) and isinstance(
+            node.op, ast.Div
+        ):
+            yield Finding(
+                ctx.path, node.lineno, node.col_offset, "C1",
+                "true division `/=` in coin arithmetic; use `//=` so "
+                "coin counts stay integral",
+            )
+        elif isinstance(node, ast.Compare) and any(
+            isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops
+        ):
+            operands = [node.left, *node.comparators]
+            if any(_is_float_node(o) for o in operands):
+                yield Finding(
+                    ctx.path, node.lineno, node.col_offset, "C1",
+                    "float equality comparison in coin arithmetic; "
+                    "compare exact integers instead",
+                )
+
+
+def _coin_register_target(target: ast.expr) -> Optional[str]:
+    """Return a description if ``target`` writes a coin register."""
+    if not isinstance(target, ast.Attribute):
+        return None
+    if target.attr in ("has", "max"):
+        base = target.value
+        if isinstance(base, ast.Attribute) and base.attr == "coins":
+            return f"`{_dotted(target) or target.attr}`"
+    if target.attr == "coins":
+        return f"`{_dotted(target) or 'coins'}`"
+    return None
+
+
+def _check_s1(ctx: _Context) -> Iterator[Finding]:
+    if not _in_scope(ctx.module, _S1_SCOPES):
+        return
+    for node in ast.walk(ctx.tree):
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        for target in targets:
+            desc = _coin_register_target(target)
+            if desc is None:
+                continue
+            func = ctx.func_of.get(node, "")
+            if func in _S1_BLESSED_FUNCS:
+                continue
+            yield Finding(
+                ctx.path, node.lineno, node.col_offset, "S1",
+                f"direct write to coin register {desc} in `{func or 'module scope'}`; "
+                "coin state may only change through the engine's "
+                "_apply_delta / set_max mutation points",
+            )
+
+
+def _check_u1(ctx: _Context) -> Iterator[Finding]:
+    if not _in_scope(ctx.module, _U1_SCOPES):
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if node.name.startswith("_"):
+            continue
+        doc = ast.get_docstring(node) or ""
+        name_words = node.name.replace("_", " ")
+        mentions_time = bool(
+            _U1_TRIGGERS.search(name_words) or _U1_TRIGGERS.search(doc)
+        )
+        if not mentions_time:
+            continue
+        if not _U1_UNITS.search(doc):
+            yield Finding(
+                ctx.path, node.lineno, node.col_offset, "U1",
+                f"public function `{node.name}` mentions time but its "
+                "docstring does not state the unit (cycles or seconds)",
+            )
+
+
+_CHECKS = {
+    "D1": _check_d1,
+    "C1": _check_c1,
+    "S1": _check_s1,
+    "U1": _check_u1,
+}
+
+
+# ================================================================ front end
+def _module_name_for(path: Path) -> str:
+    """Map a file path to its dotted module name under ``repro``.
+
+    Files outside a ``repro`` package root get an empty module name (only
+    the globally scoped D1 checks apply) unless they carry a
+    ``# blitzlint: scope=...`` pragma.
+    """
+    parts = list(path.with_suffix("").parts)
+    if "repro" in parts:
+        idx = len(parts) - 1 - parts[::-1].index("repro")
+        mod_parts = parts[idx:]
+        if mod_parts[-1] == "__init__":
+            mod_parts = mod_parts[:-1]
+        return ".".join(mod_parts)
+    return ""
+
+
+def _suppressions(source: str) -> Tuple[Dict[int, set], Optional[str]]:
+    """Per-line suppressed codes plus an optional scope override."""
+    suppressed: Dict[int, set] = {}
+    scope: Optional[str] = None
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        m = _DISABLE_RE.search(line)
+        if m:
+            raw = m.group(1).strip()
+            if raw == "all":
+                suppressed[lineno] = set(RULES)
+            else:
+                suppressed[lineno] = {
+                    c.strip().upper() for c in raw.split(",") if c.strip()
+                }
+        s = _SCOPE_RE.search(line)
+        if s:
+            scope = s.group(1)
+    return suppressed, scope
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    *,
+    module: Optional[str] = None,
+    rules: Optional[Sequence[str]] = None,
+) -> List[Finding]:
+    """Lint one source string; ``module`` overrides path-derived scoping."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        raise LintError(f"{path}: syntax error: {exc}") from exc
+    suppressed, scope = _suppressions(source)
+    if module is None:
+        module = scope or _module_name_for(Path(path))
+    ctx = _Context(
+        path=path,
+        module=module,
+        tree=tree,
+        func_of=_build_function_map(tree),
+    )
+    selected = list(rules) if rules is not None else list(_CHECKS)
+    unknown = [r for r in selected if r not in _CHECKS]
+    if unknown:
+        raise LintError(f"unknown rule code(s): {', '.join(unknown)}")
+    findings: List[Finding] = []
+    for code in selected:
+        for f in _CHECKS[code](ctx):
+            if f.code in suppressed.get(f.line, set()):
+                continue
+            findings.append(f)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return findings
+
+
+def lint_file(
+    path: Path, *, rules: Optional[Sequence[str]] = None
+) -> List[Finding]:
+    """Lint one Python file."""
+    try:
+        source = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise LintError(f"cannot read {path}: {exc}") from exc
+    return lint_source(source, str(path), rules=rules)
+
+
+def _iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    for p in paths:
+        if p.is_dir():
+            yield from sorted(p.rglob("*.py"))
+        elif p.suffix == ".py":
+            yield p
+        else:
+            raise LintError(f"not a Python file or directory: {p}")
+
+
+def lint_paths(
+    paths: Sequence[str], *, rules: Optional[Sequence[str]] = None
+) -> List[Finding]:
+    """Lint every ``*.py`` file under the given files/directories."""
+    resolved = [Path(p) for p in paths]
+    missing = [p for p in resolved if not p.exists()]
+    if missing:
+        raise LintError(
+            f"no such path(s): {', '.join(str(p) for p in missing)}"
+        )
+    findings: List[Finding] = []
+    for f in _iter_python_files(resolved):
+        findings.extend(lint_file(f, rules=rules))
+    return findings
+
+
+# ================================================================= renderers
+def render_text(findings: Sequence[Finding]) -> str:
+    """Human-readable one-line-per-finding report."""
+    lines = [
+        f"{f.path}:{f.line}:{f.col}: {f.code} [{RULES[f.code]}] {f.message}"
+        for f in findings
+    ]
+    lines.append(
+        f"blitzlint: {len(findings)} finding(s)"
+        if findings
+        else "blitzlint: clean"
+    )
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    """Stable machine-readable report (schema version 1)."""
+    return json.dumps(
+        {
+            "version": 1,
+            "tool": "blitzlint",
+            "count": len(findings),
+            "findings": [f.to_dict() for f in findings],
+        },
+        indent=2,
+    )

@@ -1,0 +1,236 @@
+"""Runtime sanitizer: per-event invariant checking for the engine.
+
+The static rules in :mod:`repro.analysis.lint` keep the *code* honest;
+this module keeps a *run* honest.  When attached to a
+``CoinExchangeEngine`` it wraps the simulator's ``schedule`` so that
+after every executed event it re-verifies the paper's hardware
+invariants:
+
+* **coin conservation** — coins on tiles plus coins in flight equal the
+  fixed pool (the global form of "every exchange's deltas sum to zero",
+  Section III-B / Fig. 2);
+* **packet conservation** — every packet injected into the NoC fabric
+  is eventually delivered exactly once and never duplicated;
+* **register sanity** — no tile's ``max`` entitlement is ever negative,
+  and no tile's ``has`` drifts beyond the engine's divergence bound.
+
+Violations raise :class:`SanitizerError` carrying a ring buffer of the
+most recent events and packet sends (the "offending event trace"), so a
+broken invariant is debuggable instead of just fatal.
+
+Enable globally with ``BLITZCOIN_SANITIZE=1`` in the environment or
+per-run with ``BlitzCoinConfig(sanitize=True)``; the engine then
+attaches a sanitizer to itself at construction.  The checks are
+read-only and scheduled nothing, so a sanitized run produces *bit
+identical* results to an unsanitized one — only slower.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, List, Optional
+
+__all__ = [
+    "Sanitizer",
+    "SanitizerError",
+    "TraceEntry",
+    "attach_sanitizer",
+    "sanitize_enabled",
+]
+
+#: Environment variable that switches the sanitizer on for every engine.
+SANITIZE_ENV = "BLITZCOIN_SANITIZE"
+
+_TRUTHY = {"1", "true", "yes", "on"}
+
+
+def sanitize_enabled(config: Optional[Any] = None) -> bool:
+    """True when the env var or the config flag asks for sanitizing."""
+    if config is not None and getattr(config, "sanitize", False):
+        return True
+    return os.environ.get(SANITIZE_ENV, "").strip().lower() in _TRUTHY
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One recorded step: an executed event or an injected packet."""
+
+    time: int
+    kind: str  # "event" | "send" | "deliver"
+    description: str
+
+    def __str__(self) -> str:
+        return f"[{self.time:>10d}] {self.kind:<7s} {self.description}"
+
+
+class SanitizerError(RuntimeError):
+    """A runtime invariant violation, with the recent event trace.
+
+    Attributes
+    ----------
+    kind:
+        Stable violation class: ``coin-conservation``,
+        ``packet-conservation``, ``negative-max``, or ``coin-divergence``.
+    trace:
+        The most recent :class:`TraceEntry` records (oldest first),
+        ending with the event that exposed the violation.
+    details:
+        Violation-specific numbers (pool, tile sums, counters).
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        message: str,
+        trace: List[TraceEntry],
+        details: Optional[dict] = None,
+    ) -> None:
+        rendered = "\n".join(str(t) for t in trace[-16:])
+        super().__init__(
+            f"[{kind}] {message}\n--- recent events (oldest first) ---\n"
+            f"{rendered if rendered else '(no events recorded)'}"
+        )
+        self.kind = kind
+        self.trace = trace
+        self.details = details or {}
+
+
+class Sanitizer:
+    """Wraps one engine's simulator and fabric with invariant checks.
+
+    The wrapping is purely observational: callbacks run unchanged and
+    no extra events are scheduled, so event times, heap sequence numbers
+    and therefore results are identical with and without the sanitizer.
+    """
+
+    def __init__(self, engine: Any, trace_depth: int = 64) -> None:
+        self.engine = engine
+        self.trace: Deque[TraceEntry] = deque(maxlen=trace_depth)
+        self.events_checked = 0
+        self.packets_outstanding = 0
+        self._attached = False
+
+    # ------------------------------------------------------------- attach
+    def attach(self) -> "Sanitizer":
+        """Instrument the engine's simulator and NoC fabric."""
+        if self._attached:
+            return self
+        self._attached = True
+        sim = self.engine.sim
+        noc = self.engine.noc
+        original_schedule = sim.schedule
+        original_send = noc.send
+        original_deliver = noc._deliver
+
+        def schedule(
+            delay: int, callback: Callable[[], None], priority: int = 0
+        ):
+            return original_schedule(
+                delay, self._wrap(callback), priority
+            )
+
+        def send(packet) -> None:
+            self.packets_outstanding += 1
+            self.trace.append(
+                TraceEntry(
+                    sim.now,
+                    "send",
+                    f"{packet.msg_type.value} {packet.src}->{packet.dst} "
+                    f"payload={packet.payload!r}",
+                )
+            )
+            original_send(packet)
+
+        def deliver(packet) -> None:
+            self.packets_outstanding -= 1
+            self.trace.append(
+                TraceEntry(
+                    sim.now,
+                    "deliver",
+                    f"{packet.msg_type.value} {packet.src}->{packet.dst}",
+                )
+            )
+            original_deliver(packet)
+
+        sim.schedule = schedule
+        noc.send = send
+        noc._deliver = deliver
+        return self
+
+    def _wrap(self, callback: Callable[[], None]) -> Callable[[], None]:
+        name = getattr(callback, "__qualname__", repr(callback))
+
+        def checked() -> None:
+            self.trace.append(
+                TraceEntry(self.engine.sim.now, "event", name)
+            )
+            callback()
+            self.events_checked += 1
+            self.check_now()
+
+        return checked
+
+    # ------------------------------------------------------------- checks
+    def check_now(self) -> None:
+        """Verify every invariant against the engine's current state."""
+        engine = self.engine
+        on_tiles = sum(f.coins.has for f in engine.fsm.values())
+        in_flight = engine._in_flight
+        if on_tiles + in_flight != engine.pool:
+            raise SanitizerError(
+                "coin-conservation",
+                f"tiles hold {on_tiles} coins with {in_flight} in flight, "
+                f"but the pool is {engine.pool} "
+                f"(leak of {engine.pool - on_tiles - in_flight})",
+                list(self.trace),
+                details={
+                    "on_tiles": on_tiles,
+                    "in_flight": in_flight,
+                    "pool": engine.pool,
+                },
+            )
+        for tid, fsm in engine.fsm.items():
+            if fsm.coins.max < 0:
+                raise SanitizerError(
+                    "negative-max",
+                    f"tile {tid} has negative entitlement "
+                    f"max={fsm.coins.max}",
+                    list(self.trace),
+                    details={"tile": tid, "max": fsm.coins.max},
+                )
+            if abs(fsm.coins.has) > 2 * engine.pool + 64:
+                raise SanitizerError(
+                    "coin-divergence",
+                    f"tile {tid} coin count {fsm.coins.has} is outside "
+                    f"the divergence bound for pool {engine.pool}",
+                    list(self.trace),
+                    details={"tile": tid, "has": fsm.coins.has},
+                )
+        stats = engine.noc.stats
+        if self.packets_outstanding < 0 or (
+            stats.injected - stats.delivered != self.packets_outstanding
+        ):
+            raise SanitizerError(
+                "packet-conservation",
+                f"fabric accounting broken: injected={stats.injected} "
+                f"delivered={stats.delivered} but "
+                f"{self.packets_outstanding} packet(s) tracked in flight",
+                list(self.trace),
+                details={
+                    "injected": stats.injected,
+                    "delivered": stats.delivered,
+                    "outstanding": self.packets_outstanding,
+                },
+            )
+
+
+def attach_sanitizer(engine: Any, trace_depth: int = 64) -> Sanitizer:
+    """Create and attach a :class:`Sanitizer` to ``engine``.
+
+    Must be called before the engine (or anything else sharing its
+    simulator) schedules events that should be checked; the engine does
+    this itself at construction when :func:`sanitize_enabled` is true.
+    """
+    return Sanitizer(engine, trace_depth=trace_depth).attach()

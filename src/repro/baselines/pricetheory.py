@@ -14,9 +14,8 @@ bidding behaviour itself is exercised by tests, not just its scaling law.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, Tuple
 
 #: Published software response-time measurements (N, seconds).
 PUBLISHED_RESPONSE_S: Tuple[Tuple[int, float], ...] = (

@@ -15,8 +15,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
-import numpy as np
-
 from repro.core.metrics import global_error, worst_tile_error
 from repro.core.runner import (
     ScenarioSpec,

@@ -21,8 +21,9 @@ from __future__ import annotations
 import argparse
 import statistics
 import sys
-from typing import Callable, Dict
+from typing import Callable, Dict, List, Optional
 
+from repro.analysis.__main__ import add_lint_arguments, run_lint
 from repro.core.config import (
     plain_four_way,
     plain_one_way,
@@ -130,6 +131,10 @@ def cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    return run_lint(args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -166,10 +171,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("name", help="experiment module name, e.g. fig03_convergence")
     p.set_defaults(func=cmd_figure)
 
+    p = sub.add_parser(
+        "lint",
+        help="run blitzlint, the repo's determinism/coin-conservation "
+        "static analysis",
+    )
+    add_lint_arguments(p)
+    p.set_defaults(func=cmd_lint)
+
     return parser
 
 
-def main(argv=None) -> int:
+def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     return args.func(args)
 

@@ -34,10 +34,14 @@ class TileCoins:
 
     @property
     def ratio(self) -> float:
-        """The has/max ratio beta; +inf for a zero-max tile holding coins."""
+        """The has/max ratio beta; +inf for a zero-max tile holding coins.
+
+        Diagnostic read-out only — never feeds back into exchange
+        arithmetic, which stays exact-integer (rule C1).
+        """
         if self.max > 0:
-            return self.has / self.max
-        return float("inf") if self.has > 0 else 0.0
+            return self.has / self.max  # blitzlint: disable=C1
+        return float("inf") if self.has > 0 else 0.0  # blitzlint: disable=C1
 
 
 @dataclass(frozen=True)
@@ -103,20 +107,26 @@ def _fair_pair_targets(
     rem = total - base_i - base_j
     if rem == 0:
         return base_i, base_j
-    alpha = total / sum_max
     cand_a = (base_i + rem, base_j)
     cand_b = (base_i, base_j + rem)
 
-    def pair_error(cand: Tuple[int, int]) -> float:
-        return abs(cand[0] - alpha * i.max) + abs(cand[1] - alpha * j.max)
+    def pair_error(cand: Tuple[int, int]) -> int:
+        # The fair share of tile t is alpha * max_t with
+        # alpha = total / sum_max; scaling the error by sum_max keeps
+        # the comparison in exact integer arithmetic (rule C1):
+        # |cand_t - alpha * max_t| * sum_max == |cand_t * sum_max -
+        # total * max_t|.
+        return abs(cand[0] * sum_max - total * i.max) + abs(
+            cand[1] * sum_max - total * j.max
+        )
 
     def movement(cand: Tuple[int, int]) -> int:
         return abs(cand[0] - i.has)
 
     err_a, err_b = pair_error(cand_a), pair_error(cand_b)
-    if err_a < err_b - 1e-12:
+    if err_a < err_b:
         return cand_a
-    if err_b < err_a - 1e-12:
+    if err_b < err_a:
         return cand_b
     # Equal-error tie.  Normally prefer the low-movement candidate (a
     # converged pair stays a fixed point, so dynamic timing can back

@@ -8,7 +8,7 @@ exchanges (Sections III-B and III-D).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 
@@ -88,6 +88,12 @@ class BlitzCoinConfig:
     #: None disables the watchdog.
     exchange_timeout_cycles: Optional[int] = 4096
 
+    # --------------------------------------------------------- verification
+    #: Attach the runtime sanitizer (repro.analysis.sanitize) to every
+    #: engine built with this config; the BLITZCOIN_SANITIZE=1
+    #: environment variable enables it globally regardless of this flag.
+    sanitize: bool = False
+
     def __post_init__(self) -> None:
         if self.refresh_count < 1:
             raise ConfigError(f"refresh_count must be >= 1, got {self.refresh_count}")
@@ -133,7 +139,7 @@ class BlitzCoinConfig:
 
     @property
     def compute_cycles(self) -> int:
-        """FSM compute latency for the configured mode."""
+        """FSM compute latency, in NoC cycles, for the configured mode."""
         if self.mode is ExchangeMode.ONE_WAY:
             return self.compute_cycles_one_way
         return self.compute_cycles_four_way

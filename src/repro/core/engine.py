@@ -27,10 +27,11 @@ implements (Section IV-A).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Set
 
 import numpy as np
 
+from repro.analysis.sanitize import attach_sanitizer, sanitize_enabled
 from repro.core.coins import TileCoins, group_exchange, pairwise_exchange
 from repro.core.config import BlitzCoinConfig, ExchangeMode
 from repro.core.metrics import ErrorTracker
@@ -165,9 +166,15 @@ class CoinExchangeEngine:
             )
             self.noc.attach(tid, self._on_packet)
         self._started = False
+        #: Opt-in runtime invariant checker (BLITZCOIN_SANITIZE=1 or
+        #: ``config.sanitize``); must attach before any event is
+        #: scheduled so every event gets checked.
+        self.sanitizer = (
+            attach_sanitizer(self) if sanitize_enabled(config) else None
+        )
 
     # ------------------------------------------------------------ topology
-    def _managed_neighbors(self, tid: int, managed: set) -> List[int]:
+    def _managed_neighbors(self, tid: int, managed: Set[int]) -> List[int]:
         if self.config.wrap_around:
             candidates = self.topology.torus_neighbors(tid)
         else:
@@ -609,7 +616,8 @@ class CoinExchangeEngine:
     def set_max(self, tid: int, new_max: int) -> None:
         """Activity change: retarget tile ``tid`` (start/end of execution).
 
-        Resets the tile's dynamic interval so it reacts immediately, and
+        Resets the tile's dynamic interval (NoC cycles between exchange
+        initiations) so it reacts immediately, and
         kicks its next initiation, mirroring the hardware FSM engaging on
         an activity edge.
         """

@@ -89,8 +89,8 @@ class ErrorTracker:
         """Apply an activity change; alpha shifts, so recompute fully.
 
         Convergence stamping restarts: an activity change defines a new
-        equilibrium, and the time to reach it is the paper's response
-        time.
+        equilibrium, and the time to reach it (``now`` is in NoC
+        cycles) is the paper's response time.
         """
         self._max[tid] = new_max
         self._recompute()

@@ -99,8 +99,9 @@ def random_initial_allocation(
     (at least one), modeling the physically meaningful worst case: at a
     workload phase boundary the coins sit with the tiles that were active
     in the *previous* phase and must transport across the die to the new
-    equilibrium.  This produces the O(d) convergence-time scaling the
-    paper measures; a fully i.i.d. per-tile initialization only creates
+    equilibrium.  This produces the O(d) convergence-time scaling (in
+    NoC cycles) the paper measures; a fully i.i.d. per-tile
+    initialization only creates
     local imbalance, which equalizes in O(1) regardless of SoC size.
 
     ``donor_fraction=1.0`` recovers the i.i.d. multinomial spread.
@@ -133,7 +134,8 @@ def run_convergence_trial(
 ) -> TrialResult:
     """Run one seeded convergence trial on a d x d grid.
 
-    ``donor_fraction`` selects the initial-imbalance regime: the default
+    ``max_cycles`` bounds the run in NoC cycles.  ``donor_fraction``
+    selects the initial-imbalance regime: the default
     0.1 concentrates the pool on few tiles (transport-limited, the
     response-time regime of Figs. 3/4), while 1.0 spreads it i.i.d.
     (local-smoothing regime, where converged regions idle while

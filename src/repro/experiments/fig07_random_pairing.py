@@ -8,7 +8,7 @@ runs land within quantization for both N = 100 and N = 400.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
 import numpy as np

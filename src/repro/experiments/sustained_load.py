@@ -15,6 +15,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
+import numpy as np
+
 from repro.core.config import BlitzCoinConfig, preferred_embodiment
 from repro.core.engine import CoinExchangeEngine
 from repro.noc.behavioral import BehavioralNoc
@@ -64,13 +66,22 @@ class _ConvergenceClock:
 def run_sustained(
     d: int,
     t_w_us: float,
-    seed: int,
+    seed: Optional[int] = None,
     *,
     horizon_us: Optional[float] = None,
     config: Optional[BlitzCoinConfig] = None,
     duty: float = 0.5,
+    rng: Optional[np.random.Generator] = None,
 ) -> SustainedLoadResult:
-    """One churn run on a d x d SoC with mean phase duration ``t_w_us``."""
+    """One churn run on a d x d SoC with mean phase duration ``t_w_us``.
+
+    All randomness (phase trace, initial activity, engine phase
+    stagger) derives from one explicit source: pass either an integer
+    ``seed`` or an already-seeded ``repro.sim.rng`` generator handle —
+    never both (rule D1; module-level RNG state is banned).
+    """
+    if (seed is None) == (rng is None):
+        raise ValueError("pass exactly one of `seed` or `rng`")
     if horizon_us is None:
         horizon_us = max(10.0 * t_w_us, 500.0)
     config = config or preferred_embodiment()
@@ -78,11 +89,19 @@ def run_sustained(
     n = topo.n_tiles
     sim = Simulator()
     noc = BehavioralNoc(sim, topo)
-    rng = rng_for(seed, d, 3)
     horizon_cycles = us_to_cycles(horizon_us)
-    trace = random_phase_trace(
-        n, us_to_cycles(t_w_us), horizon_cycles, seed, duty=duty
-    )
+    if rng is None:
+        assert seed is not None
+        rng = rng_for(seed, d, 3)
+        trace = random_phase_trace(
+            n, us_to_cycles(t_w_us), horizon_cycles, seed, duty=duty
+        )
+    else:
+        # Single handle: the trace consumes from the same stream, ahead
+        # of the activity/stagger draws below — deterministic either way.
+        trace = random_phase_trace(
+            n, us_to_cycles(t_w_us), horizon_cycles, duty=duty, rng=rng
+        )
     # Start with roughly half the tiles active and a matched pool.
     initially_active = [bool(rng.integers(0, 2)) for _ in range(n)]
     max_vec = [ACTIVE_MAX if a else 0 for a in initially_active]

@@ -35,7 +35,7 @@ class BehavioralNoc(NocFabric):
         self.router_delay = router_delay
 
     def latency(self, src: int, dst: int, size_flits: int = 1) -> int:
-        """Deterministic delivery latency for a ``src -> dst`` packet."""
+        """Deterministic delivery latency, in cycles, for ``src -> dst``."""
         hops = self.topology.hop_distance(src, dst)
         return self.router_delay + hops * self.hop_cycles + (size_flits - 1)
 

@@ -10,7 +10,7 @@ from __future__ import annotations
 import enum
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, Dict, Optional
 
 
 class Plane(enum.IntEnum):
@@ -100,7 +100,7 @@ class PacketStats:
     delivered: int = 0
     total_hops: int = 0
     total_latency: int = 0
-    by_type: dict = field(default_factory=dict)
+    by_type: Dict[str, int] = field(default_factory=dict)
 
     def on_inject(self, packet: Packet) -> None:
         self.injected += 1

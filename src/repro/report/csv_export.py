@@ -11,7 +11,7 @@ from __future__ import annotations
 import csv
 import json
 from pathlib import Path
-from typing import Dict, Iterable, List, Mapping, Sequence, Union
+from typing import Dict, List, Mapping, Optional, Sequence, Union
 
 from repro.soc.executor import SocRunResult
 
@@ -27,7 +27,7 @@ def export_rows(
     path: Union[str, Path],
     rows: Sequence[Row],
     *,
-    fieldnames: Sequence[str] = None,
+    fieldnames: Optional[Sequence[str]] = None,
 ) -> Path:
     """Write dict-rows as one CSV file; returns the written path."""
     path = Path(path)

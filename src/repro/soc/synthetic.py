@@ -10,7 +10,7 @@ comparison (makespan, response, cap) can be *simulated* at mid scale
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.power.characterization import ACCELERATOR_CATALOG
 from repro.sim.rng import rng_for

@@ -18,7 +18,7 @@ single always-on correctness harness.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List
 
 from repro.soc.pm import BlitzCoinPM
 from repro.soc.soc import Soc

@@ -11,7 +11,7 @@ size for stress tests.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -49,9 +49,10 @@ def random_phase_trace(
     n_tiles: int,
     t_w_cycles: float,
     horizon_cycles: int,
-    seed: int,
+    seed: Optional[int] = None,
     *,
     duty: float = 0.5,
+    rng: Optional[np.random.Generator] = None,
 ) -> PhaseTrace:
     """Exponential on/off phases of mean T_w per tile.
 
@@ -61,6 +62,10 @@ def random_phase_trace(
     phase pair, i.e. one phase boundary every ``t_w / 2``... more simply:
     mean time between changes of one tile is t_w/2 on average with the
     default duty, giving the SoC-level T_w/N statistic of Fig. 1.
+
+    Randomness is explicit (rule D1): pass either an integer ``seed``
+    (a private stream is derived via :func:`repro.sim.rng.rng_for`) or
+    an already-seeded ``rng`` handle — never both.
     """
     if n_tiles < 1:
         raise ValueError(f"n_tiles must be >= 1, got {n_tiles}")
@@ -68,7 +73,11 @@ def random_phase_trace(
         raise ValueError("t_w and horizon must be positive")
     if not (0.0 < duty < 1.0):
         raise ValueError(f"duty must be in (0, 1), got {duty}")
-    rng = rng_for(seed, n_tiles)
+    if (seed is None) == (rng is None):
+        raise ValueError("pass exactly one of `seed` or `rng`")
+    if rng is None:
+        assert seed is not None
+        rng = rng_for(seed, n_tiles)
     events: List[Tuple[int, int, bool]] = []
     for tile in range(n_tiles):
         t = float(rng.exponential(t_w_cycles))  # random initial offset

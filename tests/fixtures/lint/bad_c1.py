@@ -1,0 +1,9 @@
+# blitzlint: scope=repro.core.coins
+"""Fixture: violates rule C1 (coin integrality)."""
+
+
+def fair_share(total, weight, sum_weights):
+    share = total * weight / sum_weights
+    if share == 0.0:
+        return 0
+    return share

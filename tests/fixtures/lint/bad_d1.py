@@ -1,0 +1,15 @@
+# blitzlint: scope=repro.core.fixture_d1
+"""Fixture: violates rule D1 (determinism) in several ways."""
+
+import random
+
+import numpy as np
+
+
+def pick_partner(candidates):
+    draw = np.random.random()
+    choice = random.choice(list(candidates))
+    for tid in set(candidates):  # unordered iteration in scheduling code
+        if tid > draw:
+            return tid
+    return choice

@@ -1,0 +1,12 @@
+# blitzlint: scope=repro.core.fixture_s1
+"""Fixture: violates rule S1 (state discipline)."""
+
+
+class Handler:
+    def __init__(self, fsm):
+        self.fsm = fsm
+
+    def on_status(self, packet):
+        # Mutating a coin register straight from a packet handler,
+        # bypassing the engine's _apply_delta mutation point.
+        self.fsm.coins.has += packet.payload.delta

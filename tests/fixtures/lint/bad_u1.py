@@ -1,0 +1,7 @@
+# blitzlint: scope=repro.noc.fixture_u1
+"""Fixture: violates rule U1 (units)."""
+
+
+def delivery_latency(src, dst):
+    """Latency between two tiles."""
+    return abs(src - dst)

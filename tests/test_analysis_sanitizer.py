@@ -1,0 +1,140 @@
+"""Tests for the runtime sanitizer (repro.analysis.sanitize)."""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.sanitize import (
+    SANITIZE_ENV,
+    Sanitizer,
+    SanitizerError,
+    attach_sanitizer,
+    sanitize_enabled,
+)
+from repro.core.config import preferred_embodiment
+from repro.core.engine import CoinExchangeEngine
+from repro.core.runner import run_convergence_trial
+from repro.noc.behavioral import BehavioralNoc
+from repro.noc.topology import MeshTopology
+from repro.sim.kernel import Simulator
+
+
+def build_engine(config=None, d=4, max_per_tile=8):
+    config = config or preferred_embodiment()
+    topo = MeshTopology(d, d)
+    sim = Simulator()
+    noc = BehavioralNoc(sim, topo)
+    n = topo.n_tiles
+    engine = CoinExchangeEngine(
+        sim, noc, config, [max_per_tile] * n, [max_per_tile] * n
+    )
+    return engine
+
+
+class TestEnabling:
+    def test_disabled_by_default(self, monkeypatch):
+        monkeypatch.delenv(SANITIZE_ENV, raising=False)
+        assert not sanitize_enabled()
+        assert build_engine().sanitizer is None
+
+    @pytest.mark.parametrize("value", ["1", "true", "YES", "On"])
+    def test_env_var_truthy_values(self, monkeypatch, value):
+        monkeypatch.setenv(SANITIZE_ENV, value)
+        assert sanitize_enabled()
+
+    @pytest.mark.parametrize("value", ["0", "false", "", "off"])
+    def test_env_var_falsy_values(self, monkeypatch, value):
+        monkeypatch.setenv(SANITIZE_ENV, value)
+        assert not sanitize_enabled()
+
+    def test_env_var_attaches_sanitizer(self, monkeypatch):
+        monkeypatch.setenv(SANITIZE_ENV, "1")
+        engine = build_engine()
+        assert isinstance(engine.sanitizer, Sanitizer)
+
+    def test_config_flag_attaches_sanitizer(self, monkeypatch):
+        monkeypatch.delenv(SANITIZE_ENV, raising=False)
+        config = dataclasses.replace(
+            preferred_embodiment(), sanitize=True
+        )
+        engine = build_engine(config)
+        assert isinstance(engine.sanitizer, Sanitizer)
+
+
+class TestTransparency:
+    """A sanitized run must be bit-identical to an unsanitized one."""
+
+    def test_convergence_trial_identical_results(self, monkeypatch):
+        monkeypatch.delenv(SANITIZE_ENV, raising=False)
+        plain = run_convergence_trial(
+            6, preferred_embodiment(), seed=11, threshold=1.5
+        )
+        monkeypatch.setenv(SANITIZE_ENV, "1")
+        sanitized = run_convergence_trial(
+            6, preferred_embodiment(), seed=11, threshold=1.5
+        )
+        assert plain == sanitized
+
+    def test_sanitized_clean_run_checks_events(self, monkeypatch):
+        monkeypatch.setenv(SANITIZE_ENV, "1")
+        engine = build_engine()
+        engine.start()
+        engine.sim.run(until=2_000)
+        assert engine.sanitizer.events_checked > 0
+        engine.check_conservation()
+
+
+class TestViolationDetection:
+    def test_injected_coin_corruption_raises_with_trace(self):
+        engine = build_engine()
+        sanitizer = attach_sanitizer(engine)
+        engine.start()
+        engine.sim.run(until=300)
+        # Corrupt a delta path: coins appear from nowhere, bypassing
+        # _apply_delta, exactly what a buggy exchange would do.
+        engine.fsm[3].coins.has += 5
+        with pytest.raises(SanitizerError) as exc_info:
+            engine.sim.run(until=5_000)
+        err = exc_info.value
+        assert err.kind == "coin-conservation"
+        assert err.details["pool"] == engine.pool
+        assert len(err.trace) > 0
+        # The trace carries real events with simulation timestamps.
+        assert any(t.kind == "event" for t in err.trace)
+        assert "recent events" in str(err)
+        assert sanitizer.events_checked > 0
+
+    def test_negative_max_detected(self):
+        engine = build_engine()
+        attach_sanitizer(engine)
+        engine.start()
+        engine.sim.run(until=100)
+        engine.fsm[0].coins.max = -1
+        with pytest.raises(SanitizerError) as exc_info:
+            engine.sim.run(until=2_000)
+        assert exc_info.value.kind == "negative-max"
+
+    def test_packet_accounting_corruption_detected(self):
+        engine = build_engine()
+        sanitizer = attach_sanitizer(engine)
+        engine.start()
+        engine.sim.run(until=100)
+        # Pretend a packet vanished from the fabric.
+        sanitizer.packets_outstanding += 1
+        with pytest.raises(SanitizerError) as exc_info:
+            engine.sim.run(until=2_000)
+        assert exc_info.value.kind == "packet-conservation"
+
+    def test_check_now_passes_on_healthy_engine(self):
+        engine = build_engine()
+        sanitizer = attach_sanitizer(engine)
+        engine.start()
+        engine.sim.run(until=1_000)
+        sanitizer.check_now()  # no raise
+
+    def test_trace_ring_buffer_bounded(self):
+        engine = build_engine()
+        sanitizer = attach_sanitizer(engine, trace_depth=8)
+        engine.start()
+        engine.sim.run(until=2_000)
+        assert len(sanitizer.trace) <= 8

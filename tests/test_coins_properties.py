@@ -1,0 +1,120 @@
+"""Property tests for the exact integer exchange arithmetic (Fig. 2).
+
+Hypothesis drives adversarial ``(has, max)`` inputs — including
+``max == 0`` tiles, transiently negative ``has`` (the hardware's
+sign-bit widening, Section IV-A), and counts far beyond float53
+precision — and asserts the two invariants the whole reproduction
+rests on: deltas always sum to zero, and every coin count stays an
+exact integer.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.coins import (
+    ExchangeResult,
+    TileCoins,
+    group_exchange,
+    pairwise_exchange,
+)
+
+#: Adversarial coin counts: negative transients through silicon-scale
+#: pools past 2**53, where float arithmetic would silently round.
+HAS = st.integers(min_value=-(10**4), max_value=10**16)
+MAX = st.integers(min_value=0, max_value=10**16)
+CAP = st.one_of(st.none(), st.integers(min_value=0, max_value=10**16))
+
+
+def tile(has: int, max_: int) -> TileCoins:
+    return TileCoins(has=has, max=max_)
+
+
+class TestPairwiseExchange:
+    @given(h_i=HAS, m_i=MAX, h_j=HAS, m_j=MAX, cap_i=CAP, cap_j=CAP,
+           shake=st.booleans())
+    @settings(max_examples=300)
+    def test_deltas_sum_to_zero_and_stay_integral(
+        self, h_i, m_i, h_j, m_j, cap_i, cap_j, shake
+    ):
+        result = pairwise_exchange(
+            tile(h_i, m_i), tile(h_j, m_j),
+            cap_i=cap_i, cap_j=cap_j, shake=shake,
+        )
+        assert isinstance(result, ExchangeResult)
+        assert sum(result.deltas) == 0
+        for d in result.deltas:
+            assert type(d) is int
+
+    @given(h_i=HAS, m_i=MAX, h_j=HAS, m_j=MAX)
+    @settings(max_examples=200)
+    def test_total_is_conserved_after_applying_deltas(
+        self, h_i, m_i, h_j, m_j
+    ):
+        result = pairwise_exchange(tile(h_i, m_i), tile(h_j, m_j))
+        d_i, d_j = result.deltas
+        assert (h_i + d_i) + (h_j + d_j) == h_i + h_j
+
+    @given(h_i=HAS, m_i=MAX, h_j=HAS, m_j=MAX)
+    @settings(max_examples=200)
+    def test_uncapped_exchange_is_a_fixed_point(self, h_i, m_i, h_j, m_j):
+        """Re-exchanging a freshly balanced pair moves nothing.
+
+        This is the canonical-rounding property the dynamic-timing
+        back-off depends on: without it one coin ping-pongs between
+        converged neighbors forever.
+        """
+        first = pairwise_exchange(tile(h_i, m_i), tile(h_j, m_j))
+        d_i, d_j = first.deltas
+        second = pairwise_exchange(
+            tile(h_i + d_i, m_i), tile(h_j + d_j, m_j)
+        )
+        assert second.is_zero
+
+    @given(h_i=HAS, h_j=HAS, m_j=MAX)
+    @settings(max_examples=100)
+    def test_inactive_initiator_relinquishes_everything(
+        self, h_i, h_j, m_j
+    ):
+        """A max == 0 tile facing an active partner keeps zero coins."""
+        if m_j == 0:
+            m_j = 1
+        result = pairwise_exchange(tile(h_i, 0), tile(h_j, m_j))
+        d_i, _ = result.deltas
+        assert h_i + d_i == 0
+
+    @given(h_i=HAS, h_j=HAS)
+    @settings(max_examples=50)
+    def test_both_inactive_is_a_no_op(self, h_i, h_j):
+        result = pairwise_exchange(tile(h_i, 0), tile(h_j, 0))
+        assert result.is_zero
+
+
+GROUP = st.lists(st.tuples(HAS, MAX), min_size=1, max_size=6)
+
+
+class TestGroupExchange:
+    @given(group=GROUP)
+    @settings(max_examples=300)
+    def test_deltas_sum_to_zero_and_stay_integral(self, group):
+        states = [tile(h, m) for h, m in group]
+        result = group_exchange(states)
+        assert sum(result.deltas) == 0
+        assert len(result.deltas) == len(states)
+        for d in result.deltas:
+            assert type(d) is int
+
+    @given(group=GROUP, caps=st.lists(CAP, min_size=6, max_size=6))
+    @settings(max_examples=200)
+    def test_capped_deltas_still_sum_to_zero(self, group, caps):
+        states = [tile(h, m) for h, m in group]
+        result = group_exchange(states, caps[: len(states)])
+        assert sum(result.deltas) == 0
+        for d in result.deltas:
+            assert type(d) is int
+
+    @given(group=GROUP)
+    @settings(max_examples=100)
+    def test_all_inactive_is_a_no_op(self, group):
+        states = [tile(h, 0) for h, _ in group]
+        result = group_exchange(states)
+        assert result.is_zero
