@@ -170,6 +170,12 @@ class Sanitizer:
             self.events_checked += 1
             self.check_now()
 
+        # Keep the original callback's identity visible so kernel
+        # profilers attribute events to the real site, not the wrapper.
+        checked.__qualname__ = name
+        checked.__module__ = getattr(
+            callback, "__module__", checked.__module__
+        )
         return checked
 
     # ------------------------------------------------------------- checks

@@ -21,7 +21,9 @@ from __future__ import annotations
 import argparse
 import statistics
 import sys
-from typing import Callable, Dict, List, Optional
+from contextlib import nullcontext
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Union
 
 from repro.analysis.__main__ import add_lint_arguments, run_lint
 from repro.core.config import (
@@ -30,6 +32,14 @@ from repro.core.config import (
     preferred_embodiment,
 )
 from repro.core.runner import run_convergence_trial
+from repro.obs import (
+    Observation,
+    observing,
+    summary_lines,
+    write_chrome_trace,
+    write_jsonl,
+    write_summary,
+)
 from repro.soc import PMKind, Soc, WorkloadExecutor, build_pm
 from repro.soc.presets import soc_3x3, soc_4x4, soc_6x6_chip
 from repro.workloads import (
@@ -67,11 +77,66 @@ VARIANTS: Dict[str, Callable] = {
 DEFAULT_BUDGETS = {"3x3": 120.0, "4x4": 450.0, "6x6": 180.0}
 
 
+def _obs_session(
+    args: argparse.Namespace, label: str
+) -> Optional[Observation]:
+    """An Observation when ``--obs``/``--trace-out`` asked for one."""
+    if getattr(args, "trace_out", None) or getattr(args, "obs", False):
+        return Observation(label=label)
+    return None
+
+
+def _finish_obs(
+    session: Optional[Observation], args: argparse.Namespace
+) -> None:
+    """Write/print observability outputs after an observed command."""
+    if session is None:
+        return
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out:
+        for path in _write_trace_outputs(session, trace_out).values():
+            print(f"wrote {path}")
+    if getattr(args, "obs", False):
+        print()
+        for line in summary_lines(session):
+            print(line)
+
+
+def _write_trace_outputs(
+    session: Observation, out_dir: Union[str, Path]
+) -> Dict[str, Path]:
+    """Write all three export formats into ``out_dir``."""
+    out = Path(out_dir)
+    return {
+        "trace": write_chrome_trace(session, out / "trace.json"),
+        "events": write_jsonl(session, out / "events.jsonl"),
+        "summary": write_summary(session, out / "summary.txt"),
+    }
+
+
+def _add_obs_arguments(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--obs",
+        action="store_true",
+        help="collect observability metrics and print a summary",
+    )
+    p.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="DIR",
+        help="write trace.json / events.jsonl / summary.txt to DIR",
+    )
+
+
 def cmd_soc_run(args: argparse.Namespace) -> int:
-    soc = Soc(SOCS[args.soc]())
-    budget = args.budget or DEFAULT_BUDGETS[args.soc]
-    pm = build_pm(SCHEMES[args.scheme], soc, budget)
-    result = WorkloadExecutor(soc, WORKLOADS[args.workload](), pm).run()
+    session = _obs_session(args, f"soc-run-{args.soc}-{args.scheme}")
+    with observing(session) if session is not None else nullcontext():
+        soc = Soc(SOCS[args.soc]())
+        budget = args.budget or DEFAULT_BUDGETS[args.soc]
+        pm = build_pm(SCHEMES[args.scheme], soc, budget)
+        result = WorkloadExecutor(soc, WORKLOADS[args.workload](), pm).run()
+        if session is not None:
+            soc.noc.stats.publish(session.registry, soc.sim.now)
     print(f"soc={result.soc_name} scheme={args.scheme} budget={budget} mW")
     print(f"makespan      {result.makespan_us:10.1f} us")
     print(f"response      {result.mean_response_us:10.2f} us (mean)")
@@ -79,35 +144,80 @@ def cmd_soc_run(args: argparse.Namespace) -> int:
     print(f"avg power     {result.average_power_mw():10.1f} mW")
     print(f"utilization   {result.budget_utilization() * 100:10.1f} %")
     print(f"energy        {result.energy_mj() * 1000:10.3f} uJ")
+    _finish_obs(session, args)
     return 0
 
 
 def cmd_convergence(args: argparse.Namespace) -> int:
     config = VARIANTS[args.variant]()
+    session = _obs_session(args, f"convergence-d{args.dim}")
     cycles, packets = [], []
-    for k in range(args.trials):
-        r = run_convergence_trial(
-            args.dim,
-            config,
-            seed=args.seed + k,
-            threshold=args.threshold,
-        )
-        if not r.converged:
-            print(f"trial {k}: DID NOT CONVERGE")
-            continue
-        cycles.append(r.cycles)
-        packets.append(r.packets)
-        print(
-            f"trial {k}: {r.cycles:8d} cycles  {r.packets:8d} packets  "
-            f"start_err={r.start_error:6.2f} final_err={r.final_error:5.2f}"
-        )
+    with observing(session) if session is not None else nullcontext():
+        for k in range(args.trials):
+            if session is not None:
+                session.epoch(f"trial{k}")
+            r = run_convergence_trial(
+                args.dim,
+                config,
+                seed=args.seed + k,
+                threshold=args.threshold,
+            )
+            if not r.converged:
+                print(f"trial {k}: DID NOT CONVERGE")
+                continue
+            cycles.append(r.cycles)
+            packets.append(r.packets)
+            print(
+                f"trial {k}: {r.cycles:8d} cycles  {r.packets:8d} packets  "
+                f"start_err={r.start_error:6.2f} final_err={r.final_error:5.2f}"
+            )
     if cycles:
         print(
             f"mean: {statistics.mean(cycles):10.0f} cycles  "
             f"{statistics.mean(packets):10.0f} packets  "
             f"({args.variant}, d={args.dim}, N={args.dim ** 2})"
         )
+    _finish_obs(session, args)
     return 0 if cycles else 1
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Run one experiment under full observability and export the trace."""
+    session = Observation(label=f"trace-{args.experiment}")
+    with observing(session):
+        if args.experiment == "convergence":
+            config = VARIANTS[args.variant]()
+            for k in range(args.trials):
+                session.epoch(f"trial{k}")
+                r = run_convergence_trial(
+                    args.dim,
+                    config,
+                    seed=args.seed + k,
+                    threshold=args.threshold,
+                )
+                status = (
+                    f"{r.cycles} cycles" if r.converged else "DID NOT CONVERGE"
+                )
+                print(f"trial {k}: {status}  {r.packets} packets")
+        else:
+            soc = Soc(SOCS[args.soc]())
+            budget = args.budget or DEFAULT_BUDGETS[args.soc]
+            pm = build_pm(SCHEMES[args.scheme], soc, budget)
+            result = WorkloadExecutor(
+                soc, WORKLOADS[args.workload](), pm
+            ).run()
+            soc.noc.stats.publish(session.registry, soc.sim.now)
+            print(
+                f"soc={result.soc_name} scheme={args.scheme} "
+                f"makespan={result.makespan_us:.1f} us"
+            )
+    for line in summary_lines(session):
+        print(line)
+    print()
+    for path in _write_trace_outputs(session, args.out).values():
+        print(f"wrote {path}")
+    print("open trace.json in ui.perfetto.dev or chrome://tracing")
+    return 0
 
 
 def cmd_figure(args: argparse.Namespace) -> int:
@@ -151,6 +261,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--budget", type=float, default=None, help="power budget in mW"
     )
+    _add_obs_arguments(p)
     p.set_defaults(func=cmd_soc_run)
 
     p = sub.add_parser(
@@ -163,7 +274,39 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--variant", choices=sorted(VARIANTS), default="preferred"
     )
+    _add_obs_arguments(p)
     p.set_defaults(func=cmd_convergence)
+
+    p = sub.add_parser(
+        "trace",
+        help="run one experiment fully observed and export a Perfetto-"
+        "loadable Chrome trace plus JSONL and text summaries",
+    )
+    p.add_argument(
+        "experiment",
+        choices=["convergence", "soc"],
+        help="which experiment to trace",
+    )
+    p.add_argument(
+        "--out", default="obs_trace", metavar="DIR",
+        help="output directory (default: obs_trace)",
+    )
+    p.add_argument("--dim", type=int, default=6, help="grid dimension d")
+    p.add_argument("--trials", type=int, default=1)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--threshold", type=float, default=1.5)
+    p.add_argument(
+        "--variant", choices=sorted(VARIANTS), default="preferred"
+    )
+    p.add_argument("--soc", choices=sorted(SOCS), default="3x3")
+    p.add_argument(
+        "--workload", choices=sorted(WORKLOADS), default="av-par"
+    )
+    p.add_argument("--scheme", choices=sorted(SCHEMES), default="BC")
+    p.add_argument(
+        "--budget", type=float, default=None, help="power budget in mW"
+    )
+    p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser(
         "figure", help="regenerate a paper figure's rows (e.g. fig17)"

@@ -38,6 +38,7 @@ from repro.core.metrics import ErrorTracker
 from repro.noc.fabric import NocFabric
 from repro.noc.packet import MessageType, Packet
 from repro.noc.topology import MeshTopology
+from repro.obs import runtime as _obs
 from repro.sim.kernel import Event, Simulator
 
 
@@ -235,6 +236,8 @@ class CoinExchangeEngine:
             return
         fsm.exchange_count += 1
         self.exchanges_started += 1
+        if _obs.sink is not None:
+            _obs.sink.inc("engine.exchanges_initiated", self.sim.now)
         self._arm_timeout(fsm)
         if self.config.mode is ExchangeMode.ONE_WAY:
             partner = self._pick_partner(fsm)
@@ -244,6 +247,15 @@ class CoinExchangeEngine:
             fsm.busy = True
             uid = self._next_uid()
             fsm.pending_uid = uid
+            if _obs.sink is not None:
+                _obs.sink.begin_span(
+                    f"xchg:{uid}",
+                    "exchange",
+                    self.sim.now,
+                    cat="engine",
+                    track=tid,
+                    args={"mode": "1way", "tile": tid, "partner": partner},
+                )
             self.noc.send(
                 Packet(
                     src=tid,
@@ -264,6 +276,19 @@ class CoinExchangeEngine:
             fsm.busy = True
             uid = self._next_uid()
             fsm.pending_uid = uid
+            if _obs.sink is not None:
+                _obs.sink.begin_span(
+                    f"xchg:{uid}",
+                    "exchange",
+                    self.sim.now,
+                    cat="engine",
+                    track=tid,
+                    args={
+                        "mode": "4way",
+                        "tile": tid,
+                        "neighbors": len(fsm.neighbors),
+                    },
+                )
             fsm.pending_statuses = {}
             fsm.pending_order = list(fsm.neighbors)
             for nb in fsm.neighbors:
@@ -296,6 +321,13 @@ class CoinExchangeEngine:
         def expire() -> None:
             if fsm.busy and fsm.pending_uid == uid_at_arm:
                 self.exchanges_timed_out += 1
+                if _obs.sink is not None:
+                    _obs.sink.inc("engine.timeouts", self.sim.now)
+                    _obs.sink.end_span(
+                        f"xchg:{uid_at_arm}",
+                        self.sim.now,
+                        args={"outcome": "timeout"},
+                    )
                 fsm.pending_uid = -1
                 self._finish_exchange(fsm.tid, moved=False, nacked=True)
 
@@ -385,6 +417,15 @@ class CoinExchangeEngine:
         fsm = self.fsm[packet.dst]
         req: _RequestPayload = packet.payload
         if fsm.busy or fsm.locked:
+            if _obs.sink is not None:
+                _obs.sink.inc("engine.nacks_sent", self.sim.now)
+                _obs.sink.event(
+                    "nack",
+                    self.sim.now,
+                    cat="engine",
+                    track=packet.dst,
+                    args={"to": packet.src, "uid": req.exchange_uid},
+                )
             payload = _StatusPayload(0, 0, req.exchange_uid, nack=True)
         else:
             fsm.locked = True
@@ -429,6 +470,15 @@ class CoinExchangeEngine:
         me = self.fsm[packet.dst]
         status: _StatusPayload = packet.payload
         if me.busy or me.locked:
+            if _obs.sink is not None:
+                _obs.sink.inc("engine.nacks_sent", self.sim.now)
+                _obs.sink.event(
+                    "nack",
+                    self.sim.now,
+                    cat="engine",
+                    track=packet.dst,
+                    args={"to": packet.src, "uid": status.exchange_uid},
+                )
             self.noc.send(
                 Packet(
                     src=packet.dst,
@@ -441,6 +491,16 @@ class CoinExchangeEngine:
             )
             return
         me.locked = True
+        if _obs.sink is not None:
+            _obs.sink.begin_span(
+                f"serve:{status.exchange_uid}:{packet.dst}",
+                "serve",
+                self.sim.now,
+                cat="engine",
+                track=packet.dst,
+                parent_id=f"xchg:{status.exchange_uid}",
+                args={"initiator": packet.src},
+            )
         self._observe(packet.dst, packet.src, status.has)
 
         def apply_and_reply() -> None:
@@ -457,6 +517,12 @@ class CoinExchangeEngine:
             me.locked = False
             if delta_me != 0:
                 self._wake(me)
+            if _obs.sink is not None:
+                _obs.sink.end_span(
+                    f"serve:{status.exchange_uid}:{packet.dst}",
+                    self.sim.now,
+                    args={"delta": delta_me},
+                )
             self._in_flight += delta_initiator
             self.noc.send(
                 Packet(
@@ -560,6 +626,16 @@ class CoinExchangeEngine:
                 f"(pool={self.pool}); protocol invariant broken"
             )
         self.tracker.update_has(tid, fsm.coins.has, self.sim.now)
+        if _obs.sink is not None:
+            _obs.sink.inc("engine.coin_deltas", self.sim.now)
+            _obs.sink.inc("engine.coins_moved", self.sim.now, abs(delta))
+            _obs.sink.event(
+                "apply",
+                self.sim.now,
+                cat="engine",
+                track=tid,
+                args={"delta": delta, "has": fsm.coins.has},
+            )
         if self.coin_listener is not None:
             self.coin_listener(tid, fsm.coins.has)
         if self.stop_on_convergence and self.tracker.is_converged:
@@ -569,6 +645,21 @@ class CoinExchangeEngine:
         self, tid: int, moved: bool, nacked: bool = False
     ) -> None:
         fsm = self.fsm[tid]
+        if _obs.sink is not None:
+            outcome = (
+                "nacked" if nacked else ("moved" if moved else "zero")
+            )
+            _obs.sink.inc(
+                "engine.exchanges_finished", self.sim.now, outcome=outcome
+            )
+            if fsm.busy and fsm.pending_uid >= 0:
+                # The empty-initiate path never opened a span (busy was
+                # never set) and the timeout path already closed it.
+                _obs.sink.end_span(
+                    f"xchg:{fsm.pending_uid}",
+                    self.sim.now,
+                    args={"outcome": outcome},
+                )
         fsm.busy = False
         if fsm.timeout_event is not None:
             fsm.timeout_event.cancel()

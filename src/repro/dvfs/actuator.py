@@ -22,6 +22,7 @@ from repro.dvfs.ldo import DigitalLdo
 from repro.dvfs.oscillator import RingOscillator
 from repro.dvfs.tdc import CounterTdc
 from repro.dvfs.uvfr import UvfrLoop
+from repro.obs import runtime as _obs
 from repro.power.characterization import PowerFrequencyCurve
 from repro.sim.kernel import Event, Simulator
 
@@ -66,6 +67,8 @@ class TileActuator:
         f_hz = min(f_hz, self.curve.spec.f_max_hz)
         if f_hz == self.f_target_hz and self._pending is not None:
             return  # same target already settling; let it land
+        if _obs.sink is not None:
+            _obs.sink.inc("dvfs.retargets", self.sim.now)
         self.f_target_hz = f_hz
         if self._pending is not None:
             self._pending.cancel()
@@ -77,6 +80,8 @@ class TileActuator:
             self.f_current_hz = self.f_target_hz
             self._pending = None
             self.transitions.append((self.sim.now, self.f_current_hz))
+            if _obs.sink is not None:
+                _obs.sink.inc("dvfs.landings", self.sim.now)
             if self.on_frequency_change is not None:
                 self.on_frequency_change(self.f_current_hz)
 

@@ -7,6 +7,7 @@ from typing import Callable, Dict
 
 from repro.noc.packet import Packet, PacketStats
 from repro.noc.topology import MeshTopology
+from repro.obs import runtime as _obs
 from repro.sim.kernel import Simulator
 
 #: A tile-side callback invoked when a packet arrives at its destination.
@@ -42,6 +43,10 @@ class NocFabric(abc.ABC):
         self.topology._check(packet.dst)
         packet.injected_at = self.sim.now
         self.stats.on_inject(packet)
+        if _obs.sink is not None:
+            _obs.sink.inc(
+                "noc.packets", self.sim.now, kind=packet.msg_type.value
+            )
         self._transport(packet)
 
     @abc.abstractmethod
@@ -52,6 +57,36 @@ class NocFabric(abc.ABC):
         packet.delivered_at = self.sim.now
         hops = self.topology.hop_distance(packet.src, packet.dst)
         self.stats.on_deliver(packet, hops)
+        if _obs.sink is not None:
+            injected = (
+                packet.injected_at
+                if packet.injected_at is not None
+                else self.sim.now
+            )
+            exchange_uid = getattr(packet.payload, "exchange_uid", None)
+            _obs.sink.complete_span(
+                f"pkt:{packet.uid}",
+                packet.msg_type.value,
+                injected,
+                self.sim.now,
+                cat="noc",
+                track=packet.src,
+                parent_id=(
+                    f"xchg:{exchange_uid}"
+                    if exchange_uid is not None
+                    else None
+                ),
+                args={
+                    "src": packet.src,
+                    "dst": packet.dst,
+                    "hops": hops,
+                    "flits": packet.size_flits,
+                },
+            )
+            _obs.sink.observe("noc.hop_histogram", self.sim.now, hops)
+            _obs.sink.observe(
+                "noc.latency_cycles", self.sim.now, self.sim.now - injected
+            )
         handler = self._handlers.get(packet.dst)
         if handler is not None:
             handler(packet)

@@ -126,3 +126,22 @@ class PacketStats:
             for t in MessageType
             if t.is_coin_message
         )
+
+    def publish(self, registry: Any, time: int) -> None:
+        """Snapshot these totals into a metrics registry at cycle ``time``.
+
+        Uses gauges (not counters) because the stats object already holds
+        running totals; re-publishing must overwrite, never re-add.  The
+        per-kind counts land on ``noc.stats.packets{kind=...}``.
+        """
+        registry.set_gauge("noc.stats.injected", time, self.injected)
+        registry.set_gauge("noc.stats.delivered", time, self.delivered)
+        registry.set_gauge("noc.stats.total_hops", time, self.total_hops)
+        registry.set_gauge(
+            "noc.stats.mean_latency_cycles", time, self.mean_latency
+        )
+        registry.set_gauge("noc.stats.coin_packets", time, self.coin_packets)
+        for kind in sorted(self.by_type):
+            registry.set_gauge(
+                "noc.stats.packets", time, self.by_type[kind], kind=kind
+            )

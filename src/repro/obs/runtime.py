@@ -1,0 +1,76 @@
+"""The module-level fast flag gating every instrumentation point.
+
+Instrumented call sites throughout the simulator read one module
+attribute and branch::
+
+    from repro.obs import runtime as _obs
+    ...
+    if _obs.sink is not None:
+        _obs.sink.inc("engine.exchanges_initiated", self.sim.now)
+
+When no sink is installed (the default) each site costs a single
+attribute load plus an ``is None`` test — the simulation executes the
+same instruction path as an uninstrumented build, and results are
+bit-identical either way because sinks observe but never schedule.
+
+Only one sink may be installed at a time; use :func:`observing` to
+scope a sink to a ``with`` block.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.obs.sink import ObsError, ObsSink, Observation
+
+__all__ = ["enabled", "install", "observing", "sink", "uninstall"]
+
+#: The installed sink, or None when observability is disabled.
+#: Call sites read this attribute directly as the fast path.
+sink: Optional[ObsSink] = None
+
+
+def enabled() -> bool:
+    """True when an observability sink is installed."""
+    return sink is not None
+
+
+def install(new_sink: ObsSink) -> ObsSink:
+    """Install ``new_sink`` as the process-wide observability sink."""
+    global sink
+    if sink is not None:
+        raise ObsError(
+            "an observability sink is already installed; uninstall it "
+            "first (nesting sinks would double-count instruments)"
+        )
+    sink = new_sink
+    return new_sink
+
+
+def uninstall() -> Optional[ObsSink]:
+    """Remove the installed sink (if any) and return it."""
+    global sink
+    removed = sink
+    sink = None
+    return removed
+
+
+@contextmanager
+def observing(
+    session: Optional[Observation] = None,
+) -> Iterator[Observation]:
+    """Install a collecting :class:`Observation` for the ``with`` body.
+
+    >>> from repro.obs.runtime import observing
+    >>> with observing() as session:
+    ...     pass  # run the simulation here
+    >>> session.profile.events_total
+    0
+    """
+    active = session if session is not None else Observation()
+    install(active)
+    try:
+        yield active
+    finally:
+        uninstall()

@@ -15,8 +15,10 @@ reproduces that workflow:
 from repro.report.csv_export import (
     CsvExportError,
     export_figure,
+    export_packet_stats,
     export_rows,
     export_soc_run,
+    packet_stats_rows,
     read_csv,
 )
 from repro.report.post_process import (
@@ -30,10 +32,12 @@ __all__ = [
     "CsvExportError",
     "ascii_chart",
     "export_figure",
+    "export_packet_stats",
     "export_rows",
     "export_soc_run",
     "extract_execution_times",
     "extract_response_times",
+    "packet_stats_rows",
     "read_csv",
     "reconstruct_power_trace",
 ]

@@ -13,6 +13,8 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional
 
+from repro.obs import runtime as _obs
+
 
 class SimulationError(RuntimeError):
     """Raised when the simulator is driven outside its contract."""
@@ -119,6 +121,10 @@ class Simulator:
                 self.now = event.time
                 event.callback()
                 self._events_processed += 1
+                # Profiling hook: one branch when disabled; the sink only
+                # counts (it never schedules), so results are unchanged.
+                if _obs.sink is not None:
+                    _obs.sink.kernel_event(self.now, event.callback)
                 if (
                     self._max_events is not None
                     and self._events_processed >= self._max_events

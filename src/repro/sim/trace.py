@@ -45,6 +45,27 @@ class StateTrace:
             return 0.0
         return self.values[idx]
 
+    @property
+    def final_value(self) -> float:
+        """Last recorded sample (0.0 for an empty trace).
+
+        This is the value the step function holds for all times at or
+        after the last sample, i.e. ``value_at(t)`` for any ``t >=
+        times[-1]``.
+        """
+        return self.values[-1] if self.values else 0.0
+
+    def as_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The trace as ``(times, values)`` numpy arrays.
+
+        Times are int64 NoC cycles, values float64; both are copies, so
+        mutating them does not affect the trace.
+        """
+        return (
+            np.asarray(self.times, dtype=np.int64),
+            np.asarray(self.values, dtype=np.float64),
+        )
+
     def __len__(self) -> int:
         return len(self.times)
 
@@ -52,7 +73,17 @@ class StateTrace:
         return iter(zip(self.times, self.values))
 
     def integral(self, t0: int, t1: int) -> float:
-        """Integrate the step function over ``[t0, t1)`` (value x cycles)."""
+        """Integrate the step function over ``[t0, t1)`` (value x cycles).
+
+        The window is half-open: the value prevailing at ``t0`` is
+        charged from ``t0`` (inclusive), and a sample recorded exactly
+        at ``t1`` contributes nothing — it only takes effect *from*
+        ``t1``, which is outside the window.  Consequently adjacent
+        windows tile exactly: ``integral(a, b) + integral(b, c) ==
+        integral(a, c)`` for any ``a <= b <= c``, with no sample
+        double-counted or dropped at the seam.  Time before the first
+        sample integrates as 0.0, and ``t1 <= t0`` yields 0.0.
+        """
         if t1 <= t0:
             return 0.0
         total = 0.0

@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.obs import runtime as _obs
 from repro.sim import NOC_FREQUENCY_HZ, cycles_to_us
 from repro.sim.kernel import Event
 from repro.soc.soc import Soc
@@ -217,6 +218,16 @@ class WorkloadExecutor:
     def _start_task(self, name: str, tile: int) -> None:
         task = self.graph[name]
         self.task_start[name] = self.soc.sim.now
+        if _obs.sink is not None:
+            _obs.sink.inc("exec.tasks_started", self.soc.sim.now)
+            _obs.sink.begin_span(
+                f"task:{name}",
+                name,
+                self.soc.sim.now,
+                cat="task",
+                track=tile,
+                args={"work_cycles": task.work_cycles},
+            )
         self._running[tile] = _RunningTask(
             name=name,
             tile=tile,
@@ -271,6 +282,9 @@ class WorkloadExecutor:
     def _complete_task(self, tile: int) -> None:
         run = self._running.pop(tile)
         self.task_finish[run.name] = self.soc.sim.now
+        if _obs.sink is not None:
+            _obs.sink.inc("exec.tasks_finished", self.soc.sim.now)
+            _obs.sink.end_span(f"task:{run.name}", self.soc.sim.now)
         self._remaining -= 1
         if self._remaining == 0:
             # Workload done: stop the run; the PM processes would

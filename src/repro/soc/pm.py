@@ -26,6 +26,7 @@ from repro.core.config import BlitzCoinConfig
 from repro.core.engine import CoinExchangeEngine
 from repro.core.metrics import ErrorTracker
 from repro.dvfs.lut import CoinLut
+from repro.obs import runtime as _obs
 from repro.power.allocation import AllocationStrategy, allocate
 from repro.power.budget import MAX_COINS_PER_TILE, build_pooled_budget
 from repro.soc.soc import Soc
@@ -39,6 +40,27 @@ class PMKind(enum.Enum):
     ROUND_ROBIN = "C-RR"
     TOKENSMART = "TS"
     STATIC = "static"
+
+
+def _activity_edge(scheme: str, tid: int, edge: str, now: int) -> None:
+    """Record a tile activity edge into the observability sink."""
+    if _obs.sink is not None:
+        _obs.sink.inc("pm.activity_edges", now, edge=edge)
+        _obs.sink.event(
+            f"tile_{edge}",
+            now,
+            cat="pm",
+            track=tid,
+            args={"scheme": scheme},
+        )
+
+
+def _record_response(scheme: str, now: int, response_cycles: int) -> None:
+    """Record one activity-change-to-equilibrium response time."""
+    if _obs.sink is not None:
+        _obs.sink.observe(
+            "pm.response_cycles", now, response_cycles, scheme=scheme
+        )
 
 
 def _idle_floor_mw(soc: Soc, tiles) -> float:
@@ -136,11 +158,13 @@ class BlitzCoinPM:
 
     # ---------------------------------------------------------------- edges
     def on_tile_start(self, tid: int) -> None:
+        _activity_edge("BC", tid, "start", self.soc.sim.now)
         self.engine.set_max(tid, self.coin_budget.max_by_tile[tid])
         self._mark_change()
         self._apply_frequency(tid)
 
     def on_tile_end(self, tid: int) -> None:
+        _activity_edge("BC", tid, "end", self.soc.sim.now)
         self.engine.set_max(tid, 0)
         self._mark_change()
         self.soc.set_frequency_target(tid, 0.0)
@@ -174,6 +198,7 @@ class BlitzCoinPM:
             self.response_times.append(response)
             self.response_log.append((self._last_change, response))
             self._awaiting = False
+            _record_response("BC", self.soc.sim.now, response)
 
     @property
     def mean_response_cycles(self) -> float:
@@ -213,6 +238,7 @@ class CentralizedPM:
             policy_obj = ProportionalPolicy()
         else:
             raise ValueError(f"unknown centralized policy {policy!r}")
+        self.scheme_label = "C-RR" if policy == "crr" else "BC-C"
         if timing is None:
             # Per-tile loop costs calibrated to the paper's fitted scaling
             # constants (Section VI-D): tau_BC-C = 0.66 us/tile and
@@ -257,9 +283,11 @@ class CentralizedPM:
 
     def on_tile_start(self, tid: int) -> None:
         # The tile waits for the controller's next update before ramping.
+        _activity_edge(self.scheme_label, tid, "start", self.soc.sim.now)
         self.scheme.on_activity_change(tid)
 
     def on_tile_end(self, tid: int) -> None:
+        _activity_edge(self.scheme_label, tid, "end", self.soc.sim.now)
         self.soc.set_frequency_target(tid, 0.0)
         self.scheme.on_activity_change(tid)
 
@@ -308,10 +336,12 @@ class StaticPM:
         """Nothing to do until tiles activate."""
 
     def on_tile_start(self, tid: int) -> None:
+        _activity_edge("static", tid, "start", self.soc.sim.now)
         f = self.soc.curves[tid].f_for_power(self.targets.get(tid, 0.0))
         self.soc.set_frequency_target(tid, f)
 
     def on_tile_end(self, tid: int) -> None:
+        _activity_edge("static", tid, "end", self.soc.sim.now)
         self.soc.set_frequency_target(tid, 0.0)
 
     @property
@@ -470,11 +500,13 @@ class TokenSmartPM:
             self.soc.set_frequency_target(tid, 0.0)
 
     def on_tile_start(self, tid: int) -> None:
+        _activity_edge("TS", tid, "start", self.soc.sim.now)
         self.max[tid] = self.coin_budget.max_by_tile[tid]
         self._tracker.update_max(tid, self.max[tid], self.soc.sim.now)
         self._mark_change()
 
     def on_tile_end(self, tid: int) -> None:
+        _activity_edge("TS", tid, "end", self.soc.sim.now)
         self.max[tid] = 0
         self._tracker.update_max(tid, 0, self.soc.sim.now)
         self.soc.set_frequency_target(tid, 0.0)
@@ -503,6 +535,7 @@ class TokenSmartPM:
             self.response_times.append(response)
             self.response_log.append((self._last_change, response))
             self._awaiting = False
+            _record_response("TS", self.soc.sim.now, response)
 
     @property
     def mean_response_cycles(self) -> float:

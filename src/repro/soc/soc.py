@@ -8,6 +8,7 @@ from repro.dvfs.actuator import TileActuator
 from repro.noc.behavioral import BehavioralNoc
 from repro.noc.fabric import NocFabric
 from repro.noc.router import CycleNoc
+from repro.obs import runtime as _obs
 from repro.power.characterization import PowerFrequencyCurve, get_curve
 from repro.sim.kernel import Simulator
 from repro.sim.trace import TraceRecorder
@@ -63,6 +64,14 @@ class Soc:
         def on_change(f_hz: float) -> None:
             self._record_power(tid)
             self.recorder.record(f"freq/{tid}", self.sim.now, f_hz)
+            if _obs.sink is not None:
+                _obs.sink.sample(
+                    "soc.freq_mhz",
+                    self.sim.now,
+                    f_hz / 1e6,
+                    cat="soc",
+                    track=tid,
+                )
             for listener in self._f_change_listeners:
                 listener(tid, f_hz)
 
@@ -88,6 +97,10 @@ class Soc:
     def _record_power(self, tid: int) -> None:
         power = self.actuators[tid].power_mw(self.active[tid])
         self.recorder.record(f"power/{tid}", self.sim.now, power)
+        if _obs.sink is not None:
+            _obs.sink.sample(
+                "soc.power_mw", self.sim.now, power, cat="soc", track=tid
+            )
 
     # -------------------------------------------------------------- read-outs
     def tile_power_mw(self, tid: int) -> float:

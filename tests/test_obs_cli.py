@@ -1,0 +1,104 @@
+"""Tests for the trace subcommand and the --obs/--trace-out flags."""
+
+import json
+
+from repro.cli import build_parser, main
+from repro.obs import validate_chrome_trace
+
+
+class TestParser:
+    def test_trace_defaults(self):
+        args = build_parser().parse_args(["trace", "convergence"])
+        assert args.experiment == "convergence"
+        assert args.dim == 6
+        assert args.out == "obs_trace"
+
+    def test_obs_flags_on_existing_commands(self):
+        args = build_parser().parse_args(
+            ["convergence", "--obs", "--trace-out", "somewhere"]
+        )
+        assert args.obs
+        assert args.trace_out == "somewhere"
+        args = build_parser().parse_args(["soc-run", "--obs"])
+        assert args.obs
+        assert args.trace_out is None
+
+
+class TestTraceCommand:
+    def test_trace_convergence_exports_all_formats(self, tmp_path, capsys):
+        rc = main(
+            ["trace", "convergence", "--dim", "4",
+             "--out", str(tmp_path / "t")]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "observability summary" in out
+        assert "callback site" in out  # profiler table printed
+        doc = json.loads((tmp_path / "t" / "trace.json").read_text())
+        assert validate_chrome_trace(doc) == []
+        assert doc["otherData"]["time_unit"] == "noc-cycles"
+        lines = (tmp_path / "t" / "events.jsonl").read_text().splitlines()
+        assert json.loads(lines[0])["type"] == "meta"
+        assert "summary" in (tmp_path / "t" / "summary.txt").read_text()
+
+    def test_trace_convergence_epochs_per_trial(self, tmp_path, capsys):
+        rc = main(
+            ["trace", "convergence", "--dim", "4", "--trials", "2",
+             "--out", str(tmp_path / "t")]
+        )
+        assert rc == 0
+        doc = json.loads((tmp_path / "t" / "trace.json").read_text())
+        processes = {
+            e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert any(p.startswith("trial0:") for p in processes)
+        assert any(p.startswith("trial1:") for p in processes)
+
+    def test_trace_soc_includes_packet_stats(self, tmp_path, capsys):
+        rc = main(
+            ["trace", "soc", "--soc", "3x3", "--workload", "pm3",
+             "--out", str(tmp_path / "t")]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "noc.stats.injected" in out
+        assert "exec.tasks_started" in out
+
+
+class TestObsFlags:
+    def test_convergence_obs_prints_summary(self, capsys):
+        rc = main(
+            ["convergence", "--dim", "4", "--trials", "1", "--obs"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "observability summary" in out
+        assert "engine.exchanges_initiated" in out
+
+    def test_convergence_trace_out_writes_files(self, tmp_path, capsys):
+        rc = main(
+            ["convergence", "--dim", "4", "--trials", "1",
+             "--trace-out", str(tmp_path / "out")]
+        )
+        assert rc == 0
+        doc = json.loads((tmp_path / "out" / "trace.json").read_text())
+        assert validate_chrome_trace(doc) == []
+        # no --obs: the summary is written, not printed
+        assert "observability summary" not in capsys.readouterr().out
+
+    def test_soc_run_obs_summary(self, capsys):
+        rc = main(
+            ["soc-run", "--soc", "3x3", "--workload", "pm3",
+             "--scheme", "BC", "--obs"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "makespan" in out
+        assert "pm.activity_edges" in out
+
+    def test_without_flags_nothing_observed(self, capsys):
+        rc = main(["convergence", "--dim", "4", "--trials", "1"])
+        assert rc == 0
+        assert "observability summary" not in capsys.readouterr().out

@@ -1,0 +1,75 @@
+"""Enabling observability must never change simulation results.
+
+This is the load-bearing guarantee of repro.obs (and the reason every
+timestamp is a simulation cycle): sinks observe, they never schedule.
+The tests compare full convergence runs bit-for-bit with the sink on
+and off, with and without the runtime sanitizer stacked on top.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.config import preferred_embodiment
+from repro.core.runner import run_convergence_trial
+from repro.obs import observing
+from repro.soc import PMKind, Soc, WorkloadExecutor, build_pm
+from repro.soc.presets import soc_3x3
+from repro.workloads.apps import pm_cluster_workload
+
+
+def _trial(seed: int):
+    return run_convergence_trial(
+        4, preferred_embodiment(), seed=seed, threshold=0.5
+    )
+
+
+class TestConvergenceIdentity:
+    @pytest.mark.parametrize("seed", [0, 3])
+    def test_traced_trial_bit_identical(self, seed):
+        base = _trial(seed)
+        with observing():
+            traced = _trial(seed)
+        assert traced == base
+
+    def test_traced_and_sanitized_trial_bit_identical(self):
+        base = _trial(3)
+        config = dataclasses.replace(preferred_embodiment(), sanitize=True)
+        with observing() as session:
+            traced = run_convergence_trial(4, config, seed=3, threshold=0.5)
+        assert traced == base
+        # The sanitizer's wrapper must not hide callback identities from
+        # the profiler: sites still resolve to engine/noc qualnames.
+        assert session.profile.events_total > 0
+        assert all(
+            "checked" not in site for site in session.profile.sites
+        )
+
+    def test_observation_actually_collected(self):
+        with observing() as session:
+            _trial(0)
+        assert session.registry.value("engine.exchanges_initiated") > 0
+        assert session.registry.value("noc.packets", kind="coin_status") > 0
+        hops = session.registry.get("noc.hop_histogram")
+        assert hops is not None and hops.count > 0
+        assert any(s.cat == "engine" for s in session.trace.spans)
+        assert any(s.cat == "noc" for s in session.trace.spans)
+
+
+class TestSocRunIdentity:
+    def _run(self):
+        soc = Soc(soc_3x3())
+        pm = build_pm(PMKind.BLITZCOIN, soc, 120.0)
+        result = WorkloadExecutor(soc, pm_cluster_workload(3), pm).run()
+        return result.makespan_cycles, dict(result.task_finish_cycles)
+
+    def test_traced_soc_run_bit_identical(self):
+        base = self._run()
+        with observing() as session:
+            traced = self._run()
+        assert traced == base
+        assert session.registry.value("exec.tasks_started") == 3
+        assert session.registry.value("exec.tasks_finished") == 3
+        assert session.registry.value("pm.activity_edges", edge="start") == 3
+        assert session.registry.value("dvfs.ldo_transitions") >= 0
+        assert any(s.cat == "task" for s in session.trace.spans)

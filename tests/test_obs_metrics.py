@@ -1,0 +1,146 @@
+"""Tests for the repro.obs metrics registry."""
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsError,
+    MetricsRegistry,
+    label_key,
+)
+
+
+class TestLabelKey:
+    def test_sorted_and_stringified(self):
+        assert label_key({"b": 2, "a": "x"}) == (("a", "x"), ("b", "2"))
+
+    def test_empty(self):
+        assert label_key({}) == ()
+
+
+class TestCounter:
+    def test_inc_accumulates_and_tracks_times(self):
+        c = Counter("n")
+        c.inc(10)
+        c.inc(20, 5)
+        assert c.total == 6
+        assert c.first_time == 10
+        assert c.last_time == 20
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(MetricsError):
+            Counter("n").inc(0, -1)
+
+    def test_qualified_name_renders_labels(self):
+        c = Counter("noc.packets", label_key({"kind": "coin_status"}))
+        assert c.qualified_name == "noc.packets{kind=coin_status}"
+
+
+class TestGauge:
+    def test_last_value_wins_with_min_max(self):
+        g = Gauge("p")
+        g.set(1, 5.0)
+        g.set(2, 3.0)
+        g.set(3, 9.0)
+        assert g.value == 9.0
+        assert g.min_value == 3.0
+        assert g.max_value == 9.0
+        assert g.samples == 3
+        assert g.last_time == 3
+
+
+class TestHistogram:
+    def test_value_buckets_inclusive_upper_edges(self):
+        h = Histogram("lat", bounds=(1, 2, 4))
+        for v in (1, 1, 2, 3, 4, 100):
+            h.observe(0, v)
+        # counts: <=1: 2, <=2: 1, <=4: 2, overflow: 1
+        assert h.counts == [2, 1, 2, 1]
+        assert h.count == 6
+        assert h.max_value == 100
+
+    def test_bucket_rows_include_overflow(self):
+        h = Histogram("lat", bounds=(1, 2))
+        h.observe(0, 7)
+        assert h.bucket_rows() == [("<= 1", 0), ("<= 2", 0), ("> 2", 1)]
+
+    def test_mean(self):
+        h = Histogram("lat")
+        h.observe(0, 2)
+        h.observe(0, 4)
+        assert h.mean == 3.0
+        assert Histogram("empty").mean == 0.0
+
+    def test_sim_time_windows(self):
+        h = Histogram("lat", time_bucket_cycles=100)
+        h.observe(10, 1)
+        h.observe(99, 1)
+        h.observe(100, 1)
+        h.observe(250, 1)
+        assert h.by_window == {0: 2, 1: 1, 2: 1}
+        assert h.window_rows() == [(0, 2), (100, 1), (200, 1)]
+
+    def test_unsorted_bounds_rejected(self):
+        with pytest.raises(MetricsError):
+            Histogram("bad", bounds=(4, 2))
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_is_stable(self):
+        r = MetricsRegistry()
+        assert r.counter("a") is r.counter("a")
+        assert r.counter("a", k="1") is not r.counter("a", k="2")
+
+    def test_type_clash_raises(self):
+        r = MetricsRegistry()
+        r.counter("x")
+        with pytest.raises(MetricsError):
+            r.gauge("x")
+        with pytest.raises(MetricsError):
+            r.histogram("x")
+
+    def test_shortcuts(self):
+        r = MetricsRegistry()
+        r.inc("c", 5, 2)
+        r.set_gauge("g", 5, 1.5)
+        r.observe("h", 5, 10)
+        assert r.value("c") == 2
+        assert r.value("g") == 1.5
+        assert r.value("h") == 1  # histogram reports its count
+        assert r.value("absent") == 0
+
+    def test_custom_histogram_bounds(self):
+        r = MetricsRegistry()
+        h = r.histogram("h", bounds=[10, 20])
+        assert h.bounds == (10, 20)
+        assert r.histogram("h") is h
+
+    def test_instruments_sorted(self):
+        r = MetricsRegistry()
+        r.inc("b", 0)
+        r.inc("a", 0)
+        r.inc("a", 0, kind="z")
+        names = [i.qualified_name for i in r.instruments()]
+        assert names == ["a", "a{kind=z}", "b"]
+
+    def test_as_rows_covers_all_kinds(self):
+        r = MetricsRegistry()
+        r.inc("c", 0)
+        r.set_gauge("g", 0, 2.0)
+        r.observe("h", 0, 3)
+        kinds = {row["kind"] for row in r.as_rows()}
+        assert kinds == {"counter", "gauge", "histogram"}
+
+    def test_registry_time_bucket_propagates(self):
+        r = MetricsRegistry(time_bucket_cycles=50)
+        r.observe("h", 120, 1)
+        h = r.get("h")
+        assert h.by_window == {2: 1}
+
+    def test_len(self):
+        r = MetricsRegistry()
+        assert len(r) == 0
+        r.inc("a", 0)
+        assert len(r) == 1

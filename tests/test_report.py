@@ -5,12 +5,16 @@ import json
 import numpy as np
 import pytest
 
+from repro.noc.packet import MessageType, Packet, PacketStats
+from repro.obs.metrics import MetricsRegistry
 from repro.report.csv_export import (
     CsvExportError,
     export_figure,
+    export_packet_stats,
     export_rows,
     export_soc_run,
     fig03_series,
+    packet_stats_rows,
     read_csv,
 )
 from repro.report.post_process import (
@@ -95,6 +99,62 @@ class TestExportSocRun:
         assert float(power[-1]["time_us"]) > 0
         meta = json.loads(written["meta"].read_text())
         assert meta["budget_mw"] == 120.0
+
+
+def _stats_with_traffic() -> PacketStats:
+    stats = PacketStats()
+    for kind, count in (
+        (MessageType.COIN_STATUS, 3),
+        (MessageType.COIN_UPDATE, 2),
+        (MessageType.PM_SET, 1),
+    ):
+        for _ in range(count):
+            p = Packet(src=0, dst=1, msg_type=kind)
+            stats.on_inject(p)
+            p.injected_at, p.delivered_at = 0, 4
+            stats.on_deliver(p, hops=2)
+    return stats
+
+
+class TestPacketStatsExport:
+    def test_rows_have_per_kind_and_total(self):
+        rows = packet_stats_rows(_stats_with_traffic())
+        by_kind = {r["kind"]: r for r in rows}
+        assert by_kind["coin_status"]["injected"] == 3
+        assert by_kind["coin_update"]["injected"] == 2
+        assert by_kind["__total__"]["injected"] == 6
+        assert by_kind["__total__"]["total_hops"] == 12
+        assert by_kind["__total__"]["mean_latency_cycles"] == 4.0
+        assert rows[-1]["kind"] == "__total__"
+
+    def test_csv_roundtrip(self, tmp_path):
+        path = export_packet_stats(
+            tmp_path / "pkts.csv", _stats_with_traffic()
+        )
+        back = read_csv(path)
+        assert back[0]["kind"] == "coin_status"
+        assert back[-1]["injected"] == "6"
+
+    def test_publish_into_metrics_registry(self):
+        registry = MetricsRegistry()
+        stats = _stats_with_traffic()
+        stats.publish(registry, time=100)
+        assert registry.value("noc.stats.injected") == 6
+        assert registry.value("noc.stats.delivered") == 6
+        assert registry.value("noc.stats.coin_packets") == 5
+        assert (
+            registry.value("noc.stats.packets", kind="coin_status") == 3
+        )
+        assert registry.value("noc.stats.mean_latency_cycles") == 4.0
+
+    def test_publish_overwrites_not_accumulates(self):
+        registry = MetricsRegistry()
+        stats = _stats_with_traffic()
+        stats.publish(registry, time=100)
+        stats.publish(registry, time=200)
+        assert registry.value("noc.stats.injected") == 6
+        gauge = registry.get("noc.stats.injected")
+        assert gauge.last_time == 200
 
 
 class TestPostProcess:

@@ -63,6 +63,60 @@ class TestStateTrace:
         t.record(0, 2.0)
         assert t.integral(10, 10) == 0.0
 
+    def test_integral_window_is_half_open(self):
+        # A sample recorded exactly at t1 contributes nothing: it only
+        # takes effect from t1, which is outside [t0, t1).
+        t = StateTrace("p")
+        t.record(0, 2.0)
+        t.record(10, 100.0)
+        assert t.integral(0, 10) == pytest.approx(20.0)
+        # ...while the value prevailing at t0 is charged from t0 on.
+        assert t.integral(10, 12) == pytest.approx(200.0)
+
+    def test_integral_adjacent_windows_tile_exactly(self):
+        t = StateTrace("p")
+        t.record(0, 2.0)
+        t.record(7, 4.0)
+        t.record(13, 1.0)
+        assert t.integral(0, 7) + t.integral(7, 20) == pytest.approx(
+            t.integral(0, 20)
+        )
+        assert t.integral(3, 13) + t.integral(13, 16) == pytest.approx(
+            t.integral(3, 16)
+        )
+
+    def test_final_value(self):
+        t = StateTrace("p")
+        assert t.final_value == 0.0
+        t.record(0, 2.0)
+        t.record(10, 4.0)
+        assert t.final_value == 4.0
+        assert t.final_value == t.value_at(10_000)
+
+    def test_as_arrays_round_trip(self):
+        t = StateTrace("p")
+        t.record(0, 1.0)
+        t.record(10, 2.5)
+        times, values = t.as_arrays()
+        assert times.dtype == np.int64
+        assert values.dtype == np.float64
+        assert list(times) == [0, 10]
+        assert list(values) == [1.0, 2.5]
+
+    def test_as_arrays_are_copies(self):
+        t = StateTrace("p")
+        t.record(0, 1.0)
+        times, values = t.as_arrays()
+        times[0] = 99
+        values[0] = 99.0
+        assert t.times == [0]
+        assert t.values == [1.0]
+
+    def test_as_arrays_empty(self):
+        times, values = StateTrace("p").as_arrays()
+        assert len(times) == 0
+        assert len(values) == 0
+
     def test_mean(self):
         t = StateTrace("p")
         t.record(0, 2.0)
