@@ -120,7 +120,9 @@ _SEEDED_RNG_CTORS = {
     "MT19937",
 }
 #: Packages whose event-scheduling code must not iterate unordered sets.
-_ORDERED_ITERATION_SCOPES = ("repro.core", "repro.noc", "repro.sim")
+#: repro.faults is included: fault decisions are event-scheduling inputs,
+#: so hash-order iteration there would break run reproducibility too.
+_ORDERED_ITERATION_SCOPES = ("repro.core", "repro.noc", "repro.sim", "repro.faults")
 
 # ---------------------------------------------------------------- C1 tables
 _C1_WHOLE_MODULES = ("repro.core.coins",)

@@ -10,7 +10,8 @@ invariants:
   fixed pool (the global form of "every exchange's deltas sum to zero",
   Section III-B / Fig. 2);
 * **packet conservation** — every packet injected into the NoC fabric
-  is eventually delivered exactly once and never duplicated;
+  is eventually delivered (or, under fault injection, terminally
+  discarded) exactly once and never double-counted;
 * **register sanity** — no tile's ``max`` entitlement is ever negative,
   and no tile's ``has`` drifts beyond the engine's divergence bound.
 
@@ -123,6 +124,7 @@ class Sanitizer:
         original_schedule = sim.schedule
         original_send = noc.send
         original_deliver = noc._deliver
+        original_drop = noc._drop
 
         def schedule(
             delay: int, callback: Callable[[], None], priority: int = 0
@@ -154,9 +156,24 @@ class Sanitizer:
             )
             original_deliver(packet)
 
+        def drop(packet, reason: str) -> None:
+            # A terminal in-transit discard (fault injection): the
+            # packet leaves the fabric without reaching _deliver.
+            self.packets_outstanding -= 1
+            self.trace.append(
+                TraceEntry(
+                    sim.now,
+                    "drop",
+                    f"{packet.msg_type.value} {packet.src}->{packet.dst} "
+                    f"({reason})",
+                )
+            )
+            original_drop(packet, reason)
+
         sim.schedule = schedule
         noc.send = send
         noc._deliver = deliver
+        noc._drop = drop
         return self
 
     def _wrap(self, callback: Callable[[], None]) -> Callable[[], None]:
@@ -184,16 +201,19 @@ class Sanitizer:
         engine = self.engine
         on_tiles = sum(f.coins.has for f in engine.fsm.values())
         in_flight = engine._in_flight
-        if on_tiles + in_flight != engine.pool:
+        lost_pending = getattr(engine, "lost_pending", 0)
+        if on_tiles + in_flight + lost_pending != engine.pool:
             raise SanitizerError(
                 "coin-conservation",
-                f"tiles hold {on_tiles} coins with {in_flight} in flight, "
-                f"but the pool is {engine.pool} "
-                f"(leak of {engine.pool - on_tiles - in_flight})",
+                f"tiles hold {on_tiles} coins with {in_flight} in flight "
+                f"and {lost_pending} lost awaiting reconciliation, "
+                f"but the pool is {engine.pool} (leak of "
+                f"{engine.pool - on_tiles - in_flight - lost_pending})",
                 list(self.trace),
                 details={
                     "on_tiles": on_tiles,
                     "in_flight": in_flight,
+                    "lost_pending": lost_pending,
                     "pool": engine.pool,
                 },
             )
@@ -215,18 +235,21 @@ class Sanitizer:
                     details={"tile": tid, "has": fsm.coins.has},
                 )
         stats = engine.noc.stats
+        discarded = stats.discarded
         if self.packets_outstanding < 0 or (
-            stats.injected - stats.delivered != self.packets_outstanding
+            stats.injected - stats.delivered - discarded
+            != self.packets_outstanding
         ):
             raise SanitizerError(
                 "packet-conservation",
                 f"fabric accounting broken: injected={stats.injected} "
-                f"delivered={stats.delivered} but "
+                f"delivered={stats.delivered} discarded={discarded} but "
                 f"{self.packets_outstanding} packet(s) tracked in flight",
                 list(self.trace),
                 details={
                     "injected": stats.injected,
                     "delivered": stats.delivered,
+                    "discarded": discarded,
                     "outstanding": self.packets_outstanding,
                 },
             )

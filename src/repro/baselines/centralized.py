@@ -21,8 +21,9 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Set
 
+from repro.faults import runtime as _faults
 from repro.noc.fabric import NocFabric
 from repro.noc.packet import MessageType, Packet
 from repro.sim.kernel import Simulator
@@ -44,12 +45,17 @@ class ControllerTiming:
     set_overhead: int = 120  # controller-side cycles to issue a setting
     compute_per_tile: int = 8  # policy computation cycles per managed tile
     idle_period: int = 8192  # cycles between periodic loops when idle
+    #: Consecutive re-polls of one unreachable tile (its poll packet was
+    #: lost) before the controller skips it for this loop.
+    poll_retry_limit: int = 2
 
     def __post_init__(self) -> None:
         if min(self.poll_overhead, self.set_overhead, self.compute_per_tile) < 0:
             raise ValueError("controller timing must be non-negative")
         if self.idle_period < 1:
             raise ValueError("idle_period must be >= 1")
+        if self.poll_retry_limit < 0:
+            raise ValueError("poll_retry_limit must be >= 0")
 
 
 class CentralizedPolicy(abc.ABC):
@@ -181,6 +187,38 @@ class CentralizedScheme:
         self._loop_running = False
         self._rerun_requested = False
         self._started = False
+        #: Dead controller: the scheme's single point of failure
+        #: (Section II-B) — once set, no loop ever runs again.
+        self._dead = False
+        self.polls_retried = 0
+        self.polls_abandoned = 0
+        self.sets_lost = 0
+        #: uids of this scheme's packets the fabric reported as lost.
+        self._lost_uids: Set[int] = set()
+        noc.add_loss_listener(self._on_packet_lost)
+        # An installed fault injector schedules controller-kill events
+        # addressed at our controller tile.
+        if _faults.injector is not None:
+            _faults.injector.bind_controller(self)
+
+    def _on_packet_lost(self, packet: Packet, reason: str) -> None:
+        if packet.msg_type in (
+            MessageType.PM_POLL,
+            MessageType.PM_SET,
+            MessageType.PM_NOTIFY,
+        ):
+            self._lost_uids.add(packet.uid)
+
+    def kill_controller(self) -> None:
+        """Fail the controller tile: the control loop halts forever.
+
+        This is the experiment behind the paper's robustness argument:
+        a centralized scheme has exactly one component whose death
+        stops all power management, while BlitzCoin has none.
+        """
+        self._dead = True
+        self.noc.detach(self.controller_tile)
+        self.noc.mark_dead(self.controller_tile)
 
     # ---------------------------------------------------------------- start
     def start(self) -> None:
@@ -198,8 +236,20 @@ class CentralizedScheme:
         """
         latency = self._noc_latency(tid)
         stamp = self.sim.now
+        packet = Packet(
+            src=tid,
+            dst=self.controller_tile,
+            msg_type=MessageType.PM_NOTIFY,
+        )
 
         def arrive() -> None:
+            if self._dead:
+                return
+            if packet.uid in self._lost_uids:
+                # The notification never reached the controller; the
+                # activity change goes unseen until the idle-period loop.
+                self._lost_uids.discard(packet.uid)
+                return
             if self._state.triggered_at is None:
                 self._state.triggered_at = stamp
             if self._loop_running:
@@ -207,13 +257,7 @@ class CentralizedScheme:
             else:
                 self._begin_loop()
 
-        self.noc.send(
-            Packet(
-                src=tid,
-                dst=self.controller_tile,
-                msg_type=MessageType.PM_NOTIFY,
-            )
-        )
+        self.noc.send(packet)
         self.sim.schedule(latency, arrive)
 
     # ----------------------------------------------------------------- loop
@@ -225,27 +269,42 @@ class CentralizedScheme:
         return self.noc.topology.hop_distance(self.controller_tile, tid)
 
     def _begin_loop(self) -> None:
-        if self._loop_running or not self._started:
+        if self._loop_running or not self._started or self._dead:
             return
         self._loop_running = True
         self._state.poll_queue = list(self.managed)
         self._state.pending_targets = {}
         self._poll_next({})
 
-    def _poll_next(self, answers: Dict[int, float]) -> None:
+    def _poll_next(self, answers: Dict[int, float], retries: int = 0) -> None:
+        if self._dead:
+            return
         if not self._state.poll_queue:
             self._compute(answers)
             return
-        tid = self._state.poll_queue.pop(0)
+        tid = self._state.poll_queue[0]
         round_trip = 2 * self._noc_latency(tid) + self.timing.poll_overhead
-        self.noc.send(
-            Packet(
-                src=self.controller_tile, dst=tid, msg_type=MessageType.PM_POLL
-            )
+        packet = Packet(
+            src=self.controller_tile, dst=tid, msg_type=MessageType.PM_POLL
         )
+        self.noc.send(packet)
 
         def answered() -> None:
-            answers[tid] = self.capability(tid)
+            if self._dead:
+                return
+            if packet.uid in self._lost_uids:
+                # The poll (or its reply) was eaten by the fabric: the
+                # firmware re-polls a bounded number of times, then
+                # treats the tile as unreachable for this loop.
+                self._lost_uids.discard(packet.uid)
+                if retries < self.timing.poll_retry_limit:
+                    self.polls_retried += 1
+                    self._poll_next(answers, retries + 1)
+                    return
+                self.polls_abandoned += 1
+            else:
+                answers[tid] = self.capability(tid)
+            self._state.poll_queue.pop(0)
             self._poll_next(answers)
 
         self.sim.schedule(round_trip, answered)
@@ -265,22 +324,32 @@ class CentralizedScheme:
         self.sim.schedule(delay, self._set_next)
 
     def _set_next(self) -> None:
+        if self._dead:
+            return
         if not self._state.set_queue:
             self._finish_loop()
             return
         tid = self._state.set_queue.pop(0)
         latency = self._noc_latency(tid) + self.timing.set_overhead
         target = self._state.pending_targets[tid]
-        self.noc.send(
-            Packet(
-                src=self.controller_tile,
-                dst=tid,
-                msg_type=MessageType.PM_SET,
-                payload=target,
-            )
+        packet = Packet(
+            src=self.controller_tile,
+            dst=tid,
+            msg_type=MessageType.PM_SET,
+            payload=target,
         )
+        self.noc.send(packet)
 
         def applied() -> None:
+            if self._dead:
+                return
+            if packet.uid in self._lost_uids:
+                # The setting never reached the tile: it keeps its old
+                # target until the next loop repeats the write.
+                self._lost_uids.discard(packet.uid)
+                self.sets_lost += 1
+                self._set_next()
+                return
             self._last_targets[tid] = target
             self.apply_target(tid, target)
             self._set_next()
@@ -288,6 +357,8 @@ class CentralizedScheme:
         self.sim.schedule(latency, applied)
 
     def _finish_loop(self) -> None:
+        if self._dead:
+            return
         if self._state.triggered_at is not None:
             response = self.sim.now - self._state.triggered_at
             self.response_times.append(response)

@@ -19,6 +19,7 @@ Regenerate a paper figure's rows::
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import statistics
 import sys
 from contextlib import nullcontext
@@ -32,6 +33,13 @@ from repro.core.config import (
     preferred_embodiment,
 )
 from repro.core.runner import run_convergence_trial
+from repro.faults import (
+    FaultPlan,
+    FaultPlanError,
+    LinkFaultRates,
+    TileFaultEvent,
+    load_fault_plan,
+)
 from repro.obs import (
     Observation,
     observing,
@@ -88,18 +96,28 @@ def _obs_session(
 
 def _finish_obs(
     session: Optional[Observation], args: argparse.Namespace
-) -> None:
-    """Write/print observability outputs after an observed command."""
+) -> int:
+    """Write/print observability outputs after an observed command.
+
+    Returns 0, or 2 if the trace outputs could not be written (bad
+    ``--trace-out`` destination) — callers propagate the failure as the
+    command's exit code rather than crashing with a traceback.
+    """
     if session is None:
-        return
+        return 0
     trace_out = getattr(args, "trace_out", None)
     if trace_out:
-        for path in _write_trace_outputs(session, trace_out).values():
-            print(f"wrote {path}")
+        try:
+            for path in _write_trace_outputs(session, trace_out).values():
+                print(f"wrote {path}")
+        except OSError as exc:
+            print(f"error: cannot write trace outputs: {exc}", file=sys.stderr)
+            return 2
     if getattr(args, "obs", False):
         print()
         for line in summary_lines(session):
             print(line)
+    return 0
 
 
 def _write_trace_outputs(
@@ -144,8 +162,7 @@ def cmd_soc_run(args: argparse.Namespace) -> int:
     print(f"avg power     {result.average_power_mw():10.1f} mW")
     print(f"utilization   {result.budget_utilization() * 100:10.1f} %")
     print(f"energy        {result.energy_mj() * 1000:10.3f} uJ")
-    _finish_obs(session, args)
-    return 0
+    return _finish_obs(session, args)
 
 
 def cmd_convergence(args: argparse.Namespace) -> int:
@@ -177,8 +194,8 @@ def cmd_convergence(args: argparse.Namespace) -> int:
             f"{statistics.mean(packets):10.0f} packets  "
             f"({args.variant}, d={args.dim}, N={args.dim ** 2})"
         )
-    _finish_obs(session, args)
-    return 0 if cycles else 1
+    rc = _finish_obs(session, args)
+    return rc if rc else (0 if cycles else 1)
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
@@ -214,10 +231,115 @@ def cmd_trace(args: argparse.Namespace) -> int:
     for line in summary_lines(session):
         print(line)
     print()
-    for path in _write_trace_outputs(session, args.out).values():
-        print(f"wrote {path}")
+    try:
+        for path in _write_trace_outputs(session, args.out).values():
+            print(f"wrote {path}")
+    except OSError as exc:
+        print(f"error: cannot write trace outputs: {exc}", file=sys.stderr)
+        return 2
     print("open trace.json in ui.perfetto.dev or chrome://tracing")
     return 0
+
+
+def _build_fault_plan(args: argparse.Namespace) -> FaultPlan:
+    """A FaultPlan from ``--plan`` or from the individual rate flags.
+
+    Raises :class:`FaultPlanError` for unreadable/malformed plan files
+    and out-of-range rates.
+    """
+    if args.plan:
+        plan = load_fault_plan(args.plan)
+        if args.fault_seed is not None:
+            plan = plan.with_seed(args.fault_seed)
+        return plan
+    events = []
+    if args.kill_tile is not None:
+        events.append(
+            TileFaultEvent(
+                cycle=args.kill_at, tile=args.kill_tile, action="kill"
+            )
+        )
+    return FaultPlan(
+        seed=args.fault_seed if args.fault_seed is not None else 0,
+        link=LinkFaultRates(
+            drop=args.rate,
+            duplicate=args.duplicate_rate,
+            corrupt=args.corrupt_rate,
+            delay=args.delay_rate,
+            max_delay_cycles=args.max_delay,
+        ),
+        tile_events=tuple(events),
+    )
+
+
+def cmd_faults(args: argparse.Namespace) -> int:
+    """Convergence trials under fault injection, or the full sweep.
+
+    With a null plan (all rates zero, no events) this runs the exact
+    fault-free path — no injector is installed, so the trial results
+    are bit-identical to ``repro convergence`` at the same seeds.
+    """
+    if args.sweep:
+        from repro.experiments import fault_sweep
+
+        result = fault_sweep.run(d=args.dim, trials=args.trials)
+        for row in fault_sweep.format_rows(result):
+            print(row)
+        return 0
+    try:
+        plan = _build_fault_plan(args)
+    except FaultPlanError as exc:
+        print(f"error: invalid fault plan: {exc}", file=sys.stderr)
+        return 2
+    config = dataclasses.replace(
+        VARIANTS[args.variant](),
+        fault_plan=None if plan.is_null else plan,
+    )
+    session = _obs_session(args, f"faults-d{args.dim}")
+    cycles, packets = [], []
+    lost = reconciled = discarded = timeouts = 0
+    with observing(session) if session is not None else nullcontext():
+        for k in range(args.trials):
+            if session is not None:
+                session.epoch(f"trial{k}")
+            trial_config = config
+            if config.fault_plan is not None:
+                # Independent fault stream per trial, still seed-exact.
+                trial_config = dataclasses.replace(
+                    config, fault_plan=plan.with_seed(plan.seed + k)
+                )
+            r = run_convergence_trial(
+                args.dim,
+                trial_config,
+                seed=args.seed + k,
+                threshold=args.threshold,
+            )
+            lost += r.coins_lost
+            reconciled += r.coins_reconciled
+            discarded += r.packets_discarded
+            timeouts += r.timeouts
+            if not r.converged:
+                print(f"trial {k}: DID NOT CONVERGE")
+                continue
+            cycles.append(r.cycles)
+            packets.append(r.packets)
+            print(
+                f"trial {k}: {r.cycles:8d} cycles  {r.packets:8d} packets  "
+                f"start_err={r.start_error:6.2f} final_err={r.final_error:5.2f}"
+            )
+    if cycles:
+        print(
+            f"mean: {statistics.mean(cycles):10.0f} cycles  "
+            f"{statistics.mean(packets):10.0f} packets  "
+            f"({args.variant}, d={args.dim}, N={args.dim ** 2})"
+        )
+    if config.fault_plan is not None:
+        print(
+            f"faults: discarded={discarded} coins_lost={lost} "
+            f"reconciled={reconciled} timeouts={timeouts}"
+        )
+    rc = _finish_obs(session, args)
+    return rc if rc else (0 if cycles else 1)
 
 
 def cmd_figure(args: argparse.Namespace) -> int:
@@ -307,6 +429,62 @@ def build_parser() -> argparse.ArgumentParser:
         "--budget", type=float, default=None, help="power budget in mW"
     )
     p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser(
+        "faults",
+        help="run convergence trials under fault injection "
+        "(packet loss/duplication/corruption/delay, tile kills)",
+    )
+    p.add_argument("--dim", type=int, default=8, help="SoC dimension d")
+    p.add_argument("--trials", type=int, default=5)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--threshold", type=float, default=1.5)
+    p.add_argument(
+        "--variant", choices=sorted(VARIANTS), default="preferred"
+    )
+    p.add_argument(
+        "--rate", type=float, default=0.0,
+        help="per-packet drop probability (default: 0.0)",
+    )
+    p.add_argument(
+        "--duplicate-rate", type=float, default=0.0,
+        help="per-packet duplication probability",
+    )
+    p.add_argument(
+        "--corrupt-rate", type=float, default=0.0,
+        help="per-packet corruption probability",
+    )
+    p.add_argument(
+        "--delay-rate", type=float, default=0.0,
+        help="per-packet extra-delay probability",
+    )
+    p.add_argument(
+        "--max-delay", type=int, default=32,
+        help="max extra delay in cycles (default: 32)",
+    )
+    p.add_argument(
+        "--kill-tile", type=int, default=None, metavar="TILE",
+        help="kill this tile during the run",
+    )
+    p.add_argument(
+        "--kill-at", type=int, default=100, metavar="CYCLE",
+        help="cycle at which --kill-tile dies (default: 100)",
+    )
+    p.add_argument(
+        "--fault-seed", type=int, default=None,
+        help="fault-decision stream seed (default: 0 / plan's own)",
+    )
+    p.add_argument(
+        "--plan", default=None, metavar="FILE",
+        help="load a FaultPlan JSON file (overrides the rate flags)",
+    )
+    p.add_argument(
+        "--sweep", action="store_true",
+        help="run the degradation-curve sweep (BlitzCoin vs centralized, "
+        "with and without kills) instead of single-plan trials",
+    )
+    _add_obs_arguments(p)
+    p.set_defaults(func=cmd_faults)
 
     p = sub.add_parser(
         "figure", help="regenerate a paper figure's rows (e.g. fig17)"

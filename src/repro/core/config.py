@@ -11,6 +11,8 @@ import enum
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from repro.faults.plan import FaultPlan
+
 
 class ConfigError(ValueError):
     """Raised for inconsistent algorithm configurations."""
@@ -88,6 +90,22 @@ class BlitzCoinConfig:
     #: None disables the watchdog.
     exchange_timeout_cycles: Optional[int] = 4096
 
+    # ---------------------------------------------------------- resilience
+    #: Consecutive timeouts against one partner before the initiator
+    #: stops selecting it in round-robin rotation (it keeps probing the
+    #: suspect partner once every ``partner_retry_limit`` rotations so a
+    #: revived tile is re-adopted).  0 disables partner suspension.
+    partner_retry_limit: int = 3
+
+    #: Cycles (NoC cycles) between a loss notification for an in-flight
+    #: coin update and the re-mint of its coins, modeling the hardware
+    #: reconciliation scan interval (credit-return timeout).
+    reconcile_delay_cycles: int = 64
+
+    #: Declarative fault plan (repro.faults); None runs fault-free.
+    #: The runner installs an injector for the plan around each trial.
+    fault_plan: Optional[FaultPlan] = None
+
     # --------------------------------------------------------- verification
     #: Attach the runtime sanitizer (repro.analysis.sanitize) to every
     #: engine built with this config; the BLITZCOIN_SANITIZE=1
@@ -127,6 +145,16 @@ class BlitzCoinConfig:
             raise ConfigError(
                 "exchange_timeout_cycles must be >= 1, got "
                 f"{self.exchange_timeout_cycles}"
+            )
+        if self.partner_retry_limit < 0:
+            raise ConfigError(
+                "partner_retry_limit must be >= 0, got "
+                f"{self.partner_retry_limit}"
+            )
+        if self.reconcile_delay_cycles < 0:
+            raise ConfigError(
+                "reconcile_delay_cycles must be >= 0, got "
+                f"{self.reconcile_delay_cycles}"
             )
         if (
             self.hotspot_neighborhood_cap is not None

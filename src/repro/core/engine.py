@@ -35,6 +35,7 @@ from repro.analysis.sanitize import attach_sanitizer, sanitize_enabled
 from repro.core.coins import TileCoins, group_exchange, pairwise_exchange
 from repro.core.config import BlitzCoinConfig, ExchangeMode
 from repro.core.metrics import ErrorTracker
+from repro.faults import runtime as _faults
 from repro.noc.fabric import NocFabric
 from repro.noc.packet import MessageType, Packet
 from repro.noc.topology import MeshTopology
@@ -87,6 +88,17 @@ class _TileFsm:
     jitter_state: int = 1
     timeout_event: Optional[Event] = None
     next_event: Optional[Event] = None
+    #: Fault state: a dead tile lost its registers (coins confiscated
+    #: and reconciled); a hung tile keeps them but stops responding.
+    dead: bool = False
+    hung: bool = False
+    #: Target to restore when a dead tile revives.
+    saved_max: int = 0
+    #: 1-way: the partner of the outstanding exchange (-1 when none).
+    pending_partner: int = -1
+    #: Consecutive exchange timeouts per partner; a partner at the
+    #: configured limit is skipped in rotation until it answers again.
+    fail_streak: Dict[int, int] = field(default_factory=dict)
     #: Last coin counts observed from each neighbor (via their status
     #: messages), used for the neighborhood hotspot check.
     neighbor_cache: Dict[int, int] = field(default_factory=dict)
@@ -143,6 +155,14 @@ class CoinExchangeEngine:
         self.exchanges_zero = 0
         self.exchanges_nacked = 0
         self.exchanges_timed_out = 0
+        #: Reconciliation ledger: coins inside terminally lost updates
+        #: (or confiscated from killed tiles) enter ``coins_lost`` and,
+        #: after ``config.reconcile_delay_cycles``, are re-minted back
+        #: onto a live tile (``coins_reminted``).  The conservation
+        #: invariant is tiles + in_flight + lost_pending == pool.
+        self.coins_lost = 0
+        self.coins_reminted = 0
+        self.reconciliations = 0
         #: Runtime thermal-cap overrides (written via the CSR interface);
         #: takes precedence over the static config caps.
         self.cap_overrides: Dict[int, int] = {}
@@ -166,6 +186,7 @@ class CoinExchangeEngine:
                 jitter_state=(tid * 2654435761 + 1) & 0x7FFFFFFF,
             )
             self.noc.attach(tid, self._on_packet)
+        self.noc.add_loss_listener(self._on_packet_lost)
         self._started = False
         #: Opt-in runtime invariant checker (BLITZCOIN_SANITIZE=1 or
         #: ``config.sanitize``); must attach before any event is
@@ -173,6 +194,11 @@ class CoinExchangeEngine:
         self.sanitizer = (
             attach_sanitizer(self) if sanitize_enabled(config) else None
         )
+        # An installed fault injector schedules this engine's tile-kill
+        # and coin-loss events (after the sanitizer attach, so the fault
+        # events themselves are invariant-checked).
+        if _faults.injector is not None:
+            _faults.injector.bind_engine(self)
 
     # ------------------------------------------------------------ topology
     def _managed_neighbors(self, tid: int, managed: Set[int]) -> List[int]:
@@ -224,10 +250,29 @@ class CoinExchangeEngine:
             return None
         partner = fsm.neighbors[fsm.rr_index % len(fsm.neighbors)]
         fsm.rr_index += 1
+        limit = self.config.partner_retry_limit
+        if limit > 0 and fsm.fail_streak:
+            # Bounded retry: partners that timed out ``limit`` times in
+            # a row are skipped, except on a periodic probe rotation so
+            # a revived partner is re-adopted.  Fault-free runs never
+            # populate fail_streak, so this costs nothing there.
+            probe = fsm.exchange_count % (4 * limit) == 0
+            if not probe:
+                for _ in range(len(fsm.neighbors) - 1):
+                    if fsm.fail_streak.get(partner, 0) < limit:
+                        break
+                    partner = fsm.neighbors[
+                        fsm.rr_index % len(fsm.neighbors)
+                    ]
+                    fsm.rr_index += 1
         return partner
 
     def _initiate(self, tid: int) -> None:
         fsm = self.fsm[tid]
+        if fsm.dead or fsm.hung:
+            # A faulted tile's FSM is powered down: swallow the wakeup.
+            fsm.next_event = None
+            return
         if fsm.busy:
             # Previous exchange still outstanding; retry one interval later.
             fsm.next_event = self.sim.schedule(
@@ -247,6 +292,7 @@ class CoinExchangeEngine:
             fsm.busy = True
             uid = self._next_uid()
             fsm.pending_uid = uid
+            fsm.pending_partner = partner
             if _obs.sink is not None:
                 _obs.sink.begin_span(
                     f"xchg:{uid}",
@@ -308,10 +354,12 @@ class CoinExchangeEngine:
     def _arm_timeout(self, fsm: _TileFsm) -> None:
         """Watchdog: abandon an exchange whose reply never arrives.
 
-        Lossy delivery cannot be recovered at this layer (coins inside a
-        lost update stay accounted as in-flight), but a lost packet must
-        never wedge the FSM: on expiry the tile simply abandons the
-        exchange and re-enters its refresh loop.
+        A lost packet must never wedge the FSM: on expiry the tile
+        abandons the exchange and re-enters its refresh loop.  Coins
+        inside a lost update are recovered separately, by the
+        reconciliation path (:meth:`_on_packet_lost`) when the fabric
+        reports the loss, or stay accounted as in-flight when the loss
+        happened below the fabric's accounting (a misrouted packet).
         """
         timeout = self.config.exchange_timeout_cycles
         if timeout is None:
@@ -329,7 +377,9 @@ class CoinExchangeEngine:
                         args={"outcome": "timeout"},
                     )
                 fsm.pending_uid = -1
-                self._finish_exchange(fsm.tid, moved=False, nacked=True)
+                self._finish_exchange(
+                    fsm.tid, moved=False, nacked=True, timed_out=True
+                )
 
         fsm.timeout_event = self.sim.schedule(timeout, expire)
 
@@ -504,6 +554,11 @@ class CoinExchangeEngine:
         self._observe(packet.dst, packet.src, status.has)
 
         def apply_and_reply() -> None:
+            if me.dead or me.hung:
+                # Killed or hung during the compute window: no reply is
+                # ever sent; the initiator's watchdog recovers it.
+                me.locked = False
+                return
             initiator_state = TileCoins(status.has, status.max)
             result = pairwise_exchange(
                 initiator_state,
@@ -579,6 +634,10 @@ class CoinExchangeEngine:
         deltas = result.deltas
 
         def apply_and_update() -> None:
+            if center.dead or center.hung:
+                # Killed mid-exchange: the group update is never sent;
+                # participants' lock watchdogs release them.
+                return
             self._apply_delta(center.tid, deltas[0])
             for nb, delta in zip(order, deltas[1:]):
                 self._in_flight += delta
@@ -642,9 +701,20 @@ class CoinExchangeEngine:
             self.sim.stop()
 
     def _finish_exchange(
-        self, tid: int, moved: bool, nacked: bool = False
+        self,
+        tid: int,
+        moved: bool,
+        nacked: bool = False,
+        timed_out: bool = False,
     ) -> None:
         fsm = self.fsm[tid]
+        if fsm.dead or fsm.hung:
+            # A faulted tile never re-enters the refresh loop.
+            fsm.busy = False
+            if fsm.timeout_event is not None:
+                fsm.timeout_event.cancel()
+                fsm.timeout_event = None
+            return
         if _obs.sink is not None:
             outcome = (
                 "nacked" if nacked else ("moved" if moved else "zero")
@@ -665,6 +735,23 @@ class CoinExchangeEngine:
             fsm.timeout_event.cancel()
             fsm.timeout_event = None
         cfg = self.config
+        partner = fsm.pending_partner
+        fsm.pending_partner = -1
+        if partner >= 0:
+            if timed_out:
+                streak = fsm.fail_streak.get(partner, 0) + 1
+                fsm.fail_streak[partner] = streak
+                if cfg.dynamic_timing and streak >= 2:
+                    # Repeated silence from the same partner: likely a
+                    # dead tile, not a collision — back off toward it.
+                    fsm.interval = min(
+                        cfg.max_interval,
+                        int(fsm.interval * cfg.backoff_factor),
+                    )
+            elif fsm.fail_streak:
+                # Any completed exchange (even a NACK) proves the
+                # partner is alive again.
+                fsm.fail_streak.pop(partner, None)
         jitter_span = max(2, fsm.interval // 4)
         if nacked:
             # Collision, not a converged neighborhood: retry at the same
@@ -715,6 +802,11 @@ class CoinExchangeEngine:
         if tid not in self.fsm:
             raise EngineError(f"tile {tid} is not managed by BlitzCoin")
         fsm = self.fsm[tid]
+        if fsm.dead:
+            # The tile's registers are gone; remember the target so a
+            # revive restores the latest activity state.
+            fsm.saved_max = new_max
+            return
         fsm.coins.max = new_max
         self.tracker.update_max(tid, new_max, self.sim.now)
         fsm.interval = self.config.min_interval
@@ -722,6 +814,202 @@ class CoinExchangeEngine:
             if fsm.next_event is not None:
                 fsm.next_event.cancel()
             fsm.next_event = self.sim.schedule(1, lambda: self._initiate(tid))
+
+    # ---------------------------------------------------------- fault model
+    def _suspend(self, fsm: _TileFsm) -> None:
+        """Cancel a faulted tile's pending activity and clear its FSM."""
+        if fsm.next_event is not None:
+            fsm.next_event.cancel()
+            fsm.next_event = None
+        if fsm.timeout_event is not None:
+            fsm.timeout_event.cancel()
+            fsm.timeout_event = None
+        fsm.busy = False
+        fsm.locked = False
+        fsm.lock_uid = -1
+        fsm.pending_uid = -1
+        fsm.pending_partner = -1
+        fsm.pending_statuses = {}
+        fsm.pending_order = []
+
+    def kill_tile(self, tid: int) -> None:
+        """Fail tile ``tid``: registers lost, handler detached.
+
+        The coins it held are confiscated into the reconciliation
+        ledger and re-minted onto a live tile after the configured
+        delay (in NoC cycles), so a tile death shrinks the usable
+        budget only transiently.  In-flight updates addressed to the
+        dead tile become ``dead-tile`` losses and reconcile the same
+        way.
+        """
+        if tid not in self.fsm:
+            raise EngineError(f"tile {tid} is not managed by BlitzCoin")
+        fsm = self.fsm[tid]
+        if fsm.dead:
+            return
+        fsm.saved_max = fsm.coins.max
+        self.set_max(tid, 0)
+        held = fsm.coins.has
+        self._suspend(fsm)
+        fsm.dead = True
+        fsm.hung = False
+        self.noc.detach(tid)
+        self.noc.mark_dead(tid)
+        if _obs.sink is not None:
+            _obs.sink.inc("engine.tiles_killed", self.sim.now)
+            _obs.sink.event(
+                "fault.kill",
+                self.sim.now,
+                cat="fault",
+                track=tid,
+                args={"held": held},
+            )
+        if held != 0:
+            self._apply_delta(tid, -held)
+            self._book_loss(held, prefer=None)
+
+    def hang_tile(self, tid: int) -> None:
+        """Wedge tile ``tid``: it stops responding but keeps its coins.
+
+        Partners recover via exchange timeouts and suspend the hung
+        partner from rotation; its held coins stay counted on-tile
+        (the registers still exist), so no reconciliation fires.
+        """
+        if tid not in self.fsm:
+            raise EngineError(f"tile {tid} is not managed by BlitzCoin")
+        fsm = self.fsm[tid]
+        if fsm.dead or fsm.hung:
+            return
+        self._suspend(fsm)
+        fsm.hung = True
+        self.noc.detach(tid)
+        self.noc.mark_dead(tid)
+        if _obs.sink is not None:
+            _obs.sink.inc("engine.tiles_hung", self.sim.now)
+            _obs.sink.event(
+                "fault.hang", self.sim.now, cat="fault", track=tid
+            )
+
+    def revive_tile(self, tid: int) -> None:
+        """Bring a killed or hung tile back into the protocol."""
+        if tid not in self.fsm:
+            raise EngineError(f"tile {tid} is not managed by BlitzCoin")
+        fsm = self.fsm[tid]
+        if not (fsm.dead or fsm.hung):
+            return
+        was_dead = fsm.dead
+        fsm.dead = False
+        fsm.hung = False
+        self.noc.attach(tid, self._on_packet)
+        self.noc.mark_alive(tid)
+        if _obs.sink is not None:
+            _obs.sink.inc("engine.tiles_revived", self.sim.now)
+            _obs.sink.event(
+                "fault.revive", self.sim.now, cat="fault", track=tid
+            )
+        if was_dead:
+            # Registers come back zeroed; restore the saved target,
+            # which also kicks the first post-revival exchange.
+            self.set_max(tid, fsm.saved_max)
+        elif self._started and fsm.next_event is None:
+            fsm.next_event = self.sim.schedule(
+                1, lambda: self._initiate(tid)
+            )
+
+    def lose_coins(self, tid: int, coins: int) -> None:
+        """Erase up to ``coins`` coins held by ``tid`` (register upset).
+
+        The loss enters the reconciliation ledger and is re-minted on
+        the same tile after ``reconcile_delay_cycles`` NoC cycles,
+        modeling detection by the hardware's credit-ledger scan.
+        """
+        if tid not in self.fsm:
+            raise EngineError(f"tile {tid} is not managed by BlitzCoin")
+        if coins < 1:
+            raise EngineError(f"must lose >= 1 coin, got {coins}")
+        fsm = self.fsm[tid]
+        if fsm.dead:
+            return
+        actual = min(coins, fsm.coins.has)
+        if actual < 1:
+            return
+        self._apply_delta(tid, -actual)
+        self._book_loss(actual, prefer=tid)
+
+    def _on_packet_lost(self, packet: Packet, reason: str) -> None:
+        """Fabric loss listener: reconcile coins inside lost updates.
+
+        Only COIN_UPDATE packets carry coins; their delta was moved
+        into ``_in_flight`` when the update was sent, so a terminal
+        loss transfers it from in-flight to the reconciliation ledger.
+        The delta is later re-applied at the intended recipient — a
+        negative delta burns surplus the same way a positive one
+        re-mints a deficit.
+        """
+        if packet.msg_type is not MessageType.COIN_UPDATE:
+            return
+        if packet.dst not in self.fsm:
+            return
+        delta = packet.payload.delta
+        if delta == 0:
+            return
+        self._in_flight -= delta
+        self._book_loss(delta, prefer=packet.dst)
+
+    def _book_loss(self, delta: int, prefer: Optional[int]) -> None:
+        self.coins_lost += delta
+        if _obs.sink is not None:
+            _obs.sink.inc(
+                "engine.coins_lost", self.sim.now, abs(delta)
+            )
+        self.sim.schedule(
+            self.config.reconcile_delay_cycles,
+            lambda d=delta, p=prefer: self._reconcile(d, p),
+        )
+
+    def _reconcile(self, delta: int, prefer: Optional[int]) -> None:
+        """Re-mint a booked loss onto a live tile.
+
+        Prefers the intended recipient; falls back to the lowest-id
+        live managed tile.  With no live tile at all, the re-mint
+        retries after another reconcile delay.
+        """
+        target: Optional[int] = None
+        if prefer is not None:
+            fsm = self.fsm.get(prefer)
+            if fsm is not None and not fsm.dead and not fsm.hung:
+                target = prefer
+        if target is None:
+            for tid in self.managed:
+                fsm = self.fsm[tid]
+                if not fsm.dead and not fsm.hung:
+                    target = tid
+                    break
+        if target is None:
+            self.sim.schedule(
+                max(1, self.config.reconcile_delay_cycles),
+                lambda d=delta, p=prefer: self._reconcile(d, p),
+            )
+            return
+        self.coins_reminted += delta
+        self.reconciliations += 1
+        if _obs.sink is not None:
+            _obs.sink.inc(
+                "engine.coins_reminted", self.sim.now, abs(delta)
+            )
+            _obs.sink.event(
+                "fault.reconcile",
+                self.sim.now,
+                cat="fault",
+                track=target,
+                args={"delta": delta},
+            )
+        self._apply_delta(target, delta)
+
+    @property
+    def lost_pending(self) -> int:
+        """Coins booked as lost but not yet re-minted."""
+        return self.coins_lost - self.coins_reminted
 
     def set_thermal_cap(self, tid: int, cap: Optional[int]) -> None:
         """Set (or clear, with None) a runtime thermal cap for a tile.
@@ -757,12 +1045,19 @@ class CoinExchangeEngine:
         ]
 
     def check_conservation(self) -> None:
-        """Assert the fixed-pool invariant (tiles + in-flight == pool)."""
+        """Assert the fixed-pool invariant.
+
+        Coins on tiles plus coins in flight plus losses awaiting
+        reconciliation must equal the pool; fault-free runs have
+        ``lost_pending == 0`` and this reduces to the paper's
+        tiles + in-flight == pool.
+        """
         on_tiles = sum(f.coins.has for f in self.fsm.values())
-        if on_tiles + self._in_flight != self.pool:
+        if on_tiles + self._in_flight + self.lost_pending != self.pool:
             raise EngineError(
                 f"coin conservation violated: tiles={on_tiles} "
-                f"in_flight={self._in_flight} pool={self.pool}"
+                f"in_flight={self._in_flight} "
+                f"lost_pending={self.lost_pending} pool={self.pool}"
             )
 
     @property

@@ -17,6 +17,7 @@ import numpy as np
 from repro.core.config import BlitzCoinConfig
 from repro.core.engine import CoinExchangeEngine
 from repro.core.metrics import global_error, worst_tile_error
+from repro.faults.runtime import maybe_injecting
 from repro.noc.behavioral import BehavioralNoc
 from repro.noc.topology import MeshTopology
 from repro.sim.kernel import Simulator
@@ -52,6 +53,11 @@ class TrialResult:
     final_error: float
     worst_final_error: float
     exchanges: int
+    #: Fault-injection outcomes; all zero on fault-free runs.
+    coins_lost: int = 0
+    coins_reconciled: int = 0
+    packets_discarded: int = 0
+    timeouts: int = 0
 
 
 def homogeneous_scenario(
@@ -152,18 +158,22 @@ def run_convergence_trial(
     initial = random_initial_allocation(
         scenario, rng, donor_fraction=donor_fraction
     )
-    engine = CoinExchangeEngine(
-        sim,
-        noc,
-        config,
-        scenario.max_by_tile,
-        initial,
-        rng=rng,
-    )
-    start_error = global_error(initial, list(scenario.max_by_tile))
-    engine.start()
-    converged_at = engine.run_until_converged(max_cycles)
-    engine.check_conservation()
+    # config.fault_plan (if any) scopes a fault injector to this trial;
+    # engine construction must happen inside so the plan's tile/coin
+    # events get bound to this engine's simulator.
+    with maybe_injecting(config.fault_plan):
+        engine = CoinExchangeEngine(
+            sim,
+            noc,
+            config,
+            scenario.max_by_tile,
+            initial,
+            rng=rng,
+        )
+        start_error = global_error(initial, list(scenario.max_by_tile))
+        engine.start()
+        converged_at = engine.run_until_converged(max_cycles)
+        engine.check_conservation()
     has = engine.snapshot_has()
     max_ = engine.snapshot_max()
     return TrialResult(
@@ -174,6 +184,10 @@ def run_convergence_trial(
         final_error=global_error(has, max_),
         worst_final_error=worst_tile_error(has, max_),
         exchanges=engine.exchanges_started,
+        coins_lost=engine.coins_lost,
+        coins_reconciled=engine.coins_reminted,
+        packets_discarded=noc.stats.discarded,
+        timeouts=engine.exchanges_timed_out,
     )
 
 
@@ -221,13 +235,14 @@ def settle_to_residual(
     noc = BehavioralNoc(sim, topo)
     rng = rng_for(seed, d, 1)
     initial = random_initial_allocation(scenario, rng)
-    engine = CoinExchangeEngine(
-        sim, noc, config, scenario.max_by_tile, initial, rng=rng
-    )
-    start_error = global_error(initial, list(scenario.max_by_tile))
-    engine.start()
-    sim.run(until=settle_cycles)
-    engine.check_conservation()
+    with maybe_injecting(config.fault_plan):
+        engine = CoinExchangeEngine(
+            sim, noc, config, scenario.max_by_tile, initial, rng=rng
+        )
+        start_error = global_error(initial, list(scenario.max_by_tile))
+        engine.start()
+        sim.run(until=settle_cycles)
+        engine.check_conservation()
     has = engine.snapshot_has()
     max_ = engine.snapshot_max()
     return TrialResult(
@@ -238,4 +253,8 @@ def settle_to_residual(
         final_error=global_error(has, max_),
         worst_final_error=worst_tile_error(has, max_),
         exchanges=engine.exchanges_started,
+        coins_lost=engine.coins_lost,
+        coins_reconciled=engine.coins_reminted,
+        packets_discarded=noc.stats.discarded,
+        timeouts=engine.exchanges_timed_out,
     )

@@ -8,6 +8,7 @@ knob so benches stay fast while full runs remain available.
 """
 
 from repro.experiments import (
+    fault_sweep,
     fig01_scalability,
     fig03_convergence,
     fig04_tokensmart,
@@ -27,6 +28,7 @@ from repro.experiments import (
 )
 
 __all__ = [
+    "fault_sweep",
     "fig01_scalability",
     "fig03_convergence",
     "fig04_tokensmart",

@@ -1,0 +1,287 @@
+"""Fault sweep: degradation curves under packet loss and tile death.
+
+The experiment behind the paper's robustness argument (Section II-B,
+Fig. 1): BlitzCoin has no single point of failure, so convergence
+degrades *gracefully* as the fabric loses packets and survives the
+death of any tile, while a centralized controller degrades through
+poll retries and falls off a cliff — never converging again — the
+moment its controller tile dies.
+
+Four series, swept over a shared packet-drop rate:
+
+* ``blitzcoin`` — the decentralized engine on a lossy fabric;
+* ``blitzcoin_killed`` — same, plus one tile killed mid-run (its coins
+  are reconciled and re-minted onto the survivors);
+* ``centralized`` — the BC-C style poll/compute/set loop on the same
+  lossy fabric (bounded poll retries, idle-period re-loops);
+* ``centralized_killed`` — same, with the controller tile killed
+  mid-run.
+
+Convergence for the centralized scheme means every managed tile has
+received an applied power target after the triggering activity change.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import statistics
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.baselines.centralized import (
+    CentralizedScheme,
+    ProportionalPolicy,
+)
+from repro.core.config import preferred_embodiment
+from repro.core.runner import run_convergence_trial
+from repro.faults.plan import FaultPlan, TileFaultEvent
+from repro.faults.runtime import maybe_injecting
+from repro.noc.behavioral import BehavioralNoc
+from repro.noc.topology import MeshTopology
+from repro.sim.kernel import Simulator
+
+DEFAULT_RATES: Sequence[float] = (0.0, 0.02, 0.05, 0.1, 0.2)
+THRESHOLD = 1.5
+#: Cycle at which the _killed series lose their victim tile; chosen
+#: inside the convergence transient of both schemes (BlitzCoin
+#: converges in a few hundred cycles fault-free; the centralized loop
+#: takes thousands), so the death hits mid-protocol.
+KILL_AT = 100
+
+
+@dataclass(frozen=True)
+class FaultPoint:
+    """Aggregate outcome of the trials at one (series, drop rate)."""
+
+    rate: float
+    converged_fraction: float
+    mean_cycles: float  # inf when nothing converged
+    mean_discarded: float
+    mean_reconciled: float
+    mean_timeouts: float
+
+
+@dataclass(frozen=True)
+class FaultSweepResult:
+    """Per-series degradation curves over the drop-rate sweep."""
+
+    d: int
+    trials: int
+    series: Dict[str, List[FaultPoint]]
+
+    def curve(self, name: str) -> List[FaultPoint]:
+        return self.series[name]
+
+
+def _fault_config(plan: Optional[FaultPlan]):
+    """The BlitzCoin config used for fault trials.
+
+    The preferred embodiment, with a tighter exchange watchdog (a
+    4096-cycle timeout makes loss recovery needlessly slow at high
+    drop rates) and the default reconciliation delay.
+    """
+    return dataclasses.replace(
+        preferred_embodiment(),
+        exchange_timeout_cycles=512,
+        fault_plan=plan,
+    )
+
+
+def _blitzcoin_point(
+    d: int,
+    rate: float,
+    trials: int,
+    base_seed: int,
+    *,
+    kill_tile: Optional[int] = None,
+    max_cycles: int = 500_000,
+) -> FaultPoint:
+    cycles: List[int] = []
+    discarded: List[int] = []
+    reconciled: List[int] = []
+    timeouts: List[int] = []
+    converged = 0
+    for k in range(trials):
+        events = ()
+        if kill_tile is not None:
+            events = (
+                TileFaultEvent(cycle=KILL_AT, tile=kill_tile, action="kill"),
+            )
+        plan = FaultPlan(
+            seed=base_seed * 1000 + k,
+            link=FaultPlan.uniform(drop=rate).link,
+            tile_events=events,
+        )
+        r = run_convergence_trial(
+            d,
+            _fault_config(plan),
+            seed=base_seed * 1000 + k,
+            threshold=THRESHOLD,
+            max_cycles=max_cycles,
+        )
+        discarded.append(r.packets_discarded)
+        reconciled.append(r.coins_reconciled)
+        timeouts.append(r.timeouts)
+        if r.converged and r.cycles is not None:
+            converged += 1
+            cycles.append(r.cycles)
+    return FaultPoint(
+        rate=rate,
+        converged_fraction=converged / trials,
+        mean_cycles=statistics.mean(cycles) if cycles else float("inf"),
+        mean_discarded=statistics.mean(discarded),
+        mean_reconciled=statistics.mean(reconciled),
+        mean_timeouts=statistics.mean(timeouts),
+    )
+
+
+@dataclass(frozen=True)
+class CentralizedTrialResult:
+    """Outcome of one centralized-control fault trial."""
+
+    #: Cycle at which every managed tile had an applied target, or
+    #: None if that never happened within the horizon.
+    done_at: Optional[int]
+    packets_discarded: int
+    polls_retried: int
+
+
+def run_centralized_trial(
+    d: int,
+    rate: float,
+    seed: int,
+    *,
+    kill_controller_at: Optional[int] = None,
+    max_cycles: int = 200_000,
+) -> CentralizedTrialResult:
+    """One centralized-control trial.
+
+    The controller sits at tile 0 and runs the proportional (BC-C)
+    policy; an activity change at cycle 1 triggers the loop.  Packet
+    loss hits its polls, settings, and notifications; the idle-period
+    loop retries until all targets land — unless the controller dies.
+    """
+    topo = MeshTopology(d, d)
+    sim = Simulator()
+    noc = BehavioralNoc(sim, topo)
+    controller = 0
+    managed = [t for t in topo.all_tiles() if t != controller]
+    applied: Set[int] = set()
+    done_at: List[Optional[int]] = [None]
+
+    def capability(tid: int) -> float:
+        return 1.0
+
+    def apply_target(tid: int, p_mw: float) -> None:
+        applied.add(tid)
+        if len(applied) == len(managed) and done_at[0] is None:
+            done_at[0] = sim.now
+
+    plan = FaultPlan.uniform(drop=rate, seed=seed) if rate > 0 else None
+    with maybe_injecting(plan):
+        scheme = CentralizedScheme(
+            sim,
+            noc,
+            controller,
+            managed,
+            ProportionalPolicy(),
+            budget_mw=0.75 * len(managed),
+            capability=capability,
+            apply_target=apply_target,
+        )
+        scheme.start()
+        if kill_controller_at is not None:
+            sim.schedule(kill_controller_at, scheme.kill_controller)
+        sim.schedule(1, lambda: scheme.on_activity_change(managed[0]))
+        sim.run(until=max_cycles)
+    return CentralizedTrialResult(
+        done_at=done_at[0],
+        packets_discarded=noc.stats.discarded,
+        polls_retried=scheme.polls_retried,
+    )
+
+
+def _centralized_point(
+    d: int,
+    rate: float,
+    trials: int,
+    base_seed: int,
+    *,
+    kill_at: Optional[int] = None,
+    max_cycles: int = 200_000,
+) -> FaultPoint:
+    cycles: List[int] = []
+    discarded: List[int] = []
+    retried: List[int] = []
+    converged = 0
+    for k in range(trials):
+        r = run_centralized_trial(
+            d,
+            rate,
+            seed=base_seed * 1000 + k,
+            kill_controller_at=kill_at,
+            max_cycles=max_cycles,
+        )
+        discarded.append(r.packets_discarded)
+        retried.append(r.polls_retried)
+        if r.done_at is not None:
+            converged += 1
+            cycles.append(r.done_at)
+    # Reconciliation is a BlitzCoin mechanism; a poll retry is the
+    # centralized analogue of an exchange timeout.
+    return FaultPoint(
+        rate=rate,
+        converged_fraction=converged / trials,
+        mean_cycles=statistics.mean(cycles) if cycles else float("inf"),
+        mean_discarded=statistics.mean(discarded),
+        mean_reconciled=0.0,
+        mean_timeouts=statistics.mean(retried),
+    )
+
+
+def run(
+    rates: Sequence[float] = DEFAULT_RATES,
+    d: int = 6,
+    trials: int = 3,
+    base_seed: int = 7,
+) -> FaultSweepResult:
+    """Run the four-series fault sweep."""
+    victim = (d * d) // 2  # a central tile, worst case for transport
+    series: Dict[str, List[FaultPoint]] = {
+        "blitzcoin": [],
+        "blitzcoin_killed": [],
+        "centralized": [],
+        "centralized_killed": [],
+    }
+    for rate in rates:
+        series["blitzcoin"].append(
+            _blitzcoin_point(d, rate, trials, base_seed)
+        )
+        series["blitzcoin_killed"].append(
+            _blitzcoin_point(d, rate, trials, base_seed, kill_tile=victim)
+        )
+        series["centralized"].append(
+            _centralized_point(d, rate, trials, base_seed)
+        )
+        series["centralized_killed"].append(
+            _centralized_point(d, rate, trials, base_seed, kill_at=KILL_AT)
+        )
+    return FaultSweepResult(d=d, trials=trials, series=series)
+
+
+def format_rows(result: FaultSweepResult) -> List[str]:
+    rows = []
+    for name, points in result.series.items():
+        for p in points:
+            cyc = (
+                f"{p.mean_cycles:10.0f}"
+                if p.mean_cycles != float("inf")
+                else "       inf"
+            )
+            rows.append(
+                f"{name:<18s} drop={p.rate * 100:5.1f}%  cycles={cyc}  "
+                f"converged={p.converged_fraction * 100:5.1f}%  "
+                f"discarded={p.mean_discarded:8.1f}  "
+                f"reconciled={p.mean_reconciled:7.1f}"
+            )
+    return rows

@@ -1,0 +1,183 @@
+"""Deterministic fault decisions from a :class:`~repro.faults.plan.FaultPlan`.
+
+The injector owns a *decision counter*: every per-packet draw hashes
+``(plan.seed, counter)`` through a splitmix64-style integer mixer and
+advances the counter.  No shared RNG object is touched, which keeps the
+decisions independent of everything else in the run (engine phase
+draws, scenario generation) and bit-reproducible from the plan alone.
+The counter resets when the injector is (re)bound to an engine, so each
+trial inside one process sees the same stream.
+
+Packet-fault decisions are consulted by :meth:`NocFabric.send
+<repro.noc.fabric.NocFabric.send>` behind the
+:data:`repro.faults.runtime.injector` fast flag; tile and coin events
+are scheduled onto the engine's simulator by :meth:`FaultInjector.bind_engine`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from repro.faults.plan import FaultPlan, LinkFaultRates
+
+__all__ = ["FaultInjector"]
+
+_MASK64 = (1 << 64) - 1
+_TWO64 = float(1 << 64)
+
+
+def _splitmix64(x: int) -> int:
+    """One splitmix64 output step: a high-quality 64-bit integer mix."""
+    x = (x + 0x9E3779B97F4A7C15) & _MASK64
+    z = x
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return (z ^ (z >> 31)) & _MASK64
+
+
+class FaultInjector:
+    """Turns a fault plan into per-packet and per-tile fault actions.
+
+    Counters (``drops``, ``duplicates``, ``corrupts``, ``delays``,
+    ``hop_delays``) record what actually fired, for reports and tests.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._counter = 0
+        self._base = _splitmix64(plan.seed & _MASK64)
+        #: Precomputed override table for O(1) per-packet lookup.
+        self._overrides: Dict[Tuple[int, int], LinkFaultRates] = {
+            (s, d): r for s, d, r in plan.link_overrides
+        }
+        self._packet_faults = plan.has_packet_faults
+        self._delay_possible = self._packet_faults and (
+            plan.link.delay > 0.0
+            or any(r.delay > 0.0 for r in self._overrides.values())
+        )
+        self.drops = 0
+        self.duplicates = 0
+        self.corrupts = 0
+        self.delays = 0
+        self.hop_delays = 0
+
+    # ------------------------------------------------------------- decisions
+    def _draw(self) -> float:
+        """Next uniform in [0, 1) from the counter-hash stream."""
+        self._counter += 1
+        return _splitmix64(self._base ^ self._counter) / _TWO64
+
+    def _draw_int(self, span: int) -> int:
+        """Next integer in [0, span) from the counter-hash stream."""
+        self._counter += 1
+        return _splitmix64(self._base ^ self._counter) % span
+
+    def _rates(self, src: int, dst: int) -> LinkFaultRates:
+        if not self._overrides:
+            return self.plan.link
+        return self._overrides.get((src, dst), self.plan.link)
+
+    def decide(self, packet: Any) -> Optional[Tuple[str, int]]:
+        """Fault verdict for an outgoing packet, or None for clean transit.
+
+        Returns ``(kind, extra)`` where kind is ``"drop"``,
+        ``"duplicate"``, ``"corrupt"`` or ``"delay"``; for delays,
+        ``extra`` is the added latency in NoC cycles.  Exactly two draws
+        are consumed per consulted packet (outcome + delay magnitude),
+        so the stream position is independent of which faults fire.
+        """
+        if not self._packet_faults:
+            return None
+        rates = self._rates(packet.src, packet.dst)
+        u = self._draw()
+        v = self._draw()
+        if u < rates.drop:
+            self.drops += 1
+            return ("drop", 0)
+        if u < rates.drop + rates.duplicate:
+            self.duplicates += 1
+            return ("duplicate", 0)
+        if u < rates.drop + rates.duplicate + rates.corrupt:
+            self.corrupts += 1
+            return ("corrupt", 0)
+        if rates.delay > 0.0 and v < rates.delay:
+            self.delays += 1
+            extra = 1 + self._draw_int(rates.max_delay_cycles)
+            return ("delay", extra)
+        return None
+
+    def hop_jitter(self, packet: Any) -> int:
+        """Extra per-hop cycles in the cycle-level NoC (0 when clean).
+
+        The cycle-level router consults this once per hop instead of
+        once per packet, modeling contention-like per-link stalls.
+        """
+        if not self._delay_possible:
+            return 0
+        rates = self._rates(packet.src, packet.dst)
+        if rates.delay <= 0.0:
+            return 0
+        if self._draw() < rates.delay:
+            self.hop_delays += 1
+            return 1 + self._draw_int(rates.max_delay_cycles)
+        return 0
+
+    # -------------------------------------------------------------- binding
+    def reset(self) -> None:
+        """Rewind the decision stream (one trial == one stream)."""
+        self._counter = 0
+
+    def bind_engine(self, engine: Any) -> None:
+        """Schedule this plan's tile/coin events onto an engine's sim.
+
+        Events addressed to tiles the engine does not manage are skipped
+        (they belong to another component, e.g. a controller tile —
+        see :meth:`bind_controller`).  Rewinds the decision stream so a
+        freshly built engine always sees the same fault pattern.
+        """
+        self.reset()
+        sim = engine.sim
+        for ev in self.plan.tile_events:
+            if ev.tile not in engine.fsm:
+                continue
+            action = {
+                "kill": engine.kill_tile,
+                "hang": engine.hang_tile,
+                "revive": engine.revive_tile,
+            }[ev.action]
+            sim.schedule(
+                max(0, ev.cycle - sim.now),
+                lambda a=action, t=ev.tile: a(t),
+            )
+        for ev in self.plan.coin_loss_events:
+            if ev.tile not in engine.fsm:
+                continue
+            sim.schedule(
+                max(0, ev.cycle - sim.now),
+                lambda t=ev.tile, c=ev.coins: engine.lose_coins(t, c),
+            )
+
+    def bind_controller(self, scheme: Any) -> None:
+        """Schedule ``kill`` events that target a centralized controller."""
+        sim = scheme.sim
+        for ev in self.plan.tile_events:
+            if ev.action == "kill" and ev.tile == scheme.controller_tile:
+                sim.schedule(
+                    max(0, ev.cycle - sim.now), scheme.kill_controller
+                )
+
+    # ------------------------------------------------------------- read-outs
+    @property
+    def decisions(self) -> int:
+        """Total draws consumed so far."""
+        return self._counter
+
+    def summary(self) -> Dict[str, int]:
+        """Counts of fired faults, for reports."""
+        return {
+            "drops": self.drops,
+            "duplicates": self.duplicates,
+            "corrupts": self.corrupts,
+            "delays": self.delays,
+            "hop_delays": self.hop_delays,
+        }

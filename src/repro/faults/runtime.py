@@ -1,0 +1,105 @@
+"""The module-level fast flag gating every fault-injection point.
+
+Exactly the :mod:`repro.obs.runtime` pattern: instrumented call sites
+read one module attribute and branch::
+
+    from repro.faults import runtime as _faults
+    ...
+    if _faults.injector is not None:
+        verdict = _faults.injector.decide(packet)
+
+When no injector is installed (the default) each site costs a single
+attribute load plus an ``is None`` test — the simulation executes the
+same instruction path as a fault-free build, and results are
+bit-identical either way.  An installed injector whose plan carries
+zero rates also leaves runs bit-identical: the injector never
+schedules, reorders, or mutates anything unless a fault actually fires.
+
+Only one injector may be installed at a time; use :func:`injecting` to
+scope one to a ``with`` block.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional, Union
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan, FaultPlanError
+
+__all__ = [
+    "enabled",
+    "injecting",
+    "injector",
+    "install",
+    "maybe_injecting",
+    "uninstall",
+]
+
+#: The installed injector, or None when fault injection is disabled.
+#: Call sites read this attribute directly as the fast path.
+injector: Optional[FaultInjector] = None
+
+
+def enabled() -> bool:
+    """True when a fault injector is installed."""
+    return injector is not None
+
+
+def install(new_injector: FaultInjector) -> FaultInjector:
+    """Install ``new_injector`` as the process-wide fault injector."""
+    global injector
+    if injector is not None:
+        raise FaultPlanError(
+            "a fault injector is already installed; uninstall it first "
+            "(nesting injectors would entangle their decision streams)"
+        )
+    injector = new_injector
+    return new_injector
+
+
+def uninstall() -> Optional[FaultInjector]:
+    """Remove the installed injector (if any) and return it."""
+    global injector
+    removed = injector
+    injector = None
+    return removed
+
+
+@contextmanager
+def injecting(
+    plan_or_injector: Union[FaultPlan, FaultInjector],
+) -> Iterator[FaultInjector]:
+    """Install a fault injector for the ``with`` body.
+
+    >>> from repro.faults import FaultPlan, injecting
+    >>> with injecting(FaultPlan.uniform(drop=0.1)) as inj:
+    ...     pass  # run the simulation here
+    >>> inj.drops
+    0
+    """
+    if isinstance(plan_or_injector, FaultInjector):
+        active = plan_or_injector
+    else:
+        active = FaultInjector(plan_or_injector)
+    install(active)
+    try:
+        yield active
+    finally:
+        uninstall()
+
+
+@contextmanager
+def maybe_injecting(
+    plan: Optional[FaultPlan],
+) -> Iterator[Optional[FaultInjector]]:
+    """:func:`injecting` when ``plan`` is given, else a no-op scope.
+
+    Lets runners write one ``with`` statement for both fault-free and
+    fault-injected trials.
+    """
+    if plan is None:
+        yield None
+        return
+    with injecting(plan) as active:
+        yield active

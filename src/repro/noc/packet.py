@@ -76,6 +76,14 @@ class Packet:
     size_flits: int = 1
     injected_at: Optional[int] = None
     delivered_at: Optional[int] = None
+    #: Set by fault injection: a corrupted packet still traverses the
+    #: fabric but fails its (modeled) CRC at the destination NI and is
+    #: discarded there instead of delivered.
+    corrupted: bool = False
+    #: Set on injected duplicate copies: the uid of the original packet.
+    #: The destination NI's sequence filter discards duplicates, so a
+    #: duplicate only ever adds fabric traffic, never a double delivery.
+    duplicate_of: Optional[int] = None
     uid: int = field(default_factory=lambda: next(_packet_ids))
 
     def __post_init__(self) -> None:
@@ -101,6 +109,9 @@ class PacketStats:
     total_hops: int = 0
     total_latency: int = 0
     by_type: Dict[str, int] = field(default_factory=dict)
+    #: Terminal discards (dropped, corrupted, duplicate-filtered,
+    #: dead destination) keyed by reason.
+    discards_by_reason: Dict[str, int] = field(default_factory=dict)
 
     def on_inject(self, packet: Packet) -> None:
         self.injected += 1
@@ -112,6 +123,17 @@ class PacketStats:
         self.total_hops += hops
         if packet.latency is not None:
             self.total_latency += packet.latency
+
+    def on_discard(self, packet: Packet, reason: str) -> None:
+        """A packet left the fabric without being delivered."""
+        self.discards_by_reason[reason] = (
+            self.discards_by_reason.get(reason, 0) + 1
+        )
+
+    @property
+    def discarded(self) -> int:
+        """Total packets that terminally left the fabric undelivered."""
+        return sum(self.discards_by_reason.values())
 
     @property
     def mean_latency(self) -> float:
@@ -141,7 +163,15 @@ class PacketStats:
             "noc.stats.mean_latency_cycles", time, self.mean_latency
         )
         registry.set_gauge("noc.stats.coin_packets", time, self.coin_packets)
+        registry.set_gauge("noc.stats.discarded", time, self.discarded)
         for kind in sorted(self.by_type):
             registry.set_gauge(
                 "noc.stats.packets", time, self.by_type[kind], kind=kind
+            )
+        for reason in sorted(self.discards_by_reason):
+            registry.set_gauge(
+                "noc.stats.discards",
+                time,
+                self.discards_by_reason[reason],
+                reason=reason,
             )

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
+from repro.faults import runtime as _faults
 from repro.noc.fabric import NocFabric
 from repro.noc.packet import Packet, Plane
 from repro.noc.topology import MeshTopology
@@ -74,6 +75,9 @@ class CycleNoc(NocFabric):
             )
             return
         nxt = route[index + 1]
+        if _faults.injector is not None:
+            # Per-hop link stall (a faulty link retransmitting flits).
+            arrival += _faults.injector.hop_jitter(packet)
         depart = self.routers[here].reserve(nxt, packet.plane, arrival, packet.size_flits)
         # The head flit reaches the next router one cycle after the tail
         # clears the link in this serialized model.

@@ -1,10 +1,129 @@
-"""Shared fixtures for the BlitzCoin reproduction test suite."""
+"""Shared fixtures and rig factories for the BlitzCoin test suite.
+
+The engine/SoC builders that used to be copy-pasted across the
+``test_core_engine*`` / ``test_soc_*`` modules live here once,
+parameterized by grid size, seed, config, and NoC class.  Test modules
+import them directly (``from tests.conftest import build_engine_rig``)
+so they also work inside Hypothesis ``@given`` bodies, where
+function-scoped fixtures are off limits.
+"""
+
+import signal
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence, Union
 
 import pytest
 
+from repro.core.config import BlitzCoinConfig, plain_one_way
+from repro.core.engine import CoinExchangeEngine
 from repro.noc.behavioral import BehavioralNoc
 from repro.noc.topology import MeshTopology
 from repro.sim.kernel import Simulator
+from repro.sim.rng import rng_for
+from repro.soc.presets import soc_3x3, soc_4x4, soc_6x6_chip
+from repro.soc.soc import Soc
+
+SOC_PRESETS: Dict[str, Callable] = {
+    "3x3": soc_3x3,
+    "4x4": soc_4x4,
+    "6x6": soc_6x6_chip,
+}
+
+
+@dataclass
+class EngineRig:
+    """A built (and optionally started) coin-exchange test bench.
+
+    Iterable as ``(sim, noc, engine)`` so call sites can unpack just
+    what they need.
+    """
+
+    sim: Simulator
+    noc: BehavioralNoc
+    engine: CoinExchangeEngine
+    topo: MeshTopology
+
+    def __iter__(self):
+        return iter((self.sim, self.noc, self.engine))
+
+
+def build_engine_rig(
+    d: int = 3,
+    *,
+    config: Optional[BlitzCoinConfig] = None,
+    max_per_tile: Union[int, Sequence[int]] = 8,
+    initial: Optional[Sequence[int]] = None,
+    noc_cls: type = BehavioralNoc,
+    noc_kwargs: Optional[dict] = None,
+    seed: Optional[int] = None,
+    start: bool = False,
+    **engine_kwargs,
+) -> EngineRig:
+    """Build a d x d coin-exchange engine on a fresh simulator.
+
+    ``max_per_tile`` is either a scalar (homogeneous grid) or a full
+    per-tile vector; ``initial`` defaults to the max vector (a
+    converged start).  ``seed`` routes through :func:`rng_for` for a
+    deterministic pairing stream; ``noc_cls``/``noc_kwargs`` swap in
+    instrumented fabrics (e.g. a lossy NoC).
+    """
+    topo = MeshTopology(d, d)
+    sim = Simulator()
+    noc = noc_cls(sim, topo, **(noc_kwargs or {}))
+    n = topo.n_tiles
+    if isinstance(max_per_tile, int):
+        max_vec = [max_per_tile] * n
+    else:
+        max_vec = list(max_per_tile)
+    if initial is None:
+        initial = list(max_vec)
+    if seed is not None:
+        engine_kwargs.setdefault("rng", rng_for(seed))
+    engine = CoinExchangeEngine(
+        sim, noc, config or plain_one_way(), max_vec, initial, **engine_kwargs
+    )
+    if start:
+        engine.start()
+    return EngineRig(sim=sim, noc=noc, engine=engine, topo=topo)
+
+
+def build_soc(preset: str = "3x3", **soc_kwargs) -> Soc:
+    """A fresh live SoC from one of the named preset configs."""
+    return Soc(SOC_PRESETS[preset](), **soc_kwargs)
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="regenerate the golden-trace fixtures in tests/fixtures/"
+        "golden/ instead of comparing against them",
+    )
+
+
+@pytest.fixture
+def update_golden(request):
+    """True when the run should rewrite golden fixtures."""
+    return request.config.getoption("--update-golden")
+
+
+@pytest.fixture
+def make_engine_rig():
+    """The :func:`build_engine_rig` factory, as a fixture."""
+    return build_engine_rig
+
+
+@pytest.fixture
+def make_soc():
+    """The :func:`build_soc` factory, as a fixture."""
+    return build_soc
+
+
+@pytest.fixture
+def soc3():
+    """A fresh 3x3 autonomous-vehicle SoC."""
+    return build_soc("3x3")
 
 
 @pytest.fixture
@@ -26,3 +145,39 @@ def mesh_4x4():
 @pytest.fixture
 def noc_3x3(sim, mesh_3x3):
     return BehavioralNoc(sim, mesh_3x3)
+
+
+# --- per-test wall-clock cap -------------------------------------------
+#
+# CI installs pytest-timeout (see pyproject's dev extras and ci.yml);
+# the local image may not have it.  When the plugin is absent, fall
+# back to a SIGALRM watchdog so a wedged simulator loop still fails the
+# one test instead of hanging the whole run.
+
+_FALLBACK_TIMEOUT_S = 120
+
+
+def pytest_configure(config):
+    config._blitz_local_timeout = not config.pluginmanager.hasplugin(
+        "timeout"
+    ) and hasattr(signal, "SIGALRM")
+
+
+@pytest.fixture(autouse=True)
+def _per_test_timeout(request):
+    if not request.config._blitz_local_timeout:
+        yield
+        return
+
+    def _alarm(signum, frame):
+        raise TimeoutError(
+            f"test exceeded {_FALLBACK_TIMEOUT_S}s wall-clock cap"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _alarm)
+    signal.alarm(_FALLBACK_TIMEOUT_S)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)

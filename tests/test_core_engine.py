@@ -16,20 +16,18 @@ from repro.noc.behavioral import BehavioralNoc
 from repro.noc.topology import MeshTopology
 from repro.sim.kernel import Simulator
 from repro.sim.rng import rng_for
+from tests.conftest import build_engine_rig
 
 
 def make_engine(d=3, config=None, max_per_tile=8, initial=None, **kwargs):
-    topo = MeshTopology(d, d)
-    sim = Simulator()
-    noc = BehavioralNoc(sim, topo)
-    n = topo.n_tiles
-    if initial is None:
-        initial = [max_per_tile] * n
-    config = config or plain_one_way()
-    engine = CoinExchangeEngine(
-        sim, noc, config, [max_per_tile] * n, initial, **kwargs
+    rig = build_engine_rig(
+        d,
+        config=config,
+        max_per_tile=max_per_tile,
+        initial=initial,
+        **kwargs,
     )
-    return sim, engine
+    return rig.sim, rig.engine
 
 
 class TestConstruction:

@@ -5,28 +5,23 @@ import dataclasses
 import pytest
 
 from repro.core.config import ExchangeMode, plain_four_way
-from repro.core.engine import CoinExchangeEngine
-from repro.noc.behavioral import BehavioralNoc
 from repro.noc.packet import MessageType
-from repro.noc.topology import MeshTopology
-from repro.sim.kernel import Simulator
-from repro.sim.rng import rng_for
+from tests.conftest import build_engine_rig
 
 
 def build(d=3, initial=None, max_per_tile=8, **cfg_kwargs):
-    topo = MeshTopology(d, d)
-    sim = Simulator()
-    noc = BehavioralNoc(sim, topo)
-    n = topo.n_tiles
-    if initial is None:
-        initial = [max_per_tile] * n
     config = plain_four_way()
     if cfg_kwargs:
         config = dataclasses.replace(config, **cfg_kwargs)
-    engine = CoinExchangeEngine(
-        sim, noc, config, [max_per_tile] * n, initial, rng=rng_for(11)
+    return tuple(
+        build_engine_rig(
+            d,
+            config=config,
+            max_per_tile=max_per_tile,
+            initial=initial,
+            seed=11,
+        )
     )
-    return sim, noc, engine
 
 
 class TestMessageComplexity:

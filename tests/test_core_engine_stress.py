@@ -13,28 +13,19 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.config import preferred_embodiment
-from repro.core.engine import CoinExchangeEngine
-from repro.noc.behavioral import BehavioralNoc
-from repro.noc.topology import MeshTopology
-from repro.sim.kernel import Simulator
 from repro.sim.rng import rng_for
+from tests.conftest import build_engine_rig
 
 
 def build_engine(d, pool_per_tile=8):
-    topo = MeshTopology(d, d)
-    sim = Simulator()
-    noc = BehavioralNoc(sim, topo)
-    n = topo.n_tiles
-    engine = CoinExchangeEngine(
-        sim,
-        noc,
-        preferred_embodiment(),
-        [pool_per_tile] * n,
-        [pool_per_tile] * n,
+    rig = build_engine_rig(
+        d,
+        config=preferred_embodiment(),
+        max_per_tile=pool_per_tile,
         rng=rng_for(99, d),
+        start=True,
     )
-    engine.start()
-    return sim, engine
+    return rig.sim, rig.engine
 
 
 @given(

@@ -3,30 +3,29 @@
 import dataclasses
 
 from repro.core.config import preferred_embodiment
-from repro.core.engine import CoinExchangeEngine
-from repro.noc.behavioral import BehavioralNoc
 from repro.noc.topology import MeshTopology
-from repro.sim.kernel import Simulator
+from tests.conftest import build_engine_rig
 
 
 def build(hotspot_cap, d=4, horizon=150_000):
     """A hungry center tile inside a busy neighborhood."""
-    topo = MeshTopology(d, d)
-    sim = Simulator()
-    noc = BehavioralNoc(sim, topo)
-    n = topo.n_tiles
-    center = topo.center_tile()
-    max_vec = [8] * n
+    center = MeshTopology(d, d).center_tile()
+    max_vec = [8] * (d * d)
     max_vec[center] = 64
     config = dataclasses.replace(
         preferred_embodiment(),
         hotspot_neighborhood_cap=hotspot_cap,
     )
-    engine = CoinExchangeEngine(sim, noc, config, max_vec, [10] * n)
-    engine.start()
-    sim.run(until=horizon)
-    engine.check_conservation()
-    return engine, topo, center
+    rig = build_engine_rig(
+        d,
+        config=config,
+        max_per_tile=max_vec,
+        initial=[10] * (d * d),
+        start=True,
+    )
+    rig.sim.run(until=horizon)
+    rig.engine.check_conservation()
+    return rig.engine, rig.topo, center
 
 
 def neighborhood_sum(engine, topo, center):

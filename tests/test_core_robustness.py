@@ -10,12 +10,9 @@ import dataclasses
 import pytest
 
 from repro.core.config import plain_four_way, preferred_embodiment
-from repro.core.engine import CoinExchangeEngine
 from repro.noc.behavioral import BehavioralNoc
 from repro.noc.packet import MessageType, Packet
-from repro.noc.topology import MeshTopology
-from repro.sim.kernel import Simulator
-from repro.sim.rng import rng_for
+from tests.conftest import build_engine_rig
 
 
 class LossyNoc(BehavioralNoc):
@@ -38,22 +35,27 @@ class LossyNoc(BehavioralNoc):
 
 
 def build(drop_types, config=None, d=3, drop_every=7):
-    topo = MeshTopology(d, d)
-    sim = Simulator()
-    noc = LossyNoc(
-        sim, topo, drop_types=drop_types, drop_every=drop_every
-    )
-    n = topo.n_tiles
-    config = config or dataclasses.replace(
-        preferred_embodiment(), exchange_timeout_cycles=512
-    )
+    n = d * d
     initial = [0] * n
     initial[0] = 8 * n
-    engine = CoinExchangeEngine(
-        sim, noc, config, [8] * n, initial, rng=rng_for(13)
+    return tuple(
+        build_engine_rig(
+            d,
+            config=config
+            or dataclasses.replace(
+                preferred_embodiment(), exchange_timeout_cycles=512
+            ),
+            max_per_tile=8,
+            initial=initial,
+            noc_cls=LossyNoc,
+            noc_kwargs={
+                "drop_types": drop_types,
+                "drop_every": drop_every,
+            },
+            seed=13,
+            start=True,
+        )
     )
-    engine.start()
-    return sim, noc, engine
 
 
 class TestLostStatuses:

@@ -1,0 +1,243 @@
+"""Resilience tests: tile death, hangs, coin loss, and reconciliation.
+
+The protocol-level half of the fault story: killed tiles release their
+coins through the reconciliation ledger, hung tiles cost timeouts but
+never wedge partners, revived tiles rejoin and rebalance, and the
+centralized baseline's bounded poll retries (and controller death)
+behave as modeled in the fault sweep.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.baselines.centralized import (
+    CentralizedScheme,
+    ControllerTiming,
+    ProportionalPolicy,
+)
+from repro.core.config import preferred_embodiment
+from repro.core.engine import EngineError
+from repro.faults import FaultPlan, TileFaultEvent, injecting
+from repro.noc.behavioral import BehavioralNoc
+from repro.noc.topology import MeshTopology
+from repro.sim.kernel import Simulator
+from tests.conftest import build_engine_rig
+
+
+def fault_config(**overrides):
+    return dataclasses.replace(
+        preferred_embodiment(),
+        exchange_timeout_cycles=256,
+        reconcile_delay_cycles=32,
+        **overrides,
+    )
+
+
+def rig(d=3, **kwargs):
+    kwargs.setdefault("config", fault_config())
+    kwargs.setdefault("seed", 21)
+    kwargs.setdefault("start", True)
+    return build_engine_rig(d, **kwargs)
+
+
+class TestKill:
+    def test_killed_tiles_coins_are_reconciled(self):
+        sim, noc, engine = rig()
+        sim.run_for(50)
+        victim = 4
+        held = engine.coins(victim).has
+        engine.kill_tile(victim)
+        assert engine.coins_lost >= held
+        sim.run_for(5_000)
+        assert engine.coins_reminted == engine.coins_lost
+        assert engine.lost_pending == 0
+        assert engine.coins(victim).has == 0
+        engine.check_conservation()
+
+    def test_survivors_absorb_the_pool(self):
+        sim, noc, engine = rig()
+        victim = 4
+        engine.kill_tile(victim)
+        converged = engine.run_until_converged(200_000)
+        assert converged is not None
+        sim.run_for(10_000)  # let the delayed re-mint land
+        total = sum(
+            engine.coins(t).has for t in engine.fsm if t != victim
+        )
+        assert total == engine.pool
+        engine.check_conservation()
+
+    def test_dead_tile_ignores_set_max(self):
+        sim, noc, engine = rig()
+        victim = 4
+        engine.kill_tile(victim)
+        engine.set_max(victim, 99)
+        assert engine.coins(victim).max == 0  # applied only on revive
+        engine.revive_tile(victim)
+        assert engine.coins(victim).max == 99
+        engine.run_until_converged(200_000)
+        engine.check_conservation()
+
+    def test_kill_is_idempotent_enough(self):
+        sim, noc, engine = rig()
+        engine.kill_tile(4)
+        lost = engine.coins_lost
+        engine.kill_tile(4)
+        assert engine.coins_lost == lost  # no double confiscation
+
+
+class TestHang:
+    def test_hung_tile_keeps_coins_and_partners_time_out(self):
+        sim, noc, engine = rig()
+        sim.run_for(50)
+        victim = 4
+        held = engine.coins(victim).has
+        engine.hang_tile(victim)
+        sim.run_for(30_000)
+        assert engine.coins(victim).has == held
+        assert engine.exchanges_timed_out > 0
+        engine.check_conservation()
+
+    def test_system_converges_around_a_hung_tile(self):
+        """Remaining tiles still equalize; the hung tile's stale coins
+        are part of the conserved pool, not a leak."""
+        sim, noc, engine = rig()
+        engine.hang_tile(4)
+        sim.run_for(100_000)
+        engine.check_conservation()
+        # Every live tile is still unlocked and schedulable.
+        live_busy = [
+            t for t, f in engine.fsm.items() if t != 4 and f.locked
+        ]
+        assert live_busy == []
+
+
+class TestRevive:
+    def test_revived_after_hang_resumes_exchanging(self):
+        sim, noc, engine = rig()
+        engine.hang_tile(4)
+        sim.run_for(5_000)
+        engine.revive_tile(4)
+        before = engine.exchanges_started
+        sim.run_for(20_000)
+        assert engine.exchanges_started > before
+        engine.check_conservation()
+
+    def test_kill_then_revive_rebalances(self):
+        sim, noc, engine = rig()
+        engine.kill_tile(4)
+        sim.run_for(10_000)
+        engine.revive_tile(4)
+        converged = engine.run_until_converged(300_000)
+        assert converged is not None
+        assert engine.coins(4).has > 0  # re-earned a share
+        engine.check_conservation()
+
+
+class TestCoinLoss:
+    def test_lost_coins_are_reminted(self):
+        sim, noc, engine = rig()
+        sim.run_for(100)
+        tid = max(engine.fsm, key=lambda t: engine.coins(t).has)
+        engine.lose_coins(tid, 2)
+        assert engine.coins_lost >= 2
+        sim.run_for(5_000)
+        assert engine.coins_reminted == engine.coins_lost
+        assert engine.reconciliations >= 1
+        engine.check_conservation()
+
+    def test_loss_clamped_to_holdings(self):
+        sim, noc, engine = rig()
+        tid = 0
+        held = engine.coins(tid).has
+        engine.lose_coins(tid, held + 100)
+        assert engine.coins_lost <= held
+        engine.check_conservation()
+
+    def test_unmanaged_tile_rejected(self):
+        sim, noc, engine = rig()
+        with pytest.raises(EngineError):
+            engine.lose_coins(99, 1)
+
+    def test_scheduled_events_fire_through_the_plan(self):
+        plan = FaultPlan(
+            tile_events=(
+                TileFaultEvent(cycle=200, tile=4, action="kill"),
+            ),
+        )
+        with injecting(plan):
+            sim, noc, engine = rig()
+            sim.run_for(10_000)
+        assert engine.fsm[4].dead
+        assert engine.coins_reminted == engine.coins_lost
+        engine.check_conservation()
+
+
+class TestRetryBackoff:
+    def test_fail_streaks_tracked_and_cleared(self):
+        sim, noc, engine = rig()
+        engine.hang_tile(4)
+        sim.run_for(50_000)
+        streaks = [
+            f.fail_streak.get(4, 0) for t, f in engine.fsm.items() if t != 4
+        ]
+        assert max(streaks) >= 1
+        engine.revive_tile(4)
+        sim.run_for(100_000)
+        # A completed exchange with the revived tile clears its streak.
+        cleared = [
+            f.fail_streak.get(4, 0) for t, f in engine.fsm.items() if t != 4
+        ]
+        assert min(cleared) == 0
+
+    def test_partner_retry_limit_validated(self):
+        with pytest.raises(Exception):
+            fault_config(partner_retry_limit=-1)
+
+
+class TestCentralizedResilience:
+    def build(self, d=3, rate=0.0, timing=None):
+        sim = Simulator()
+        topo = MeshTopology(d, d)
+        noc = BehavioralNoc(sim, topo)
+        managed = [t for t in topo.all_tiles() if t != 0]
+        applied = []
+        scheme = CentralizedScheme(
+            sim,
+            noc,
+            0,
+            managed,
+            ProportionalPolicy(),
+            budget_mw=10.0,
+            capability=lambda tid: 1.0,
+            apply_target=lambda tid, p: applied.append(tid),
+            timing=timing or ControllerTiming(),
+        )
+        scheme.start()
+        return sim, scheme, applied
+
+    def test_poll_retries_under_loss(self):
+        with injecting(FaultPlan.uniform(drop=0.4, seed=3)):
+            sim, scheme, applied = self.build(rate=0.4)
+            sim.schedule(1, lambda: scheme.on_activity_change(1))
+            sim.run(until=300_000)
+        assert scheme.polls_retried > 0
+        assert applied  # loop still completes via retries/re-loops
+
+    def test_killed_controller_goes_silent(self):
+        sim, scheme, applied = self.build()
+        scheme.kill_controller()
+        sim.schedule(1, lambda: scheme.on_activity_change(1))
+        sim.run(until=100_000)
+        assert applied == []
+
+    def test_poll_abandonment_is_bounded(self):
+        timing = ControllerTiming(poll_retry_limit=1)
+        with injecting(FaultPlan.uniform(drop=0.6, seed=5)):
+            sim, scheme, applied = self.build(timing=timing)
+            sim.schedule(1, lambda: scheme.on_activity_change(1))
+            sim.run(until=300_000)
+        # With a tight retry budget and heavy loss, some polls must be
+        # abandoned rather than retried forever.
+        assert scheme.polls_abandoned > 0

@@ -12,15 +12,14 @@ from repro.soc.pm import (
     TokenSmartPM,
     build_pm,
 )
-from repro.soc.presets import soc_3x3
-from repro.soc.soc import Soc
 from repro.workloads.apps import autonomous_vehicle_parallel
+from tests.conftest import build_soc
 
 
 class TestBuildPm:
     @pytest.mark.parametrize("kind", list(PMKind))
     def test_factory_constructs_each_kind(self, kind):
-        soc = Soc(soc_3x3())
+        soc = build_soc("3x3")
         pm = build_pm(kind, soc, 120.0)
         assert hasattr(pm, "start")
         assert hasattr(pm, "on_tile_start")
@@ -29,18 +28,18 @@ class TestBuildPm:
 
 class TestBlitzCoinPM:
     def test_pool_sized_net_of_idle_floor(self):
-        soc = Soc(soc_3x3())
+        soc = build_soc("3x3")
         pm = BlitzCoinPM(soc, 120.0)
         assert pm.coin_budget.budget_mw < 120.0
         assert pm.coin_budget.pool == 63
 
     def test_budget_below_idle_floor_rejected(self):
-        soc = Soc(soc_3x3())
+        soc = build_soc("3x3")
         with pytest.raises(ValueError):
             BlitzCoinPM(soc, 1.0)
 
     def test_tile_start_sets_target_and_attracts_coins(self):
-        soc = Soc(soc_3x3())
+        soc = build_soc("3x3")
         pm = BlitzCoinPM(soc, 120.0)
         pm.start()
         tid = pm.tiles[0]
@@ -50,7 +49,7 @@ class TestBlitzCoinPM:
         assert pm.engine.coins(tid).has > pm.coin_budget.pool // len(pm.tiles)
 
     def test_tile_end_relinquishes_and_gates_clock(self):
-        soc = Soc(soc_3x3())
+        soc = build_soc("3x3")
         pm = BlitzCoinPM(soc, 120.0)
         pm.start()
         tid = pm.tiles[0]
@@ -63,7 +62,7 @@ class TestBlitzCoinPM:
         assert soc.actuators[tid].f_target_hz == 0.0
 
     def test_ap_strategy_equalizes_targets(self):
-        soc = Soc(soc_3x3())
+        soc = build_soc("3x3")
         pm = BlitzCoinPM(
             soc, 120.0, strategy=AllocationStrategy.ABSOLUTE_PROPORTIONAL
         )
@@ -71,7 +70,7 @@ class TestBlitzCoinPM:
         assert len(targets) == 1  # equal absolute shares fit under caps
 
     def test_rp_strategy_weights_by_pmax(self):
-        soc = Soc(soc_3x3())
+        soc = build_soc("3x3")
         pm = BlitzCoinPM(soc, 120.0)
         by_class = {}
         for t in pm.tiles:
@@ -79,7 +78,7 @@ class TestBlitzCoinPM:
         assert by_class["NVDLA"] > by_class["FFT"] > by_class["Viterbi"]
 
     def test_response_logged_after_activity_change(self):
-        soc = Soc(soc_3x3())
+        soc = build_soc("3x3")
         pm = BlitzCoinPM(soc, 120.0)
         pm.start()
         tid = pm.tiles[0]
@@ -93,7 +92,7 @@ class TestBlitzCoinPM:
 class TestCentralizedPM:
     @pytest.mark.parametrize("policy", ["crr", "bcc"])
     def test_controller_grants_power_to_active_tiles(self, policy):
-        soc = Soc(soc_3x3())
+        soc = build_soc("3x3")
         pm = CentralizedPM(soc, 120.0, policy=policy)
         pm.start()
         tid = soc.config.tiles_of_class("FFT")[0]
@@ -103,14 +102,14 @@ class TestCentralizedPM:
         assert soc.frequency(tid) > 0
 
     def test_unknown_policy_rejected(self):
-        soc = Soc(soc_3x3())
+        soc = build_soc("3x3")
         with pytest.raises(ValueError):
             CentralizedPM(soc, 120.0, policy="magic")
 
     def test_crr_slower_than_bcc_per_tile(self):
-        soc = Soc(soc_3x3())
+        soc = build_soc("3x3")
         crr = CentralizedPM(soc, 120.0, policy="crr")
-        soc2 = Soc(soc_3x3())
+        soc2 = build_soc("3x3")
         bcc = CentralizedPM(soc2, 120.0, policy="bcc")
         assert (
             crr.scheme.timing.poll_overhead > bcc.scheme.timing.poll_overhead
@@ -119,12 +118,12 @@ class TestCentralizedPM:
 
 class TestTokenSmartPM:
     def test_ring_covers_managed_tiles(self):
-        soc = Soc(soc_3x3())
+        soc = build_soc("3x3")
         pm = TokenSmartPM(soc, 120.0)
         assert sorted(pm.ring) == sorted(pm.tiles)
 
     def test_tokens_conserved(self):
-        soc = Soc(soc_3x3())
+        soc = build_soc("3x3")
         pm = TokenSmartPM(soc, 120.0)
         pm.start()
         tid = pm.tiles[0]
@@ -134,7 +133,7 @@ class TestTokenSmartPM:
         assert sum(pm.has.values()) + pm.pool_tokens == pm.coin_budget.pool
 
     def test_active_tile_acquires_tokens(self):
-        soc = Soc(soc_3x3())
+        soc = build_soc("3x3")
         pm = TokenSmartPM(soc, 120.0)
         pm.start()
         tid = pm.tiles[0]
@@ -159,7 +158,7 @@ class TestCapEnforcement:
     def test_every_scheme_respects_the_power_cap(self, kind):
         """Fig. 16's headline invariant, with a 10% transient allowance
         for actuator slew overlap."""
-        soc = Soc(soc_3x3())
+        soc = build_soc("3x3")
         pm = build_pm(kind, soc, 120.0)
         result = WorkloadExecutor(
             soc, autonomous_vehicle_parallel(), pm
@@ -169,20 +168,20 @@ class TestCapEnforcement:
 
 class TestCoinPrecision:
     def test_coin_bits_sets_counter_width(self):
-        soc = Soc(soc_3x3())
+        soc = build_soc("3x3")
         pm = BlitzCoinPM(soc, 120.0, coin_bits=4)
         assert max(pm.coin_budget.max_by_tile.values()) <= 15
         assert pm.luts[pm.tiles[0]].n_entries == 16
 
     def test_invalid_coin_bits_rejected(self):
-        soc = Soc(soc_3x3())
+        soc = build_soc("3x3")
         with pytest.raises(ValueError):
             BlitzCoinPM(soc, 120.0, coin_bits=0)
         with pytest.raises(ValueError):
             BlitzCoinPM(soc, 120.0, coin_bits=13)
 
     def test_coarse_coins_still_run_to_completion(self):
-        soc = Soc(soc_3x3())
+        soc = build_soc("3x3")
         pm = BlitzCoinPM(soc, 120.0, coin_bits=3)
         result = WorkloadExecutor(
             soc, autonomous_vehicle_parallel(), pm

@@ -42,14 +42,13 @@ class TestTaskGraphRoundTrip:
     def test_loaded_graph_is_runnable(self, tmp_path):
         from repro.soc.executor import WorkloadExecutor
         from repro.soc.pm import PMKind, build_pm
-        from repro.soc.presets import soc_3x3
-        from repro.soc.soc import Soc
+        from tests.conftest import build_soc
 
         path = save_taskgraph(
             autonomous_vehicle_dependent(), tmp_path / "wl.csv"
         )
         graph = load_taskgraph(path)
-        soc = Soc(soc_3x3())
+        soc = build_soc("3x3")
         pm = build_pm(PMKind.STATIC, soc, 120.0)
         result = WorkloadExecutor(soc, graph, pm).run()
         assert len(result.task_finish_cycles) == len(graph)
