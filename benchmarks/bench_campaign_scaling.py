@@ -1,0 +1,95 @@
+"""Campaign scaling: parallel speedup and cache economics.
+
+The campaign layer's pitch is twofold: fan seeded trials over worker
+processes without changing a single bit of any result, and never run
+the same (config, params, seed) unit twice.  This benchmark measures
+both — wall-clock speedup of parallel vs. serial execution at 1/2/4/8
+workers on a cold cache, then a warm-cache rerun that must execute
+nothing at all.  EXPERIMENTS.md records the measured numbers.
+"""
+
+import json
+import os
+import time
+
+from repro.campaign import CampaignSpec, CampaignStore, run_campaign
+from repro.campaign.spec import canonical_json, encode_config
+from repro.core.config import plain_one_way
+
+WORKER_COUNTS = (1, 2, 4, 8)
+
+
+def _spec():
+    # Heavy enough per unit that process fan-out beats pool overhead:
+    # 12 convergence trials across two techniques and two mesh sizes.
+    return CampaignSpec(
+        name="bench-scaling",
+        kind="convergence",
+        trials=3,
+        base_seed=3,
+        seed_stride=1000,
+        axes=(("mode", ("1-way", "4-way")), ("d", (4, 6))),
+        params={"threshold": 1.5},
+        config=encode_config(plain_one_way()),
+    )
+
+
+def _results_fingerprint(run):
+    return canonical_json([json.loads(canonical_json(r)) for r in run.results])
+
+
+def test_campaign_scaling(benchmark, report, tmp_path):
+    spec = _spec()
+
+    # Serial reference, timed through the benchmark harness.
+    serial_store = CampaignStore(tmp_path / "serial")
+    t0 = time.perf_counter()
+    serial = benchmark.pedantic(
+        run_campaign,
+        args=(spec,),
+        kwargs={"store": serial_store, "workers": 1},
+        rounds=1,
+        iterations=1,
+    )
+    serial_time = time.perf_counter() - t0
+    assert serial.executed == serial.total
+
+    rows = [f"units={serial.total}  cores={os.cpu_count()}"]
+    rows.append(f"serial          {serial_time:7.2f}s  speedup= 1.00x")
+
+    times = {}
+    for workers in WORKER_COUNTS:
+        store = CampaignStore(tmp_path / f"w{workers}")
+        t0 = time.perf_counter()
+        run = run_campaign(spec, store=store, workers=workers)
+        times[workers] = time.perf_counter() - t0
+        # Bit-identity: the worker fan-out must not change any result.
+        assert _results_fingerprint(run) == _results_fingerprint(serial)
+        assert run.executed == run.total
+        rows.append(
+            f"workers={workers}  cold {times[workers]:7.2f}s  "
+            f"speedup={serial_time / times[workers]:5.2f}x"
+        )
+
+    # Warm cache: the rerun must execute zero units, at any worker count.
+    t0 = time.perf_counter()
+    warm = run_campaign(spec, store=serial_store, workers=4)
+    warm_time = time.perf_counter() - t0
+    assert warm.executed == 0
+    assert warm.cached == warm.total
+    assert _results_fingerprint(warm) == _results_fingerprint(serial)
+    rows.append(
+        f"warm cache      {warm_time:7.2f}s  "
+        f"speedup={serial_time / warm_time:5.2f}x  (0 units executed)"
+    )
+
+    report("Campaign scaling: parallel + cache", rows)
+
+    # The speedup claim needs real cores behind the workers; on the
+    # 4-core CI runner, 4 workers must at least halve the wall clock.
+    cores = os.cpu_count() or 1
+    if cores >= 4:
+        assert serial_time / times[4] >= 2.0
+
+    # The cache claim holds everywhere: a warm rerun is pure reads.
+    assert warm_time < serial_time

@@ -122,7 +122,15 @@ _SEEDED_RNG_CTORS = {
 #: Packages whose event-scheduling code must not iterate unordered sets.
 #: repro.faults is included: fault decisions are event-scheduling inputs,
 #: so hash-order iteration there would break run reproducibility too.
-_ORDERED_ITERATION_SCOPES = ("repro.core", "repro.noc", "repro.sim", "repro.faults")
+#: repro.campaign is included: unit enumeration and seed derivation feed
+#: the cache keys and the parallel/serial bit-identity guarantee.
+_ORDERED_ITERATION_SCOPES = (
+    "repro.core",
+    "repro.noc",
+    "repro.sim",
+    "repro.faults",
+    "repro.campaign",
+)
 
 # ---------------------------------------------------------------- C1 tables
 _C1_WHOLE_MODULES = ("repro.core.coins",)
@@ -140,7 +148,9 @@ _C1_ENGINE_FUNCS = {
 _C1_ENGINE_MODULE = "repro.core.engine"
 
 # ---------------------------------------------------------------- S1 tables
-_S1_SCOPES = ("repro.core", "repro.noc")
+#: repro.campaign is in scope: the campaign layer aggregates results
+#: and must never reach into engine/tile coin state directly.
+_S1_SCOPES = ("repro.core", "repro.noc", "repro.campaign")
 #: The only functions allowed to write a coin register directly: the
 #: engine's single delta-application point, the activity-edge API, and
 #: object construction.

@@ -1,0 +1,22 @@
+"""Campaign error hierarchy.
+
+Everything the campaign layer can complain about derives from
+:class:`CampaignError`, so the CLI maps the whole family to a clean
+``rc 2`` without a traceback.
+"""
+
+from __future__ import annotations
+
+__all__ = ["CampaignError", "SpecError", "StoreError"]
+
+
+class CampaignError(Exception):
+    """Base class for all campaign-layer failures."""
+
+
+class SpecError(CampaignError, ValueError):
+    """Raised for malformed or inconsistent campaign specs."""
+
+
+class StoreError(CampaignError):
+    """Raised for unusable result-store state (corrupt artifacts etc.)."""

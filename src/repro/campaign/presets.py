@@ -1,0 +1,81 @@
+"""Named, ready-to-run campaign specs for the CLI and CI.
+
+``blitzcoin-repro campaign run --preset NAME`` resolves here.  The
+figure presets delegate to the experiment modules' own spec builders so
+the CLI and the programmatic ``experiments.figNN.run()`` paths execute
+literally the same spec (same hash, shared cache).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.campaign.errors import SpecError
+from repro.campaign.spec import CampaignSpec
+
+
+def _smoke() -> CampaignSpec:
+    """A seconds-long 2-point campaign for CI cache-hit smoke tests."""
+    return CampaignSpec(
+        name="smoke",
+        kind="convergence",
+        trials=2,
+        base_seed=3,
+        axes=(("mode", ("1-way", "4-way")),),
+        params={"d": 3, "threshold": 1.5},
+    )
+
+
+def _fig03() -> CampaignSpec:
+    from repro.experiments import fig03_convergence
+
+    return fig03_convergence.build_spec()
+
+
+def _fig03_quick() -> CampaignSpec:
+    from repro.experiments import fig03_convergence
+
+    return fig03_convergence.build_spec(dims=(3, 4, 6), trials=3)
+
+
+def _fig07() -> CampaignSpec:
+    from repro.experiments import fig07_random_pairing
+
+    return fig07_random_pairing.build_spec()
+
+
+def _fig07_quick() -> CampaignSpec:
+    from repro.experiments import fig07_random_pairing
+
+    return fig07_random_pairing.build_spec(
+        dims=(6,), trials=2, settle_cycles=20_000
+    )
+
+
+def _fault_sweep_quick() -> CampaignSpec:
+    from repro.experiments import fault_sweep
+
+    return fault_sweep.build_blitzcoin_spec(
+        rates=(0.0, 0.05), d=4, trials=2, base_seed=7
+    )
+
+
+PRESETS: Dict[str, Callable[[], CampaignSpec]] = {
+    "smoke": _smoke,
+    "fig03": _fig03,
+    "fig03-quick": _fig03_quick,
+    "fig07": _fig07,
+    "fig07-quick": _fig07_quick,
+    "fault-sweep-quick": _fault_sweep_quick,
+}
+
+
+def get_preset(name: str) -> CampaignSpec:
+    """The named preset spec, or :class:`SpecError` for unknown names."""
+    factory = PRESETS.get(name)
+    if factory is None:
+        raise SpecError(
+            f"unknown campaign preset {name!r}; available: "
+            f"{', '.join(sorted(PRESETS))}"
+        )
+    return factory()

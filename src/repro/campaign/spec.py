@@ -1,0 +1,480 @@
+"""Declarative campaign specs: *what* to sweep, frozen and hashable.
+
+A :class:`CampaignSpec` fully describes a Monte-Carlo sweep:
+
+* a trial ``kind`` (convergence / settle / centralized — the registry
+  lives in :mod:`repro.campaign.executor`);
+* an encoded :class:`~repro.core.config.BlitzCoinConfig` baseline;
+* ``axes`` — an ordered grid of parameter values whose cartesian
+  product defines the sweep's *points*;
+* ``trials`` seeded repetitions per point, with a deterministic seed
+  rule (``stride`` reproduces the legacy figure-driver seeds;
+  ``spawn`` derives collision-free seeds through
+  :func:`repro.sim.rng.rng_for`).
+
+Specs are pure data: JSON round-trippable, validated on construction,
+and content-addressed via :attr:`CampaignSpec.spec_hash` over their
+canonical JSON form.  Each (point, trial) pair expands to a
+:class:`CampaignUnit` whose ``unit_hash`` covers every input that
+determines the unit's result — the cache key of the result store.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+
+from repro.campaign.errors import SpecError
+from repro.core.config import BlitzCoinConfig, ConfigError, ExchangeMode
+from repro.faults.plan import FaultPlan, FaultPlanError
+from repro.sim.rng import rng_for
+
+__all__ = [
+    "CampaignSpec",
+    "CampaignUnit",
+    "canonical_json",
+    "decode_config",
+    "encode_config",
+    "load_campaign_spec",
+]
+
+#: Trial kinds the executor knows how to run.
+KINDS = ("convergence", "settle", "centralized")
+
+#: Per-trial seed-derivation rules.
+SEED_RULES = ("stride", "spawn")
+
+#: Non-config sweep knobs understood by the hardware-trial kinds.
+TRIAL_KNOBS = frozenset(
+    {
+        "d",
+        "threshold",
+        "max_cycles",
+        "donor_fraction",
+        "settle_cycles",
+        "scenario",
+        "rate",
+        "kill_tile",
+        "kill_at",
+    }
+)
+
+#: Knobs meaningful to the centralized-baseline kind.
+CENTRALIZED_KNOBS = frozenset({"d", "rate", "kill_at", "max_cycles"})
+
+#: BlitzCoinConfig fields that may be swept per point (scalars only;
+#: structured fields — thermal_caps, fault_plan — belong in the spec's
+#: baseline ``config`` or the fault knobs).
+_CONFIG_SCALAR_FIELDS = frozenset(
+    f.name
+    for f in dataclasses.fields(BlitzCoinConfig)
+    if f.name not in ("thermal_caps", "fault_plan")
+)
+
+_SCALAR_TYPES = (bool, int, float, str, type(None))
+
+
+def canonical_json(obj: Any) -> str:
+    """The canonical (sorted, compact) JSON form used for hashing and
+    bit-identity comparisons."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def _sha256(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+# --------------------------------------------------------------- config codec
+def encode_config(config: BlitzCoinConfig) -> Dict[str, Any]:
+    """A JSON-ready dict for a :class:`BlitzCoinConfig` (full fidelity,
+    inverse of :func:`decode_config`)."""
+    data: Dict[str, Any] = {}
+    for f in dataclasses.fields(config):
+        value = getattr(config, f.name)
+        if f.name == "mode":
+            data[f.name] = value.value
+        elif f.name == "fault_plan":
+            data[f.name] = None if value is None else value.to_dict()
+        elif f.name == "thermal_caps":
+            data[f.name] = (
+                None
+                if value is None
+                else {str(k): v for k, v in sorted(value.items())}
+            )
+        else:
+            data[f.name] = value
+    return data
+
+
+def decode_config(data: Mapping[str, Any]) -> BlitzCoinConfig:
+    """Rebuild a :class:`BlitzCoinConfig` from :func:`encode_config`
+    output; missing fields take the dataclass defaults."""
+    if not isinstance(data, Mapping):
+        raise SpecError(
+            f"config must be a JSON object, got {type(data).__name__}"
+        )
+    known = {f.name for f in dataclasses.fields(BlitzCoinConfig)}
+    unknown = sorted(set(data) - known)
+    if unknown:
+        raise SpecError(f"unknown config field(s): {', '.join(unknown)}")
+    kwargs: Dict[str, Any] = dict(data)
+    try:
+        if "mode" in kwargs:
+            kwargs["mode"] = _decode_mode(kwargs["mode"])
+        if kwargs.get("thermal_caps") is not None:
+            kwargs["thermal_caps"] = {
+                int(k): int(v) for k, v in kwargs["thermal_caps"].items()
+            }
+        if kwargs.get("fault_plan") is not None:
+            plan = kwargs["fault_plan"]
+            if not isinstance(plan, FaultPlan):
+                kwargs["fault_plan"] = FaultPlan.from_dict(plan)
+        return BlitzCoinConfig(**kwargs)
+    except (ConfigError, FaultPlanError, TypeError, ValueError) as exc:
+        raise SpecError(f"invalid config: {exc}") from exc
+
+
+def _decode_mode(value: Any) -> ExchangeMode:
+    if isinstance(value, ExchangeMode):
+        return value
+    for mode in ExchangeMode:
+        if value == mode.value:
+            return mode
+    raise SpecError(
+        f"unknown exchange mode {value!r}; expected one of "
+        f"{[m.value for m in ExchangeMode]}"
+    )
+
+
+# --------------------------------------------------------------------- units
+@dataclass(frozen=True)
+class CampaignUnit:
+    """One seeded trial of a campaign: a (point, trial) pair.
+
+    ``params`` is the merged view (spec params overridden by this
+    point's axis values); ``unit_hash`` covers every input that
+    determines the trial's result, so it is the content address of the
+    cached artifact.
+    """
+
+    index: int
+    point_index: int
+    trial: int
+    seed: int
+    params: Mapping[str, Any]
+    unit_hash: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "index": self.index,
+            "point_index": self.point_index,
+            "trial": self.trial,
+            "seed": self.seed,
+            "params": dict(self.params),
+            "unit_hash": self.unit_hash,
+        }
+
+
+# ---------------------------------------------------------------------- spec
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A frozen, JSON-serializable description of one sweep."""
+
+    name: str
+    kind: str
+    trials: int
+    base_seed: int = 0
+    seed_rule: str = "stride"
+    seed_stride: int = 1000
+    #: Ordered (axis name, values) pairs; the cartesian product in this
+    #: order enumerates the sweep's points.
+    axes: Tuple[Tuple[str, Tuple[Any, ...]], ...] = ()
+    #: Point-independent knobs (e.g. ``{"d": 6, "threshold": 1.5}``);
+    #: axis values override these per point.
+    params: Mapping[str, Any] = field(default_factory=dict)
+    #: Encoded baseline BlitzCoinConfig (None = kind's default config).
+    config: Optional[Mapping[str, Any]] = None
+
+    def __post_init__(self) -> None:
+        if not self.name or not all(
+            c.isalnum() or c in "._-" for c in self.name
+        ):
+            raise SpecError(
+                f"campaign name must be non-empty [A-Za-z0-9._-], "
+                f"got {self.name!r}"
+            )
+        if self.kind not in KINDS:
+            raise SpecError(
+                f"unknown campaign kind {self.kind!r}; expected one of {KINDS}"
+            )
+        if self.trials < 1:
+            raise SpecError(f"trials must be >= 1, got {self.trials}")
+        if self.base_seed < 0:
+            raise SpecError(f"base_seed must be >= 0, got {self.base_seed}")
+        if self.seed_rule not in SEED_RULES:
+            raise SpecError(
+                f"unknown seed rule {self.seed_rule!r}; "
+                f"expected one of {SEED_RULES}"
+            )
+        if self.seed_stride < 1:
+            raise SpecError(
+                f"seed_stride must be >= 1, got {self.seed_stride}"
+            )
+        object.__setattr__(
+            self,
+            "axes",
+            tuple((name, tuple(values)) for name, values in self.axes),
+        )
+        object.__setattr__(self, "params", dict(self.params))
+        if self.config is not None:
+            object.__setattr__(self, "config", dict(self.config))
+            decode_config(self.config)  # validate eagerly
+        self._validate_sweep_keys()
+
+    def _validate_sweep_keys(self) -> None:
+        allowed = (
+            CENTRALIZED_KNOBS
+            if self.kind == "centralized"
+            else TRIAL_KNOBS | _CONFIG_SCALAR_FIELDS
+        )
+        seen = set()
+        for name, values in self.axes:
+            if name in seen:
+                raise SpecError(f"duplicate axis {name!r}")
+            seen.add(name)
+            if name not in allowed:
+                raise SpecError(
+                    f"axis {name!r} is not a sweepable knob for kind "
+                    f"{self.kind!r}"
+                )
+            if not values:
+                raise SpecError(f"axis {name!r} has no values")
+            if len(set(values)) != len(values):
+                raise SpecError(f"axis {name!r} has duplicate values")
+            for v in values:
+                if not isinstance(v, _SCALAR_TYPES):
+                    raise SpecError(
+                        f"axis {name!r} value {v!r} is not a JSON scalar"
+                    )
+        for key, value in self.params.items():
+            if key not in allowed:
+                raise SpecError(
+                    f"param {key!r} is not a knob for kind {self.kind!r}"
+                )
+            if key == "scenario":
+                _validate_scenario(value)
+            elif not isinstance(value, _SCALAR_TYPES):
+                raise SpecError(
+                    f"param {key!r} value {value!r} is not a JSON scalar"
+                )
+        axis_names = {name for name, _ in self.axes}
+        if "d" not in axis_names and "d" not in self.params:
+            raise SpecError("spec must set 'd' (as a param or an axis)")
+
+    # ------------------------------------------------------------- identity
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": 1,
+            "name": self.name,
+            "kind": self.kind,
+            "trials": self.trials,
+            "base_seed": self.base_seed,
+            "seed_rule": self.seed_rule,
+            "seed_stride": self.seed_stride,
+            "axes": [
+                {"name": name, "values": list(values)}
+                for name, values in self.axes
+            ],
+            "params": dict(self.params),
+            "config": None if self.config is None else dict(self.config),
+        }
+
+    @property
+    def spec_hash(self) -> str:
+        """Stable content hash of the canonical JSON form."""
+        return _sha256(canonical_json(self.to_dict()))
+
+    def to_json(self, *, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "CampaignSpec":
+        if not isinstance(data, dict):
+            raise SpecError(
+                f"campaign spec must be a JSON object, "
+                f"got {type(data).__name__}"
+            )
+        known = {
+            "schema",
+            "name",
+            "kind",
+            "trials",
+            "base_seed",
+            "seed_rule",
+            "seed_stride",
+            "axes",
+            "params",
+            "config",
+        }
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise SpecError(
+                f"unknown campaign-spec field(s): {', '.join(unknown)}"
+            )
+        schema = data.get("schema", 1)
+        if schema != 1:
+            raise SpecError(f"unsupported spec schema {schema!r}")
+        for req in ("name", "kind", "trials"):
+            if req not in data:
+                raise SpecError(f"missing required spec field {req!r}")
+        axes_data = data.get("axes", [])
+        if not isinstance(axes_data, list):
+            raise SpecError("axes must be a list of {name, values} objects")
+        axes: List[Tuple[str, Tuple[Any, ...]]] = []
+        for entry in axes_data:
+            if (
+                not isinstance(entry, dict)
+                or "name" not in entry
+                or "values" not in entry
+                or not isinstance(entry["values"], list)
+            ):
+                raise SpecError(
+                    "each axis must be an object with 'name' and a "
+                    "'values' list"
+                )
+            axes.append((str(entry["name"]), tuple(entry["values"])))
+        try:
+            return cls(
+                name=str(data["name"]),
+                kind=str(data["kind"]),
+                trials=int(data["trials"]),
+                base_seed=int(data.get("base_seed", 0)),
+                seed_rule=str(data.get("seed_rule", "stride")),
+                seed_stride=int(data.get("seed_stride", 1000)),
+                axes=tuple(axes),
+                params=data.get("params", {}),
+                config=data.get("config"),
+            )
+        except SpecError:
+            raise
+        except (TypeError, ValueError, AttributeError) as exc:
+            raise SpecError(f"malformed campaign spec: {exc}") from exc
+
+    @classmethod
+    def from_json(cls, text: str) -> "CampaignSpec":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SpecError(
+                f"campaign spec is not valid JSON: {exc}"
+            ) from exc
+        return cls.from_dict(data)
+
+    def save(self, path: Union[str, Path]) -> Path:
+        out = Path(path)
+        out.write_text(self.to_json() + "\n")
+        return out
+
+    # ---------------------------------------------------------- enumeration
+    def points(self) -> List[Dict[str, Any]]:
+        """Merged per-point parameter dicts, in sweep order."""
+        names = [name for name, _ in self.axes]
+        grids = [values for _, values in self.axes]
+        merged = []
+        for combo in itertools.product(*grids) if grids else [()]:
+            merged.append({**self.params, **dict(zip(names, combo))})
+        return merged
+
+    def seed_for(self, point_index: int, trial: int) -> int:
+        """The deterministic seed of trial ``trial`` at point
+        ``point_index``.
+
+        ``stride`` — ``base_seed * seed_stride + trial``: the legacy
+        figure-driver convention (the same seeds recur at every point).
+        ``spawn`` — one draw from
+        ``rng_for(base_seed, point_index, trial)``: collision-free
+        across points, the recommended rule for new campaigns.
+        """
+        if self.seed_rule == "stride":
+            return self.base_seed * self.seed_stride + trial
+        g = rng_for(self.base_seed, point_index, trial)
+        return int(g.integers(0, 2**31 - 1))
+
+    def units(self) -> List[CampaignUnit]:
+        """Expand the spec into its (point, trial) units, in run order."""
+        units: List[CampaignUnit] = []
+        index = 0
+        for pi, point in enumerate(self.points()):
+            for k in range(self.trials):
+                seed = self.seed_for(pi, k)
+                units.append(
+                    CampaignUnit(
+                        index=index,
+                        point_index=pi,
+                        trial=k,
+                        seed=seed,
+                        params=point,
+                        unit_hash=self._unit_hash(point, seed),
+                    )
+                )
+                index += 1
+        return units
+
+    def _unit_hash(self, params: Mapping[str, Any], seed: int) -> str:
+        """Content address of one unit: every input that determines the
+        trial's result (kind, baseline config, merged params, seed)."""
+        return _sha256(
+            canonical_json(
+                {
+                    "schema": 1,
+                    "kind": self.kind,
+                    "config": None if self.config is None else dict(self.config),
+                    "params": dict(params),
+                    "seed": seed,
+                }
+            )
+        )
+
+
+def _validate_scenario(desc: Any) -> None:
+    """Validate a scenario descriptor (see executor.build_scenario)."""
+    if not isinstance(desc, Mapping):
+        raise SpecError(
+            f"scenario must be a JSON object, got {type(desc).__name__}"
+        )
+    kind = desc.get("kind")
+    if kind == "homogeneous":
+        known = {"kind", "max_per_tile", "utilization"}
+    elif kind == "heterogeneous":
+        known = {"kind", "acc_types", "base_max", "utilization", "seed"}
+    else:
+        raise SpecError(
+            f"unknown scenario kind {kind!r}; expected 'homogeneous' or "
+            "'heterogeneous'"
+        )
+    unknown = sorted(set(desc) - known)
+    if unknown:
+        raise SpecError(
+            f"unknown scenario field(s): {', '.join(unknown)}"
+        )
+    seed = desc.get("seed", "trial")
+    if seed != "trial" and (not isinstance(seed, int) or seed < 0):
+        raise SpecError(
+            f"scenario seed must be 'trial' or a non-negative int, "
+            f"got {seed!r}"
+        )
+
+
+def load_campaign_spec(path: Union[str, Path]) -> CampaignSpec:
+    """Load and validate a :class:`CampaignSpec` from a JSON file."""
+    p = Path(path)
+    try:
+        text = p.read_text()
+    except OSError as exc:
+        raise SpecError(f"cannot read campaign spec {p}: {exc}") from exc
+    return CampaignSpec.from_json(text)

@@ -1,0 +1,239 @@
+"""Content-addressed, crash-safe on-disk result store.
+
+Layout under one store root::
+
+    <root>/<spec_hash16>/manifest.json      # spec + run bookkeeping
+    <root>/<spec_hash16>/units/<unit_hash>.json
+    <root>/<spec_hash16>/results.jsonl      # all results, one per line
+
+Every artifact is written *atomically* (temp file in the target
+directory, then :func:`os.replace`), so a SIGKILL mid-campaign can
+never leave a truncated JSON file behind: a unit artifact either exists
+complete or not at all, which is what makes ``--resume`` sound.  A unit
+file that is nonetheless unreadable (disk fault, manual tampering)
+raises :class:`~repro.campaign.errors.StoreError` with the offending
+path rather than poisoning later runs with garbage results.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.campaign.errors import StoreError
+from repro.campaign.spec import CampaignSpec, CampaignUnit
+
+__all__ = ["CampaignStore", "StoreStatus"]
+
+#: Characters of the spec hash used for the directory name; the full
+#: hash in the manifest guards against (astronomically unlikely)
+#: prefix collisions.
+_DIR_HASH_CHARS = 16
+
+
+def _atomic_write_text(path: Path, text: str) -> Path:
+    """Write ``text`` to ``path`` via temp-file-then-rename.
+
+    The temp file lives in the destination directory so the final
+    :func:`os.replace` is a same-filesystem atomic rename; a crash at
+    any point leaves either the old content or the new, never a
+    truncation.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.parent / f".{path.name}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(text)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():
+            tmp.unlink()
+    return path
+
+
+@dataclass(frozen=True)
+class StoreStatus:
+    """Result of scanning a spec's artifacts against its unit list."""
+
+    total: int
+    done: int
+    corrupt: List[str] = field(default_factory=list)
+
+    @property
+    def missing(self) -> int:
+        return self.total - self.done - len(self.corrupt)
+
+    @property
+    def complete(self) -> bool:
+        return self.done == self.total
+
+
+class CampaignStore:
+    """Content-addressed result store rooted at one directory."""
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+
+    # ------------------------------------------------------------ locations
+    def spec_dir(self, spec: CampaignSpec) -> Path:
+        return self.root / spec.spec_hash[:_DIR_HASH_CHARS]
+
+    def unit_path(self, spec: CampaignSpec, unit: CampaignUnit) -> Path:
+        return self.spec_dir(spec) / "units" / f"{unit.unit_hash}.json"
+
+    def manifest_path(self, spec: CampaignSpec) -> Path:
+        return self.spec_dir(spec) / "manifest.json"
+
+    def results_path(self, spec: CampaignSpec) -> Path:
+        return self.spec_dir(spec) / "results.jsonl"
+
+    # ----------------------------------------------------------------- units
+    def load_unit(
+        self, spec: CampaignSpec, unit: CampaignUnit
+    ) -> Optional[Dict[str, Any]]:
+        """The cached result for ``unit``, or None when absent.
+
+        Raises :class:`StoreError` for an artifact that exists but
+        cannot be parsed — a corrupted store must be surfaced, not
+        silently treated as a miss, because the sibling artifacts are
+        now suspect too.
+        """
+        path = self.unit_path(spec, unit)
+        try:
+            text = path.read_text()
+        except FileNotFoundError:
+            return None
+        except OSError as exc:
+            raise StoreError(f"cannot read unit artifact {path}: {exc}") from exc
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise StoreError(
+                f"corrupt unit artifact {path}: {exc}; "
+                "run 'campaign clean' for this spec and re-run"
+            ) from exc
+        if not isinstance(doc, dict) or "result" not in doc:
+            raise StoreError(
+                f"corrupt unit artifact {path}: missing 'result'; "
+                "run 'campaign clean' for this spec and re-run"
+            )
+        return doc["result"]
+
+    def save_unit(
+        self, spec: CampaignSpec, unit: CampaignUnit, result: Dict[str, Any]
+    ) -> Path:
+        """Atomically persist one unit result."""
+        doc = {"schema": 1, "unit": unit.to_dict(), "result": result}
+        return _atomic_write_text(
+            self.unit_path(spec, unit),
+            json.dumps(doc, sort_keys=True) + "\n",
+        )
+
+    # -------------------------------------------------------------- manifest
+    def write_manifest(
+        self,
+        spec: CampaignSpec,
+        *,
+        total: int,
+        cached: int,
+        executed: int,
+        complete: bool,
+    ) -> Path:
+        doc = {
+            "schema": 1,
+            "name": spec.name,
+            "spec_hash": spec.spec_hash,
+            "spec": spec.to_dict(),
+            "total": total,
+            "cached": cached,
+            "executed": executed,
+            "complete": complete,
+        }
+        return _atomic_write_text(
+            self.manifest_path(spec), json.dumps(doc, indent=2, sort_keys=True) + "\n"
+        )
+
+    def load_manifest(self, spec: CampaignSpec) -> Optional[Dict[str, Any]]:
+        path = self.manifest_path(spec)
+        try:
+            text = path.read_text()
+        except FileNotFoundError:
+            return None
+        except OSError as exc:
+            raise StoreError(f"cannot read manifest {path}: {exc}") from exc
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise StoreError(f"corrupt manifest {path}: {exc}") from exc
+        if doc.get("spec_hash") != spec.spec_hash:
+            raise StoreError(
+                f"manifest {path} belongs to a different spec "
+                f"({doc.get('spec_hash')!r} != {spec.spec_hash!r}); "
+                "hash-prefix collision or tampered store"
+            )
+        return doc
+
+    # --------------------------------------------------------------- results
+    def write_results_jsonl(
+        self,
+        spec: CampaignSpec,
+        units: Sequence[CampaignUnit],
+        results: Sequence[Dict[str, Any]],
+    ) -> Path:
+        """All results as one JSONL artifact, in unit order."""
+        lines = []
+        for unit, result in zip(units, results):
+            lines.append(
+                json.dumps(
+                    {
+                        "index": unit.index,
+                        "point_index": unit.point_index,
+                        "trial": unit.trial,
+                        "seed": unit.seed,
+                        "params": dict(unit.params),
+                        "result": result,
+                    },
+                    sort_keys=True,
+                )
+            )
+        return _atomic_write_text(
+            self.results_path(spec), "\n".join(lines) + "\n"
+        )
+
+    # ------------------------------------------------------------------ scan
+    def scan(self, spec: CampaignSpec) -> StoreStatus:
+        """Count done / missing / corrupt artifacts for ``spec``."""
+        units = spec.units()
+        done = 0
+        corrupt: List[str] = []
+        for unit in units:
+            try:
+                result = self.load_unit(spec, unit)
+            except StoreError:
+                corrupt.append(str(self.unit_path(spec, unit)))
+                continue
+            if result is not None:
+                done += 1
+        return StoreStatus(total=len(units), done=done, corrupt=corrupt)
+
+    # ----------------------------------------------------------------- clean
+    def clean(self, spec: CampaignSpec) -> bool:
+        """Remove every artifact of ``spec``; True if anything existed."""
+        target = self.spec_dir(spec)
+        if target.exists():
+            shutil.rmtree(target)
+            return True
+        return False
+
+    def clean_all(self) -> bool:
+        """Remove the whole store root; True if it existed."""
+        if self.root.exists():
+            shutil.rmtree(self.root)
+            return True
+        return False

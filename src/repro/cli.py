@@ -27,6 +27,14 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional, Union
 
 from repro.analysis.__main__ import add_lint_arguments, run_lint
+from repro.campaign import (
+    CampaignError,
+    CampaignSpec,
+    CampaignStore,
+    load_campaign_spec,
+    run_campaign,
+)
+from repro.campaign.presets import get_preset
 from repro.core.config import (
     plain_four_way,
     plain_one_way,
@@ -342,6 +350,108 @@ def cmd_faults(args: argparse.Namespace) -> int:
     return rc if rc else (0 if cycles else 1)
 
 
+#: Default on-disk location of the campaign result store.
+DEFAULT_CAMPAIGN_STORE = ".blitzcoin-campaigns"
+
+
+def _campaign_spec(args: argparse.Namespace) -> CampaignSpec:
+    """The spec named by ``--spec FILE`` or ``--preset NAME``."""
+    if args.spec:
+        return load_campaign_spec(args.spec)
+    return get_preset(args.preset)
+
+
+def cmd_campaign_run(args: argparse.Namespace) -> int:
+    """Run (or resume) a campaign; cached units are never re-executed."""
+    try:
+        spec = _campaign_spec(args)
+    except CampaignError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    store = CampaignStore(args.store)
+    session = _obs_session(args, f"campaign-{spec.name}")
+
+    def progress(done: int, total: int, unit, cached: bool) -> None:
+        if args.verbose:
+            tag = "cached  " if cached else "executed"
+            print(
+                f"[{done:4d}/{total}] {tag} seed={unit.seed} "
+                f"unit={unit.unit_hash[:12]}"
+            )
+
+    try:
+        with observing(session) if session is not None else nullcontext():
+            result = run_campaign(
+                spec,
+                store=store,
+                workers=args.workers,
+                verify_units=args.verify,
+                fresh=args.fresh,
+                progress=progress,
+            )
+    except CampaignError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"campaign {spec.name}  kind={spec.kind}  spec={spec.spec_hash[:16]}")
+    print(
+        f"units total={result.total} cached={result.cached} "
+        f"executed={result.executed} verified={result.verified} "
+        f"workers={result.workers}"
+    )
+    print(f"store {store.spec_dir(spec)}")
+    if args.csv:
+        from repro.report.campaign_export import export_campaign_csv
+
+        try:
+            print(f"wrote {export_campaign_csv(result, args.csv)}")
+        except OSError as exc:
+            print(f"error: cannot write CSV: {exc}", file=sys.stderr)
+            return 2
+    return _finish_obs(session, args)
+
+
+def cmd_campaign_status(args: argparse.Namespace) -> int:
+    """Report done / missing / corrupt artifact counts for a spec."""
+    try:
+        spec = _campaign_spec(args)
+        store = CampaignStore(args.store)
+        status = store.scan(spec)
+        manifest = store.load_manifest(spec)
+    except CampaignError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"campaign {spec.name}  kind={spec.kind}  spec={spec.spec_hash[:16]}")
+    print(
+        f"units total={status.total} done={status.done} "
+        f"missing={status.missing} corrupt={len(status.corrupt)}"
+    )
+    for path in status.corrupt:
+        print(f"corrupt: {path}")
+    if manifest is None:
+        print("state: never run in this store")
+    else:
+        print("state: complete" if status.complete else "state: resumable")
+    return 0
+
+
+def cmd_campaign_clean(args: argparse.Namespace) -> int:
+    """Remove one spec's artifacts, or the whole store with ``--all``."""
+    store = CampaignStore(args.store)
+    if args.all:
+        removed = store.clean_all()
+        print(f"removed store {store.root}" if removed else "store is empty")
+        return 0
+    try:
+        spec = _campaign_spec(args)
+    except CampaignError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    removed = store.clean(spec)
+    target = store.spec_dir(spec)
+    print(f"removed {target}" if removed else f"nothing stored at {target}")
+    return 0
+
+
 def cmd_figure(args: argparse.Namespace) -> int:
     import repro.experiments as experiments
 
@@ -485,6 +595,73 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_obs_arguments(p)
     p.set_defaults(func=cmd_faults)
+
+    p = sub.add_parser(
+        "campaign",
+        help="parallel, cached, resumable experiment campaigns "
+        "(see docs/CAMPAIGNS.md)",
+    )
+    csub = p.add_subparsers(dest="campaign_command", required=True)
+
+    def _add_campaign_target(cp, *, allow_all: bool = False) -> None:
+        group = cp.add_mutually_exclusive_group(required=True)
+        group.add_argument(
+            "--spec", default=None, metavar="FILE",
+            help="load a CampaignSpec JSON file",
+        )
+        group.add_argument(
+            "--preset", default=None, metavar="NAME",
+            help="use a named preset (e.g. smoke, fig03-quick)",
+        )
+        if allow_all:
+            group.add_argument(
+                "--all", action="store_true",
+                help="apply to every spec in the store",
+            )
+        cp.add_argument(
+            "--store", default=DEFAULT_CAMPAIGN_STORE, metavar="DIR",
+            help=f"result-store directory (default: {DEFAULT_CAMPAIGN_STORE})",
+        )
+
+    cp = csub.add_parser(
+        "run", help="run (or resume) a campaign; cached units are free"
+    )
+    _add_campaign_target(cp)
+    cp.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="process-pool width for missing units (default: 1 = serial)",
+    )
+    cp.add_argument(
+        "--verify", type=int, default=1, metavar="N",
+        help="after a parallel run, re-run N units serially and assert "
+        "bit-identical results (default: 1; 0 disables)",
+    )
+    cp.add_argument(
+        "--fresh", action="store_true",
+        help="discard this spec's cached artifacts before running",
+    )
+    cp.add_argument(
+        "--csv", default=None, metavar="FILE",
+        help="also export the per-unit results as CSV",
+    )
+    cp.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="print one line per unit as the campaign progresses",
+    )
+    _add_obs_arguments(cp)
+    cp.set_defaults(func=cmd_campaign_run)
+
+    cp = csub.add_parser(
+        "status", help="report done/missing/corrupt units for a spec"
+    )
+    _add_campaign_target(cp)
+    cp.set_defaults(func=cmd_campaign_status)
+
+    cp = csub.add_parser(
+        "clean", help="remove a spec's cached artifacts (or the whole store)"
+    )
+    _add_campaign_target(cp, allow_all=True)
+    cp.set_defaults(func=cmd_campaign_clean)
 
     p = sub.add_parser(
         "figure", help="regenerate a paper figure's rows (e.g. fig17)"

@@ -19,6 +19,11 @@ Four series, swept over a shared packet-drop rate:
 
 Convergence for the centralized scheme means every managed tile has
 received an applied power target after the triggering activity change.
+
+Each series is one :mod:`repro.campaign` spec (axis = drop rate), so
+the whole sweep parallelizes and caches per seeded trial; the seed and
+fault-plan conventions (trial seed ``base_seed * 1000 + k``, plan seed
+equal to the trial seed) are the legacy loop's, bit-exactly.
 """
 
 from __future__ import annotations
@@ -26,15 +31,17 @@ from __future__ import annotations
 import dataclasses
 import statistics
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Any, Dict, List, Optional, Sequence, Set
 
 from repro.baselines.centralized import (
     CentralizedScheme,
     ProportionalPolicy,
 )
+from repro.campaign.executor import CampaignRun, run_campaign
+from repro.campaign.spec import CampaignSpec, encode_config
+from repro.campaign.store import CampaignStore
 from repro.core.config import preferred_embodiment
-from repro.core.runner import run_convergence_trial
-from repro.faults.plan import FaultPlan, TileFaultEvent
+from repro.faults.plan import FaultPlan
 from repro.faults.runtime import maybe_injecting
 from repro.noc.behavioral import BehavioralNoc
 from repro.noc.topology import MeshTopology
@@ -73,66 +80,136 @@ class FaultSweepResult:
         return self.series[name]
 
 
-def _fault_config(plan: Optional[FaultPlan]):
+def _fault_config():
     """The BlitzCoin config used for fault trials.
 
     The preferred embodiment, with a tighter exchange watchdog (a
     4096-cycle timeout makes loss recovery needlessly slow at high
-    drop rates) and the default reconciliation delay.
+    drop rates) and the default reconciliation delay.  The per-trial
+    :class:`FaultPlan` is derived by the campaign executor from the
+    ``rate`` / ``kill_tile`` knobs, seeded with the trial seed.
     """
     return dataclasses.replace(
-        preferred_embodiment(),
-        exchange_timeout_cycles=512,
-        fault_plan=plan,
+        preferred_embodiment(), exchange_timeout_cycles=512
     )
 
 
-def _blitzcoin_point(
-    d: int,
-    rate: float,
-    trials: int,
-    base_seed: int,
+def build_blitzcoin_spec(
+    rates: Sequence[float] = DEFAULT_RATES,
+    d: int = 6,
+    trials: int = 3,
+    base_seed: int = 7,
     *,
     kill_tile: Optional[int] = None,
     max_cycles: int = 500_000,
-) -> FaultPoint:
-    cycles: List[int] = []
-    discarded: List[int] = []
-    reconciled: List[int] = []
-    timeouts: List[int] = []
-    converged = 0
-    for k in range(trials):
-        events = ()
-        if kill_tile is not None:
-            events = (
-                TileFaultEvent(cycle=KILL_AT, tile=kill_tile, action="kill"),
-            )
-        plan = FaultPlan(
-            seed=base_seed * 1000 + k,
-            link=FaultPlan.uniform(drop=rate).link,
-            tile_events=events,
-        )
-        r = run_convergence_trial(
-            d,
-            _fault_config(plan),
-            seed=base_seed * 1000 + k,
-            threshold=THRESHOLD,
-            max_cycles=max_cycles,
-        )
-        discarded.append(r.packets_discarded)
-        reconciled.append(r.coins_reconciled)
-        timeouts.append(r.timeouts)
-        if r.converged and r.cycles is not None:
-            converged += 1
-            cycles.append(r.cycles)
-    return FaultPoint(
-        rate=rate,
-        converged_fraction=converged / trials,
-        mean_cycles=statistics.mean(cycles) if cycles else float("inf"),
-        mean_discarded=statistics.mean(discarded),
-        mean_reconciled=statistics.mean(reconciled),
-        mean_timeouts=statistics.mean(timeouts),
+) -> CampaignSpec:
+    """The BlitzCoin series (optionally with a mid-run tile kill)."""
+    params: Dict[str, Any] = {
+        "d": d,
+        "threshold": THRESHOLD,
+        "max_cycles": max_cycles,
+    }
+    name = "fault-sweep-blitzcoin"
+    if kill_tile is not None:
+        params["kill_tile"] = kill_tile
+        params["kill_at"] = KILL_AT
+        name += "-killed"
+    return CampaignSpec(
+        name=name,
+        kind="convergence",
+        trials=trials,
+        base_seed=base_seed,
+        seed_stride=1000,
+        axes=(("rate", tuple(rates)),),
+        params=params,
+        config=encode_config(_fault_config()),
     )
+
+
+def build_centralized_spec(
+    rates: Sequence[float] = DEFAULT_RATES,
+    d: int = 6,
+    trials: int = 3,
+    base_seed: int = 7,
+    *,
+    kill_controller: bool = False,
+    max_cycles: int = 200_000,
+) -> CampaignSpec:
+    """The centralized series (optionally killing the controller)."""
+    params: Dict[str, Any] = {"d": d, "max_cycles": max_cycles}
+    name = "fault-sweep-centralized"
+    if kill_controller:
+        params["kill_at"] = KILL_AT
+        name += "-killed"
+    return CampaignSpec(
+        name=name,
+        kind="centralized",
+        trials=trials,
+        base_seed=base_seed,
+        seed_stride=1000,
+        axes=(("rate", tuple(rates)),),
+        params=params,
+    )
+
+
+def _blitzcoin_points(campaign: CampaignRun) -> List[FaultPoint]:
+    points = []
+    for point_params, trial_results in zip(
+        campaign.spec.points(), campaign.grouped()
+    ):
+        cycles = [
+            r["cycles"]
+            for r in trial_results
+            if r["converged"] and r["cycles"] is not None
+        ]
+        points.append(
+            FaultPoint(
+                rate=point_params["rate"],
+                converged_fraction=len(cycles) / len(trial_results),
+                mean_cycles=(
+                    statistics.mean(cycles) if cycles else float("inf")
+                ),
+                mean_discarded=statistics.mean(
+                    r["packets_discarded"] for r in trial_results
+                ),
+                mean_reconciled=statistics.mean(
+                    r["coins_reconciled"] for r in trial_results
+                ),
+                mean_timeouts=statistics.mean(
+                    r["timeouts"] for r in trial_results
+                ),
+            )
+        )
+    return points
+
+
+def _centralized_points(campaign: CampaignRun) -> List[FaultPoint]:
+    # Reconciliation is a BlitzCoin mechanism; a poll retry is the
+    # centralized analogue of an exchange timeout.
+    points = []
+    for point_params, trial_results in zip(
+        campaign.spec.points(), campaign.grouped()
+    ):
+        cycles = [
+            r["done_at"] for r in trial_results if r["done_at"] is not None
+        ]
+        points.append(
+            FaultPoint(
+                rate=point_params["rate"],
+                converged_fraction=len(cycles) / len(trial_results),
+                mean_cycles=(
+                    statistics.mean(cycles) if cycles else float("inf")
+                ),
+                mean_discarded=statistics.mean(
+                    r["packets_discarded"] for r in trial_results
+                ),
+                mean_reconciled=0.0,
+                mean_timeouts=statistics.mean(
+                    r["polls_retried"] for r in trial_results
+                ),
+            )
+        )
+    return points
 
 
 @dataclass(frozen=True)
@@ -201,71 +278,34 @@ def run_centralized_trial(
     )
 
 
-def _centralized_point(
-    d: int,
-    rate: float,
-    trials: int,
-    base_seed: int,
-    *,
-    kill_at: Optional[int] = None,
-    max_cycles: int = 200_000,
-) -> FaultPoint:
-    cycles: List[int] = []
-    discarded: List[int] = []
-    retried: List[int] = []
-    converged = 0
-    for k in range(trials):
-        r = run_centralized_trial(
-            d,
-            rate,
-            seed=base_seed * 1000 + k,
-            kill_controller_at=kill_at,
-            max_cycles=max_cycles,
-        )
-        discarded.append(r.packets_discarded)
-        retried.append(r.polls_retried)
-        if r.done_at is not None:
-            converged += 1
-            cycles.append(r.done_at)
-    # Reconciliation is a BlitzCoin mechanism; a poll retry is the
-    # centralized analogue of an exchange timeout.
-    return FaultPoint(
-        rate=rate,
-        converged_fraction=converged / trials,
-        mean_cycles=statistics.mean(cycles) if cycles else float("inf"),
-        mean_discarded=statistics.mean(discarded),
-        mean_reconciled=0.0,
-        mean_timeouts=statistics.mean(retried),
-    )
-
-
 def run(
     rates: Sequence[float] = DEFAULT_RATES,
     d: int = 6,
     trials: int = 3,
     base_seed: int = 7,
+    *,
+    workers: int = 1,
+    store: Optional[CampaignStore] = None,
 ) -> FaultSweepResult:
-    """Run the four-series fault sweep."""
+    """Run the four-series fault sweep (via the campaign layer)."""
     victim = (d * d) // 2  # a central tile, worst case for transport
-    series: Dict[str, List[FaultPoint]] = {
-        "blitzcoin": [],
-        "blitzcoin_killed": [],
-        "centralized": [],
-        "centralized_killed": [],
+    specs: Dict[str, CampaignSpec] = {
+        "blitzcoin": build_blitzcoin_spec(rates, d, trials, base_seed),
+        "blitzcoin_killed": build_blitzcoin_spec(
+            rates, d, trials, base_seed, kill_tile=victim
+        ),
+        "centralized": build_centralized_spec(rates, d, trials, base_seed),
+        "centralized_killed": build_centralized_spec(
+            rates, d, trials, base_seed, kill_controller=True
+        ),
     }
-    for rate in rates:
-        series["blitzcoin"].append(
-            _blitzcoin_point(d, rate, trials, base_seed)
-        )
-        series["blitzcoin_killed"].append(
-            _blitzcoin_point(d, rate, trials, base_seed, kill_tile=victim)
-        )
-        series["centralized"].append(
-            _centralized_point(d, rate, trials, base_seed)
-        )
-        series["centralized_killed"].append(
-            _centralized_point(d, rate, trials, base_seed, kill_at=KILL_AT)
-        )
+    series: Dict[str, List[FaultPoint]] = {}
+    for name, spec in specs.items():
+        campaign = run_campaign(spec, store=store, workers=workers)
+        if name.startswith("blitzcoin"):
+            series[name] = _blitzcoin_points(campaign)
+        else:
+            series[name] = _centralized_points(campaign)
     return FaultSweepResult(d=d, trials=trials, series=series)
 
 

@@ -3,19 +3,29 @@
 Monte-Carlo trials from random initial allocations on square SoCs of
 dimension d = 2..20, convergence threshold Err < 1.5, reporting the
 mean packets and NoC cycles per d for both exchange techniques.
+
+The sweep runs through :mod:`repro.campaign`: :func:`build_spec`
+declares the grid (technique x d x seeded trials) and :func:`run`
+executes it — optionally process-parallel (``workers``) and cached /
+resumable (``store``) — with per-trial results bit-identical to the
+legacy serial loop (same ``base_seed * 1000 + k`` seed ladder the
+golden-trace fixtures pin).
 """
 
 from __future__ import annotations
 
 import statistics
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Any, Dict, List, Mapping, Optional, Sequence
 
-from repro.core.config import plain_four_way, plain_one_way
-from repro.core.runner import run_convergence_trial
+from repro.campaign.executor import run_campaign
+from repro.campaign.spec import CampaignSpec, encode_config
+from repro.campaign.store import CampaignStore
+from repro.core.config import plain_one_way
 
 DEFAULT_DIMS: Sequence[int] = (2, 4, 6, 8, 10, 12, 16, 20)
 THRESHOLD = 1.5
+TECHNIQUES = ("1-way", "4-way")
 
 
 @dataclass(frozen=True)
@@ -39,26 +49,45 @@ class Fig03Result:
         return self.points[technique]
 
 
-def _aggregate(
-    technique: str, d: int, trials: int, base_seed: int
+def build_spec(
+    dims: Sequence[int] = DEFAULT_DIMS,
+    trials: int = 10,
+    base_seed: int = 3,
+) -> CampaignSpec:
+    """The Fig. 3 sweep as a campaign spec.
+
+    The ``mode`` axis over the plain (every-optimization-off) baseline
+    reproduces exactly the ``plain_one_way()`` / ``plain_four_way()``
+    pair the figure compares.
+    """
+    return CampaignSpec(
+        name="fig03-convergence",
+        kind="convergence",
+        trials=trials,
+        base_seed=base_seed,
+        seed_stride=1000,
+        axes=(("mode", tuple(TECHNIQUES)), ("d", tuple(dims))),
+        params={"threshold": THRESHOLD},
+        config=encode_config(plain_one_way()),
+    )
+
+
+def _aggregate_point(
+    d: int, trial_results: Sequence[Mapping[str, Any]]
 ) -> ConvergencePoint:
-    config = plain_one_way() if technique == "1-way" else plain_four_way()
     cycles: List[int] = []
     packets: List[int] = []
     converged = 0
-    for k in range(trials):
-        r = run_convergence_trial(
-            d, config, seed=base_seed * 1000 + k, threshold=THRESHOLD
-        )
-        packets.append(r.packets)
-        if r.converged and r.cycles is not None:
+    for r in trial_results:
+        packets.append(r["packets"])
+        if r["converged"] and r["cycles"] is not None:
             converged += 1
-            cycles.append(r.cycles)
+            cycles.append(r["cycles"])
     return ConvergencePoint(
         d=d,
         mean_cycles=statistics.mean(cycles) if cycles else float("inf"),
         mean_packets=statistics.mean(packets),
-        converged_fraction=converged / trials,
+        converged_fraction=converged / len(trial_results),
         cycles_samples=cycles,
     )
 
@@ -67,14 +96,22 @@ def run(
     dims: Sequence[int] = DEFAULT_DIMS,
     trials: int = 10,
     base_seed: int = 3,
+    *,
+    workers: int = 1,
+    store: Optional[CampaignStore] = None,
 ) -> Fig03Result:
-    """Run the 1-way / 4-way convergence sweep."""
-    points: Dict[str, List[ConvergencePoint]] = {"1-way": [], "4-way": []}
-    for technique in points:
+    """Run the 1-way / 4-way convergence sweep (via the campaign layer)."""
+    spec = build_spec(dims, trials, base_seed)
+    campaign = run_campaign(spec, store=store, workers=workers)
+    groups = campaign.grouped()
+    points: Dict[str, List[ConvergencePoint]] = {t: [] for t in TECHNIQUES}
+    point_index = 0
+    for technique in TECHNIQUES:
         for d in dims:
             points[technique].append(
-                _aggregate(technique, d, trials, base_seed)
+                _aggregate_point(d, groups[point_index])
             )
+            point_index += 1
     return Fig03Result(points=points)
 
 

@@ -4,23 +4,38 @@ Each trial settles for a fixed horizon, then records the worst per-tile
 absolute error.  Without random pairing some runs get stuck above the
 one-coin quantization floor (local minima / deadlocks); with it, all
 runs land within quantization for both N = 100 and N = 400.
+
+The sweep runs through :mod:`repro.campaign` (kind ``settle``): the
+per-trial heterogeneous scenario is declared in the spec with
+``"seed": "trial"`` so each trial's scenario seed equals its trial
+seed — exactly the legacy loop's convention.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.campaign.executor import run_campaign
+from repro.campaign.spec import CampaignSpec, encode_config
+from repro.campaign.store import CampaignStore
 from repro.core.config import BlitzCoinConfig, ExchangeMode
-from repro.core.runner import (
-    ScenarioSpec,
-    heterogeneous_scenario,
-    settle_to_residual,
-)
 
 DEFAULT_DIMS: Sequence[int] = (10, 20)  # N = 100 and N = 400
+
+#: The strongly heterogeneous dense scenario (8 accelerator classes).
+#: With widely spread per-tile targets and a fractional global ratio,
+#: neighbor-only exchanges leave multi-coin local minima behind
+#: (non-adjacent tiles with beta_a > alpha > beta_b, Section III-E);
+#: random pairing is what clears them.
+SCENARIO = {
+    "kind": "heterogeneous",
+    "acc_types": 8,
+    "utilization": 0.7,
+    "seed": "trial",
+}
 
 
 def _config(random_pairing: bool) -> BlitzCoinConfig:
@@ -30,17 +45,6 @@ def _config(random_pairing: bool) -> BlitzCoinConfig:
         wrap_around=True,
         random_pairing_every=16 if random_pairing else 0,
     )
-
-
-def _histogram_scenario(d: int, seed: int) -> ScenarioSpec:
-    """A strongly heterogeneous dense scenario (8 accelerator classes).
-
-    With widely spread per-tile targets and a fractional global ratio,
-    neighbor-only exchanges leave multi-coin local minima behind
-    (non-adjacent tiles with beta_a > alpha > beta_b, Section III-E);
-    random pairing is what clears them.
-    """
-    return heterogeneous_scenario(d, acc_types=8, utilization=0.7, seed=seed)
 
 
 @dataclass(frozen=True)
@@ -75,29 +79,49 @@ class Fig07Result:
         return self.results[(d, random_pairing)]
 
 
+def build_spec(
+    dims: Sequence[int] = DEFAULT_DIMS,
+    trials: int = 20,
+    base_seed: int = 7,
+    settle_cycles: int = 150_000,
+) -> CampaignSpec:
+    """The Fig. 7 sweep as a campaign spec (d x random-pairing grid)."""
+    return CampaignSpec(
+        name="fig07-random-pairing",
+        kind="settle",
+        trials=trials,
+        base_seed=base_seed,
+        seed_stride=1000,
+        axes=(
+            ("d", tuple(dims)),
+            ("random_pairing_every", (0, 16)),
+        ),
+        params={"settle_cycles": settle_cycles, "scenario": SCENARIO},
+        config=encode_config(_config(True)),
+    )
+
+
 def run(
     dims: Sequence[int] = DEFAULT_DIMS,
     trials: int = 20,
     base_seed: int = 7,
     settle_cycles: int = 150_000,
+    *,
+    workers: int = 1,
+    store: Optional[CampaignStore] = None,
 ) -> Fig07Result:
+    spec = build_spec(dims, trials, base_seed, settle_cycles)
+    campaign = run_campaign(spec, store=store, workers=workers)
+    groups = campaign.grouped()
     results: Dict[Tuple[int, bool], HistogramResult] = {}
+    point_index = 0
     for d in dims:
         for rp in (False, True):
-            errors: List[float] = []
-            for k in range(trials):
-                seed = base_seed * 1000 + k
-                r = settle_to_residual(
-                    d,
-                    _config(rp),
-                    seed,
-                    scenario=_histogram_scenario(d, seed),
-                    settle_cycles=settle_cycles,
-                )
-                errors.append(r.worst_final_error)
+            errors = [r["worst_final_error"] for r in groups[point_index]]
             results[(d, rp)] = HistogramResult(
                 d=d, random_pairing=rp, worst_errors=errors
             )
+            point_index += 1
     return Fig07Result(results=results)
 
 

@@ -10,8 +10,11 @@ reproduces that workflow:
   ``post_process.py`` equivalent: reconstruct power traces, execution
   times, and response times from a recorded SoC run, and render
   quick-look ASCII charts.
+* :mod:`~repro.report.campaign_export` — flatten a campaign run
+  (``repro.campaign``) into one CSV row per seeded trial.
 """
 
+from repro.report.campaign_export import campaign_rows, export_campaign_csv
 from repro.report.csv_export import (
     CsvExportError,
     export_figure,
@@ -31,6 +34,8 @@ from repro.report.post_process import (
 __all__ = [
     "CsvExportError",
     "ascii_chart",
+    "campaign_rows",
+    "export_campaign_csv",
     "export_figure",
     "export_packet_stats",
     "export_rows",

@@ -1,0 +1,60 @@
+"""CSV export of campaign results.
+
+Flattens a :class:`~repro.campaign.executor.CampaignRun` into one CSV
+row per unit — sweep parameters first, then the trial-result fields —
+so any external tool can re-plot a cached campaign without touching
+the JSON store.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.campaign.executor import CampaignRun
+from repro.report.csv_export import Row, export_rows
+
+
+def campaign_rows(run: CampaignRun) -> List[Row]:
+    """One flat dict-row per unit: identity, params, result fields."""
+    rows: List[Row] = []
+    for unit, result in zip(run.units, run.results):
+        row: Dict[str, Union[str, int, float]] = {
+            "point_index": unit.point_index,
+            "trial": unit.trial,
+            "seed": unit.seed,
+            "unit_hash": unit.unit_hash[:16],
+        }
+        for key, value in unit.params.items():
+            row[f"param.{key}"] = _cell(value)
+        for key, value in result.items():
+            row[key] = _cell(value)
+        rows.append(row)
+    return rows
+
+
+def _cell(value: object) -> Union[str, int, float]:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, (int, float)):
+        return value
+    if value is None:
+        return ""
+    return str(value)
+
+
+def export_campaign_csv(
+    run: CampaignRun, path: Union[str, Path]
+) -> Path:
+    """Write the campaign's per-unit results as one CSV file.
+
+    Field names are the union over all rows (sweeps can mix kinds of
+    points), in first-seen order.
+    """
+    rows = campaign_rows(run)
+    fieldnames: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in fieldnames:
+                fieldnames.append(key)
+    return export_rows(path, rows, fieldnames=fieldnames)

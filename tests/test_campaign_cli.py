@@ -1,0 +1,233 @@
+"""Tests for the `blitzcoin-repro campaign` command group.
+
+Covers the happy paths (run / rerun-from-cache / status / clean / CSV
+export) and the contract that every campaign failure mode exits with
+rc 2 and a one-line ``error:`` diagnostic on stderr — never a
+traceback.
+"""
+
+import json
+
+import pytest
+
+from repro.campaign import CampaignSpec, CampaignStore
+from repro.campaign.presets import get_preset
+from repro.cli import main
+
+
+@pytest.fixture
+def store_dir(tmp_path):
+    return str(tmp_path / "campaigns")
+
+
+def run_cli(*argv):
+    return main(list(argv))
+
+
+def spec_file(tmp_path):
+    spec = CampaignSpec(
+        name="cli-test",
+        kind="convergence",
+        trials=1,
+        base_seed=3,
+        axes=(("d", (3,)),),
+        params={"threshold": 1.5},
+    )
+    return str(spec.save(tmp_path / "spec.json")), spec
+
+
+class TestRun:
+    def test_preset_run_then_pure_cache_hit(self, capsys, store_dir):
+        rc = run_cli(
+            "campaign", "run", "--preset", "smoke", "--store", store_dir
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "campaign smoke" in out
+        assert "total=4 cached=0 executed=4" in out
+
+        rc = run_cli(
+            "campaign", "run", "--preset", "smoke", "--store", store_dir
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "total=4 cached=4 executed=0" in out
+
+    def test_spec_file_run_with_csv(self, capsys, tmp_path, store_dir):
+        path, spec = spec_file(tmp_path)
+        csv_path = tmp_path / "out.csv"
+        rc = run_cli(
+            "campaign", "run", "--spec", path,
+            "--store", store_dir, "--csv", str(csv_path),
+        )
+        assert rc == 0
+        assert f"campaign {spec.name}" in capsys.readouterr().out
+        header = csv_path.read_text().splitlines()[0]
+        assert "param.d" in header
+        assert "seed" in header
+
+    def test_verbose_prints_per_unit_lines(self, capsys, store_dir):
+        rc = run_cli(
+            "campaign", "run", "--preset", "smoke",
+            "--store", store_dir, "-v",
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert out.count("executed seed=") == 4
+
+    def test_workers_flag_verifies_determinism(self, capsys, store_dir):
+        rc = run_cli(
+            "campaign", "run", "--preset", "smoke",
+            "--store", store_dir, "--workers", "2",
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "verified=1" in out
+        assert "workers=2" in out
+
+    def test_fresh_reexecutes_everything(self, capsys, store_dir):
+        run_cli("campaign", "run", "--preset", "smoke", "--store", store_dir)
+        capsys.readouterr()
+        rc = run_cli(
+            "campaign", "run", "--preset", "smoke",
+            "--store", store_dir, "--fresh",
+        )
+        assert rc == 0
+        assert "cached=0 executed=4" in capsys.readouterr().out
+
+
+class TestStatus:
+    def test_never_run(self, capsys, store_dir):
+        rc = run_cli(
+            "campaign", "status", "--preset", "smoke", "--store", store_dir
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "done=0" in out
+        assert "state: never run" in out
+
+    def test_complete_then_resumable_after_damage(self, capsys, store_dir):
+        run_cli("campaign", "run", "--preset", "smoke", "--store", store_dir)
+        capsys.readouterr()
+        rc = run_cli(
+            "campaign", "status", "--preset", "smoke", "--store", store_dir
+        )
+        assert rc == 0
+        assert "state: complete" in capsys.readouterr().out
+
+        spec = get_preset("smoke")
+        store = CampaignStore(store_dir)
+        store.unit_path(spec, spec.units()[0]).unlink()
+        rc = run_cli(
+            "campaign", "status", "--preset", "smoke", "--store", store_dir
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "missing=1" in out
+        assert "state: resumable" in out
+
+    def test_corrupt_artifacts_are_listed(self, capsys, store_dir):
+        run_cli("campaign", "run", "--preset", "smoke", "--store", store_dir)
+        capsys.readouterr()
+        spec = get_preset("smoke")
+        store = CampaignStore(store_dir)
+        store.unit_path(spec, spec.units()[0]).write_text("{torn")
+        rc = run_cli(
+            "campaign", "status", "--preset", "smoke", "--store", store_dir
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "corrupt=1" in out
+        assert "corrupt: " in out
+
+
+class TestClean:
+    def test_clean_one_spec(self, capsys, store_dir):
+        run_cli("campaign", "run", "--preset", "smoke", "--store", store_dir)
+        capsys.readouterr()
+        rc = run_cli(
+            "campaign", "clean", "--preset", "smoke", "--store", store_dir
+        )
+        assert rc == 0
+        assert "removed" in capsys.readouterr().out
+        rc = run_cli(
+            "campaign", "clean", "--preset", "smoke", "--store", store_dir
+        )
+        assert rc == 0
+        assert "nothing stored" in capsys.readouterr().out
+
+    def test_clean_all(self, capsys, store_dir):
+        run_cli("campaign", "run", "--preset", "smoke", "--store", store_dir)
+        capsys.readouterr()
+        rc = run_cli("campaign", "clean", "--all", "--store", store_dir)
+        assert rc == 0
+        assert "removed store" in capsys.readouterr().out
+
+
+class TestErrorPaths:
+    """Every failure exits rc 2 with `error:` on stderr, no traceback."""
+
+    def test_unknown_preset(self, capsys, store_dir):
+        rc = run_cli(
+            "campaign", "run", "--preset", "no-such", "--store", store_dir
+        )
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+    def test_missing_spec_file(self, capsys, tmp_path, store_dir):
+        rc = run_cli(
+            "campaign", "run",
+            "--spec", str(tmp_path / "absent.json"),
+            "--store", store_dir,
+        )
+        assert rc == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_malformed_spec_file(self, capsys, tmp_path, store_dir):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        rc = run_cli(
+            "campaign", "run", "--spec", str(bad), "--store", store_dir
+        )
+        assert rc == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_invalid_spec_contents(self, capsys, tmp_path, store_dir):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"name": "x", "kind": "bogus", "trials": 1}))
+        rc = run_cli(
+            "campaign", "run", "--spec", str(bad), "--store", store_dir
+        )
+        assert rc == 2
+        assert "kind" in capsys.readouterr().err
+
+    def test_corrupted_store_fails_run_with_hint(self, capsys, store_dir):
+        run_cli("campaign", "run", "--preset", "smoke", "--store", store_dir)
+        capsys.readouterr()
+        spec = get_preset("smoke")
+        store = CampaignStore(store_dir)
+        store.unit_path(spec, spec.units()[0]).write_text("{torn")
+        rc = run_cli(
+            "campaign", "run", "--preset", "smoke", "--store", store_dir
+        )
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "campaign clean" in err
+        assert "Traceback" not in err
+
+    def test_status_on_unknown_preset(self, capsys, store_dir):
+        rc = run_cli(
+            "campaign", "status", "--preset", "no-such", "--store", store_dir
+        )
+        assert rc == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_spec_and_preset_are_mutually_exclusive(self, tmp_path, store_dir):
+        path, _ = spec_file(tmp_path)
+        with pytest.raises(SystemExit):
+            run_cli(
+                "campaign", "run", "--spec", path,
+                "--preset", "smoke", "--store", store_dir,
+            )

@@ -1,0 +1,241 @@
+"""Tests for campaign specs: validation, hashing, and enumeration.
+
+A CampaignSpec is the cache key of everything downstream — these tests
+pin the properties the result store depends on: the canonical hash is
+stable across JSON round-trips and dict ordering, unit hashes cover
+exactly the inputs that determine a result (and *not* the campaign
+name), and malformed specs fail loudly at construction time.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.campaign import (
+    CampaignSpec,
+    SpecError,
+    canonical_json,
+    decode_config,
+    encode_config,
+    load_campaign_spec,
+)
+from repro.core.config import preferred_embodiment
+from repro.faults.plan import FaultPlan
+
+
+def small_spec(**overrides):
+    kwargs = dict(
+        name="unit-test",
+        kind="convergence",
+        trials=2,
+        base_seed=3,
+        axes=(("d", (3, 4)),),
+        params={"threshold": 1.5},
+    )
+    kwargs.update(overrides)
+    return CampaignSpec(**kwargs)
+
+
+class TestValidation:
+    def test_bad_name_rejected(self):
+        with pytest.raises(SpecError, match="name"):
+            small_spec(name="no spaces allowed")
+        with pytest.raises(SpecError, match="name"):
+            small_spec(name="")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SpecError, match="kind"):
+            small_spec(kind="quantum")
+
+    def test_nonpositive_trials_rejected(self):
+        with pytest.raises(SpecError, match="trials"):
+            small_spec(trials=0)
+
+    def test_unknown_seed_rule_rejected(self):
+        with pytest.raises(SpecError, match="seed rule"):
+            small_spec(seed_rule="dice")
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(SpecError, match="sweepable"):
+            small_spec(axes=(("d", (3,)), ("flux_capacitor", (1, 2))))
+
+    def test_centralized_kind_has_narrower_knobs(self):
+        # threshold is a BlitzCoin knob, meaningless for the baseline.
+        with pytest.raises(SpecError, match="threshold"):
+            CampaignSpec(
+                name="c",
+                kind="centralized",
+                trials=1,
+                params={"d": 4, "threshold": 1.5},
+            )
+
+    def test_duplicate_axis_values_rejected(self):
+        # Duplicate values would collapse two points onto one unit hash.
+        with pytest.raises(SpecError, match="duplicate"):
+            small_spec(axes=(("d", (3, 3)),))
+
+    def test_duplicate_axis_name_rejected(self):
+        with pytest.raises(SpecError, match="duplicate axis"):
+            small_spec(axes=(("d", (3,)), ("d", (4,))))
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(SpecError, match="no values"):
+            small_spec(axes=(("d", ()),))
+
+    def test_d_is_mandatory(self):
+        with pytest.raises(SpecError, match="'d'"):
+            small_spec(axes=(), params={"threshold": 1.5})
+
+    def test_non_scalar_axis_value_rejected(self):
+        with pytest.raises(SpecError, match="JSON scalar"):
+            small_spec(axes=(("d", ((3, 4),)),))
+
+    def test_scenario_descriptor_validated(self):
+        with pytest.raises(SpecError, match="scenario"):
+            small_spec(params={"threshold": 1.5, "scenario": {"kind": "odd"}})
+        with pytest.raises(SpecError, match="seed"):
+            small_spec(
+                params={
+                    "threshold": 1.5,
+                    "scenario": {
+                        "kind": "heterogeneous",
+                        "acc_types": 4,
+                        "seed": -1,
+                    },
+                }
+            )
+
+    def test_invalid_config_rejected_eagerly(self):
+        with pytest.raises(SpecError, match="config"):
+            small_spec(config={"no_such_field": 1})
+
+
+class TestHashing:
+    def test_hash_stable_across_json_roundtrip(self):
+        spec = small_spec(config=encode_config(preferred_embodiment()))
+        again = CampaignSpec.from_json(spec.to_json())
+        assert again == spec
+        assert again.spec_hash == spec.spec_hash
+
+    def test_hash_independent_of_dict_insertion_order(self):
+        a = small_spec(params={"threshold": 1.5, "max_cycles": 100_000})
+        b = small_spec(params={"max_cycles": 100_000, "threshold": 1.5})
+        assert a.spec_hash == b.spec_hash
+
+    def test_hash_sensitive_to_every_sweep_input(self):
+        base = small_spec()
+        assert small_spec(trials=3).spec_hash != base.spec_hash
+        assert small_spec(base_seed=4).spec_hash != base.spec_hash
+        assert small_spec(axes=(("d", (3, 5)),)).spec_hash != base.spec_hash
+
+    def test_unit_hash_excludes_campaign_name(self):
+        # Renaming a campaign must not invalidate its cached results.
+        a = small_spec(name="alpha").units()
+        b = small_spec(name="beta").units()
+        assert [u.unit_hash for u in a] == [u.unit_hash for u in b]
+
+    def test_unit_hash_covers_config_params_seed(self):
+        base = small_spec().units()[0]
+        other_cfg = small_spec(
+            config=encode_config(preferred_embodiment())
+        ).units()[0]
+        other_seed = small_spec(base_seed=4).units()[0]
+        assert other_cfg.unit_hash != base.unit_hash
+        assert other_seed.unit_hash != base.unit_hash
+
+    def test_canonical_json_is_compact_and_sorted(self):
+        assert canonical_json({"b": 1, "a": [2, 3]}) == '{"a":[2,3],"b":1}'
+
+
+class TestEnumeration:
+    def test_points_are_cartesian_in_axis_order(self):
+        spec = small_spec(
+            axes=(("mode", ("1-way", "4-way")), ("d", (3, 4))),
+        )
+        points = spec.points()
+        assert [(p["mode"], p["d"]) for p in points] == [
+            ("1-way", 3),
+            ("1-way", 4),
+            ("4-way", 3),
+            ("4-way", 4),
+        ]
+        # Spec-level params survive the merge at every point.
+        assert all(p["threshold"] == 1.5 for p in points)
+
+    def test_stride_seeds_match_legacy_figure_drivers(self):
+        spec = small_spec(base_seed=3, seed_stride=1000)
+        units = spec.units()
+        assert len(units) == 4  # 2 points x 2 trials
+        assert [u.seed for u in units if u.point_index == 0] == [3000, 3001]
+        assert [u.seed for u in units if u.point_index == 1] == [3000, 3001]
+
+    def test_spawn_seeds_are_collision_free_across_points(self):
+        spec = small_spec(seed_rule="spawn", axes=(("d", (3, 4, 5)),))
+        seeds = [u.seed for u in spec.units()]
+        assert len(set(seeds)) == len(seeds)
+        # ...and deterministic: re-enumeration gives the same ladder.
+        assert seeds == [u.seed for u in spec.units()]
+
+    def test_unit_indices_are_run_order(self):
+        units = small_spec().units()
+        assert [u.index for u in units] == list(range(len(units)))
+        assert [(u.point_index, u.trial) for u in units] == [
+            (0, 0), (0, 1), (1, 0), (1, 1),
+        ]
+
+
+class TestConfigCodec:
+    def test_roundtrip_preserves_every_field(self):
+        config = dataclasses.replace(
+            preferred_embodiment(),
+            thermal_caps={0: 2, 5: 1},
+            fault_plan=FaultPlan.uniform(drop=0.1, seed=9),
+        )
+        assert decode_config(encode_config(config)) == config
+
+    def test_encoded_form_is_json_serializable(self):
+        encoded = encode_config(preferred_embodiment())
+        assert json.loads(json.dumps(encoded)) == encoded
+
+    def test_mode_encodes_as_value_string(self):
+        config = preferred_embodiment()
+        encoded = encode_config(config)
+        assert encoded["mode"] == config.mode.value
+        assert isinstance(encoded["mode"], str)
+        assert decode_config(encoded).mode is config.mode
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(SpecError, match="warp_drive"):
+            decode_config({"warp_drive": True})
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(SpecError, match="mode"):
+            decode_config({"mode": "8-way"})
+
+
+class TestSerialization:
+    def test_from_dict_rejects_unknown_fields(self):
+        data = small_spec().to_dict()
+        data["surprise"] = 1
+        with pytest.raises(SpecError, match="surprise"):
+            CampaignSpec.from_dict(data)
+
+    def test_from_dict_rejects_unsupported_schema(self):
+        data = small_spec().to_dict()
+        data["schema"] = 99
+        with pytest.raises(SpecError, match="schema"):
+            CampaignSpec.from_dict(data)
+
+    def test_from_json_rejects_garbage(self):
+        with pytest.raises(SpecError, match="not valid JSON"):
+            CampaignSpec.from_json("{nope")
+
+    def test_save_and_load_roundtrip(self, tmp_path):
+        spec = small_spec(config=encode_config(preferred_embodiment()))
+        path = spec.save(tmp_path / "spec.json")
+        assert load_campaign_spec(path) == spec
+
+    def test_load_missing_file_raises_spec_error(self, tmp_path):
+        with pytest.raises(SpecError, match="cannot read"):
+            load_campaign_spec(tmp_path / "absent.json")

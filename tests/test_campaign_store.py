@@ -1,0 +1,174 @@
+"""Tests for the content-addressed result store.
+
+The store's one hard promise is crash safety: a unit artifact either
+exists complete or not at all, so ``--resume`` can trust whatever it
+finds on disk.  The atomic-write regression tests simulate the crash
+windows directly (before and during the rename) and assert no
+truncated JSON ever becomes visible at the destination path.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.campaign import CampaignSpec, CampaignStore, StoreError
+from repro.campaign.store import _atomic_write_text
+
+
+@pytest.fixture
+def spec():
+    return CampaignSpec(
+        name="store-test",
+        kind="convergence",
+        trials=2,
+        base_seed=3,
+        axes=(("d", (3, 4)),),
+        params={"threshold": 1.5},
+    )
+
+
+@pytest.fixture
+def store(tmp_path):
+    return CampaignStore(tmp_path / "store")
+
+
+class TestUnitArtifacts:
+    def test_roundtrip(self, store, spec):
+        unit = spec.units()[0]
+        store.save_unit(spec, unit, {"cycles": 123, "converged": True})
+        assert store.load_unit(spec, unit) == {
+            "cycles": 123,
+            "converged": True,
+        }
+
+    def test_missing_unit_is_none_not_error(self, store, spec):
+        assert store.load_unit(spec, spec.units()[0]) is None
+
+    def test_artifact_path_is_content_addressed(self, store, spec):
+        unit = spec.units()[0]
+        path = store.save_unit(spec, unit, {"x": 1})
+        assert path.name == f"{unit.unit_hash}.json"
+        assert path.parent.name == "units"
+        assert path.parent.parent.name == spec.spec_hash[:16]
+
+    def test_truncated_artifact_raises_with_clean_hint(self, store, spec):
+        unit = spec.units()[0]
+        path = store.save_unit(spec, unit, {"cycles": 123})
+        path.write_text(path.read_text()[:10])  # simulate torn write
+        with pytest.raises(StoreError, match="campaign clean"):
+            store.load_unit(spec, unit)
+
+    def test_artifact_without_result_key_is_corrupt(self, store, spec):
+        unit = spec.units()[0]
+        path = store.save_unit(spec, unit, {"cycles": 123})
+        path.write_text('{"schema": 1}\n')
+        with pytest.raises(StoreError, match="missing 'result'"):
+            store.load_unit(spec, unit)
+
+
+class TestAtomicWrites:
+    """Regression tests: a crash mid-write must never surface a
+    truncated artifact (which would poison every later --resume)."""
+
+    def test_crash_before_rename_leaves_old_content(
+        self, tmp_path, monkeypatch
+    ):
+        target = tmp_path / "unit.json"
+        _atomic_write_text(target, '{"result": "old"}\n')
+
+        def crash(src, dst):
+            raise OSError("simulated crash at rename")
+
+        monkeypatch.setattr(os, "replace", crash)
+        with pytest.raises(OSError, match="simulated crash"):
+            _atomic_write_text(target, '{"result": "new"}\n')
+        # Old content intact, temp file cleaned up, nothing truncated.
+        assert json.loads(target.read_text()) == {"result": "old"}
+        assert list(tmp_path.iterdir()) == [target]
+
+    def test_crash_during_write_never_touches_target(
+        self, tmp_path, monkeypatch
+    ):
+        target = tmp_path / "unit.json"
+        _atomic_write_text(target, '{"result": "old"}\n')
+
+        def crash(fd):
+            raise OSError("simulated crash at fsync")
+
+        monkeypatch.setattr(os, "fsync", crash)
+        with pytest.raises(OSError, match="simulated crash"):
+            _atomic_write_text(target, '{"result": "new"}\n')
+        assert json.loads(target.read_text()) == {"result": "old"}
+        assert list(tmp_path.iterdir()) == [target]
+
+    def test_save_unit_is_atomic(self, store, spec, monkeypatch):
+        # The store must route unit artifacts through the atomic path.
+        unit = spec.units()[0]
+        store.save_unit(spec, unit, {"cycles": 1})
+        monkeypatch.setattr(
+            os, "replace", lambda s, d: (_ for _ in ()).throw(OSError("boom"))
+        )
+        with pytest.raises(OSError):
+            store.save_unit(spec, unit, {"cycles": 2})
+        assert store.load_unit(spec, unit) == {"cycles": 1}
+
+
+class TestManifest:
+    def test_roundtrip(self, store, spec):
+        store.write_manifest(
+            spec, total=4, cached=1, executed=3, complete=True
+        )
+        doc = store.load_manifest(spec)
+        assert doc["spec_hash"] == spec.spec_hash
+        assert doc["total"] == 4
+        assert doc["complete"] is True
+
+    def test_missing_manifest_is_none(self, store, spec):
+        assert store.load_manifest(spec) is None
+
+    def test_foreign_manifest_rejected(self, store, spec):
+        store.write_manifest(
+            spec, total=4, cached=0, executed=4, complete=True
+        )
+        path = store.manifest_path(spec)
+        doc = json.loads(path.read_text())
+        doc["spec_hash"] = "0" * 64
+        path.write_text(json.dumps(doc))
+        with pytest.raises(StoreError, match="different spec"):
+            store.load_manifest(spec)
+
+
+class TestScanAndClean:
+    def test_scan_counts_done_missing_corrupt(self, store, spec):
+        units = spec.units()
+        store.save_unit(spec, units[0], {"x": 1})
+        store.save_unit(spec, units[1], {"x": 2})
+        store.unit_path(spec, units[2]).write_text("{torn")
+        status = store.scan(spec)
+        assert status.total == 4
+        assert status.done == 2
+        assert status.missing == 1
+        assert len(status.corrupt) == 1
+        assert not status.complete
+
+    def test_scan_complete(self, store, spec):
+        for unit in spec.units():
+            store.save_unit(spec, unit, {"x": unit.index})
+        assert store.scan(spec).complete
+
+    def test_clean_removes_only_that_spec(self, store, spec):
+        other = CampaignSpec(
+            name="other", kind="convergence", trials=1, params={"d": 3}
+        )
+        store.save_unit(spec, spec.units()[0], {"x": 1})
+        store.save_unit(other, other.units()[0], {"x": 2})
+        assert store.clean(spec) is True
+        assert store.clean(spec) is False  # already gone
+        assert store.load_unit(other, other.units()[0]) == {"x": 2}
+
+    def test_clean_all_removes_root(self, store, spec):
+        store.save_unit(spec, spec.units()[0], {"x": 1})
+        assert store.clean_all() is True
+        assert not store.root.exists()
+        assert store.clean_all() is False
