@@ -124,12 +124,17 @@ _SEEDED_RNG_CTORS = {
 #: so hash-order iteration there would break run reproducibility too.
 #: repro.campaign is included: unit enumeration and seed derivation feed
 #: the cache keys and the parallel/serial bit-identity guarantee.
+#: repro.obs.monitor and repro.report are included: monitors run on the
+#: sink path during simulation, and reports/diffs must be byte-stable
+#: artifacts — hash-order iteration in either would break bit-identity.
 _ORDERED_ITERATION_SCOPES = (
     "repro.core",
     "repro.noc",
     "repro.sim",
     "repro.faults",
     "repro.campaign",
+    "repro.obs.monitor",
+    "repro.report",
 )
 
 # ---------------------------------------------------------------- C1 tables
@@ -149,8 +154,15 @@ _C1_ENGINE_MODULE = "repro.core.engine"
 
 # ---------------------------------------------------------------- S1 tables
 #: repro.campaign is in scope: the campaign layer aggregates results
-#: and must never reach into engine/tile coin state directly.
-_S1_SCOPES = ("repro.core", "repro.noc", "repro.campaign")
+#: and must never reach into engine/tile coin state directly; the
+#: monitor and report layers likewise observe but never mutate.
+_S1_SCOPES = (
+    "repro.core",
+    "repro.noc",
+    "repro.campaign",
+    "repro.obs.monitor",
+    "repro.report",
+)
 #: The only functions allowed to write a coin register directly: the
 #: engine's single delta-application point, the activity-edge API, and
 #: object construction.

@@ -355,12 +355,7 @@ def run_campaign(
     final = [r for r in results if r is not None]
     if len(final) != total:  # pragma: no cover - executor invariant
         raise CampaignError("campaign finished with missing unit results")
-    if store is not None:
-        store.write_results_jsonl(spec, units, final)
-        store.write_manifest(
-            spec, total=total, cached=cached, executed=executed, complete=True
-        )
-    return CampaignRun(
+    run = CampaignRun(
         spec=spec,
         units=units,
         results=final,
@@ -369,3 +364,14 @@ def run_campaign(
         verified=verified,
         workers=1 if not parallel else workers,
     )
+    if store is not None:
+        store.write_results_jsonl(spec, units, final)
+        store.write_manifest(
+            spec, total=total, cached=cached, executed=executed, complete=True
+        )
+        # Imported lazily: report depends on campaign for canonical
+        # JSON and atomic writes, so the top-level import runs that way.
+        from repro.report.run_report import campaign_report, write_run_report
+
+        write_run_report(campaign_report(run), store.report_path(spec))
+    return run

@@ -27,7 +27,7 @@ from typing import Any, Dict, List, Optional, Sequence, Union
 from repro.campaign.errors import StoreError
 from repro.campaign.spec import CampaignSpec, CampaignUnit
 
-__all__ = ["CampaignStore", "StoreStatus"]
+__all__ = ["CampaignStore", "StoreStatus", "atomic_write_text"]
 
 #: Characters of the spec hash used for the directory name; the full
 #: hash in the manifest guards against (astronomically unlikely)
@@ -35,7 +35,7 @@ __all__ = ["CampaignStore", "StoreStatus"]
 _DIR_HASH_CHARS = 16
 
 
-def _atomic_write_text(path: Path, text: str) -> Path:
+def atomic_write_text(path: Path, text: str) -> Path:
     """Write ``text`` to ``path`` via temp-file-then-rename.
 
     The temp file lives in the destination directory so the final
@@ -93,6 +93,10 @@ class CampaignStore:
     def results_path(self, spec: CampaignSpec) -> Path:
         return self.spec_dir(spec) / "results.jsonl"
 
+    def report_path(self, spec: CampaignSpec) -> Path:
+        """Where the campaign-level RunReport artifact lives."""
+        return self.spec_dir(spec) / "report.json"
+
     # ----------------------------------------------------------------- units
     def load_unit(
         self, spec: CampaignSpec, unit: CampaignUnit
@@ -130,7 +134,7 @@ class CampaignStore:
     ) -> Path:
         """Atomically persist one unit result."""
         doc = {"schema": 1, "unit": unit.to_dict(), "result": result}
-        return _atomic_write_text(
+        return atomic_write_text(
             self.unit_path(spec, unit),
             json.dumps(doc, sort_keys=True) + "\n",
         )
@@ -155,7 +159,7 @@ class CampaignStore:
             "executed": executed,
             "complete": complete,
         }
-        return _atomic_write_text(
+        return atomic_write_text(
             self.manifest_path(spec), json.dumps(doc, indent=2, sort_keys=True) + "\n"
         )
 
@@ -202,7 +206,7 @@ class CampaignStore:
                     sort_keys=True,
                 )
             )
-        return _atomic_write_text(
+        return atomic_write_text(
             self.results_path(spec), "\n".join(lines) + "\n"
         )
 

@@ -452,6 +452,122 @@ def cmd_campaign_clean(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_report(args: argparse.Namespace):
+    """The RunReport for the requested experiment (monitors enabled)."""
+    from repro.obs.monitor import MonitorSet, default_monitors
+    from repro.report.run_report import convergence_report, soc_report
+
+    if args.experiment == "fig16":
+        from repro.experiments.fig16_power_traces import run_reported
+
+        return run_reported(SCHEMES[args.scheme], args.mode)
+    if args.experiment == "soc":
+        budget = args.budget or DEFAULT_BUDGETS[args.soc]
+        monitors = MonitorSet(
+            default_monitors(budget),
+            Observation(f"report-soc-{args.soc}-{args.scheme}"),
+        )
+        with observing(monitors):
+            soc = Soc(SOCS[args.soc]())
+            pm = build_pm(SCHEMES[args.scheme], soc, budget)
+            result = WorkloadExecutor(
+                soc, WORKLOADS[args.workload](), pm
+            ).run()
+        return soc_report(
+            result,
+            label=f"soc-{args.soc}-{args.workload}-{args.scheme}",
+            monitors=monitors,
+            grid=(soc.config.width, soc.config.height),
+        )
+    # convergence
+    config = VARIANTS[args.variant]()
+    monitors = MonitorSet(
+        default_monitors(), Observation(f"report-convergence-d{args.dim}")
+    )
+    results = []
+    with observing(monitors):
+        for k in range(args.trials):
+            monitors.epoch(f"trial{k}")
+            results.append(
+                run_convergence_trial(
+                    args.dim,
+                    config,
+                    seed=args.seed + k,
+                    threshold=args.threshold,
+                )
+            )
+    from repro.campaign.spec import encode_config
+
+    return convergence_report(
+        results,
+        label=f"convergence-d{args.dim}-{args.variant}",
+        d=args.dim,
+        config=encode_config(config),
+        monitors=monitors,
+    )
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Run one experiment under the online monitors and write its
+    RunReport (and optionally the self-contained HTML dashboard)."""
+    from repro.report.run_report import ReportError, write_run_report
+
+    try:
+        report = _build_report(args)
+    except ReportError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    alerts = sum(report.alert_counts.values())
+    print(
+        f"report {report.label}  kind={report.kind}  "
+        f"config={report.config_hash[:16]}  alerts={alerts}"
+    )
+    try:
+        print(f"wrote {write_run_report(report, args.out)}")
+        if args.html:
+            from repro.report.dashboard import write_dashboard
+
+            print(f"wrote {write_dashboard(report, args.html)}")
+    except OSError as exc:
+        print(f"error: cannot write report: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _resolve_report_path(raw: str) -> Path:
+    """A report path; a directory means its ``report.json`` (the
+    campaign-store layout)."""
+    path = Path(raw)
+    if path.is_dir():
+        return path / "report.json"
+    return path
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    """Compare two RunReports; rc 3 when the candidate regressed."""
+    from repro.report.diff import (
+        DiffError,
+        diff_reports,
+        format_diff_table,
+        load_thresholds,
+    )
+    from repro.report.run_report import ReportError, load_run_report
+
+    try:
+        thresholds = (
+            load_thresholds(args.thresholds) if args.thresholds else None
+        )
+        baseline = load_run_report(_resolve_report_path(args.baseline))
+        candidate = load_run_report(_resolve_report_path(args.candidate))
+        diff = diff_reports(baseline, candidate, thresholds)
+    except (DiffError, ReportError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for line in format_diff_table(diff, only_changed=args.only_changed):
+        print(line)
+    return 3 if diff.regressed else 0
+
+
 def cmd_figure(args: argparse.Namespace) -> int:
     import repro.experiments as experiments
 
@@ -662,6 +778,70 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_campaign_target(cp, allow_all=True)
     cp.set_defaults(func=cmd_campaign_clean)
+
+    p = sub.add_parser(
+        "report",
+        help="run one experiment under the online health monitors and "
+        "write its RunReport artifact (see docs/REPORTS.md)",
+    )
+    p.add_argument(
+        "experiment",
+        nargs="?",
+        choices=["fig16", "soc", "convergence"],
+        default="fig16",
+        help="which experiment to report on (default: fig16)",
+    )
+    p.add_argument(
+        "--out", default="run_report.json", metavar="FILE",
+        help="report destination (default: run_report.json)",
+    )
+    p.add_argument(
+        "--html", default=None, metavar="FILE",
+        help="also render the self-contained HTML dashboard",
+    )
+    p.add_argument("--soc", choices=sorted(SOCS), default="3x3")
+    p.add_argument(
+        "--workload", choices=sorted(WORKLOADS), default="av-par"
+    )
+    p.add_argument("--scheme", choices=sorted(SCHEMES), default="BC")
+    p.add_argument(
+        "--mode", choices=["WL-Par", "WL-Dep"], default="WL-Par",
+        help="fig16 case (default: WL-Par)",
+    )
+    p.add_argument(
+        "--budget", type=float, default=None, help="power budget in mW"
+    )
+    p.add_argument("--dim", type=int, default=6, help="grid dimension d")
+    p.add_argument("--trials", type=int, default=3)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--threshold", type=float, default=1.5)
+    p.add_argument(
+        "--variant", choices=sorted(VARIANTS), default="preferred"
+    )
+    p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser(
+        "diff",
+        help="compare two RunReports (or campaign store dirs); "
+        "exit 3 when the candidate regressed against the baseline",
+    )
+    p.add_argument(
+        "baseline",
+        help="baseline report.json (or a campaign spec directory)",
+    )
+    p.add_argument(
+        "candidate",
+        help="candidate report.json (or a campaign spec directory)",
+    )
+    p.add_argument(
+        "--thresholds", default=None, metavar="FILE",
+        help="threshold policy JSON (default: built-in CI policy)",
+    )
+    p.add_argument(
+        "--only-changed", action="store_true",
+        help="hide metrics whose status is 'ok'",
+    )
+    p.set_defaults(func=cmd_diff)
 
     p = sub.add_parser(
         "figure", help="regenerate a paper figure's rows (e.g. fig17)"

@@ -81,6 +81,46 @@ def run(n_points: int = 400) -> Fig16Result:
     return Fig16Result(traces=traces)
 
 
+def run_reported(
+    scheme: PMKind = PMKind.BLITZCOIN,
+    mode: str = "WL-Par",
+    *,
+    n_points: int = 240,
+):
+    """One fig16 case run under the online monitors, as a RunReport.
+
+    This is the CLI's ``report fig16`` entry point and the dashboard's
+    canonical data source: a real 3x3 SoC run, observed and judged.
+    """
+    # Imported here: experiments stay importable without the report
+    # layer (and vice versa — report must not depend on experiments).
+    from repro.obs.monitor import MonitorSet, default_monitors
+    from repro.obs.runtime import observing
+    from repro.obs.sink import Observation
+    from repro.report.run_report import soc_report
+
+    budget = dict(CASES)[mode]
+    graph_builder = (
+        autonomous_vehicle_parallel
+        if mode == "WL-Par"
+        else autonomous_vehicle_dependent
+    )
+    soc_config = soc_3x3()
+    monitors = MonitorSet(
+        default_monitors(budget), Observation(f"fig16-{scheme.value}-{mode}")
+    )
+    with observing(monitors):
+        result = run_soc_workload(soc_config, graph_builder(), scheme, budget)
+    monitors.finish()
+    return soc_report(
+        result,
+        label=f"fig16-{scheme.value}-{mode}",
+        monitors=monitors,
+        grid=(soc_config.width, soc_config.height),
+        n_points=n_points,
+    )
+
+
 def format_rows(result: Fig16Result) -> List[str]:
     rows = []
     for (scheme, mode), t in sorted(result.traces.items()):

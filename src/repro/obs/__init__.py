@@ -35,12 +35,26 @@ from repro.obs.metrics import (
     MetricsError,
     MetricsRegistry,
 )
+from repro.obs.monitor import (
+    Alert,
+    BudgetOvershootMonitor,
+    ConvergenceStallMonitor,
+    Monitor,
+    MonitorSet,
+    OscillationMonitor,
+    ReconcileBacklogMonitor,
+    StarvationMonitor,
+    default_monitors,
+)
 from repro.obs.profile import KernelProfile, callback_site
 from repro.obs.runtime import enabled, install, observing, uninstall
 from repro.obs.sink import NullSink, ObsError, ObsSink, Observation
 from repro.obs.spans import InstantEvent, Sample, Span, TraceBuffer
 
 __all__ = [
+    "Alert",
+    "BudgetOvershootMonitor",
+    "ConvergenceStallMonitor",
     "Counter",
     "Gauge",
     "Histogram",
@@ -48,7 +62,12 @@ __all__ = [
     "KernelProfile",
     "MetricsError",
     "MetricsRegistry",
+    "Monitor",
+    "MonitorSet",
     "NullSink",
+    "OscillationMonitor",
+    "ReconcileBacklogMonitor",
+    "StarvationMonitor",
     "ObsError",
     "ObsSink",
     "Observation",
@@ -57,6 +76,7 @@ __all__ = [
     "TraceBuffer",
     "callback_site",
     "chrome_trace",
+    "default_monitors",
     "enabled",
     "install",
     "jsonl_records",

@@ -160,6 +160,45 @@ class Histogram:
         """Mean observed value (0.0 when empty)."""
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> Optional[float]:
+        """The smallest recorded-value bound covering fraction ``q``.
+
+        Resolution is the bucket grid: the answer is the first bucket
+        upper edge whose cumulative count reaches ``q * count``,
+        clamped into ``[min_value, max_value]`` so edge quantiles are
+        exact (observations in the overflow bucket report
+        ``max_value``).  Returns None when the histogram is empty;
+        raises :class:`MetricsError` for ``q`` outside ``[0, 1]``.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise MetricsError(
+                f"histogram {self.name!r}: percentile q={q} outside [0, 1]"
+            )
+        if self.count == 0:
+            return None
+        assert self.min_value is not None and self.max_value is not None
+        if q == 0.0:
+            return self.min_value
+        rank = q * self.count
+        cumulative = 0
+        for i, bound in enumerate(self.bounds):
+            cumulative += self.counts[i]
+            if cumulative >= rank:
+                return min(max(float(bound), self.min_value), self.max_value)
+        return self.max_value
+
+    def quantile_summary(self) -> Dict[str, Optional[float]]:
+        """The RunReport quantile row: count, mean, p50/p90/p99, min/max."""
+        return {
+            "count": float(self.count),
+            "mean": self.mean if self.count else None,
+            "min": self.min_value,
+            "p50": self.percentile(0.50),
+            "p90": self.percentile(0.90),
+            "p99": self.percentile(0.99),
+            "max": self.max_value,
+        }
+
     def bucket_rows(self) -> List[Tuple[str, int]]:
         """(upper-edge label, count) pairs, overflow bucket last."""
         rows = [

@@ -12,6 +12,13 @@ reproduces that workflow:
   quick-look ASCII charts.
 * :mod:`~repro.report.campaign_export` — flatten a campaign run
   (``repro.campaign``) into one CSV row per seeded trial.
+* :mod:`~repro.report.run_report` — the frozen canonical-JSON per-run
+  scorecard (config hash, summary stats, monitor alerts, per-tile
+  accounting), written atomically.
+* :mod:`~repro.report.diff` — compare two RunReports against a
+  threshold policy; the regression gate behind ``blitzcoin-repro diff``.
+* :mod:`~repro.report.dashboard` — render one RunReport as a single
+  self-contained HTML file (inline CSS/SVG, no external references).
 """
 
 from repro.report.campaign_export import campaign_rows, export_campaign_csv
@@ -24,17 +31,51 @@ from repro.report.csv_export import (
     packet_stats_rows,
     read_csv,
 )
+from repro.report.dashboard import render_dashboard, write_dashboard
+from repro.report.diff import (
+    DEFAULT_THRESHOLDS,
+    DiffError,
+    DiffRow,
+    ReportDiff,
+    ThresholdRule,
+    Thresholds,
+    diff_reports,
+    format_diff_table,
+    load_thresholds,
+)
 from repro.report.post_process import (
     ascii_chart,
     extract_execution_times,
     extract_response_times,
     reconstruct_power_trace,
 )
+from repro.report.run_report import (
+    REPORT_SCHEMA,
+    ReportError,
+    RunReport,
+    campaign_report,
+    convergence_report,
+    load_run_report,
+    soc_report,
+    write_run_report,
+)
 
 __all__ = [
+    "DEFAULT_THRESHOLDS",
+    "REPORT_SCHEMA",
     "CsvExportError",
+    "DiffError",
+    "DiffRow",
+    "ReportDiff",
+    "ReportError",
+    "RunReport",
+    "ThresholdRule",
+    "Thresholds",
     "ascii_chart",
+    "campaign_report",
     "campaign_rows",
+    "convergence_report",
+    "diff_reports",
     "export_campaign_csv",
     "export_figure",
     "export_packet_stats",
@@ -42,7 +83,14 @@ __all__ = [
     "export_soc_run",
     "extract_execution_times",
     "extract_response_times",
+    "format_diff_table",
+    "load_run_report",
+    "load_thresholds",
     "packet_stats_rows",
     "read_csv",
     "reconstruct_power_trace",
+    "render_dashboard",
+    "soc_report",
+    "write_dashboard",
+    "write_run_report",
 ]

@@ -1,0 +1,450 @@
+"""Single-file HTML dashboard for a RunReport.
+
+:func:`render_dashboard` turns one report into a fully self-contained
+HTML document: inline CSS and inline SVG only — no scripts, no network
+fetches, no external files — so the artifact can be archived next to
+the report JSON and opened years later, offline, unchanged.  CI uploads
+it per run.
+
+Charts follow the repo's data-viz conventions: colors are defined once
+as CSS custom properties (with a dark-scheme override), magnitude uses
+a single-hue sequential blue ramp, the budget is a reference line in
+the status-critical color with a direct label, alert severities use the
+status palette with a text label next to every mark (never color
+alone), and every chart has a table fallback beside it.
+"""
+
+from __future__ import annotations
+
+import html
+from pathlib import Path
+from typing import Any, Dict, List, Sequence, Tuple, Union
+
+from repro.campaign.store import atomic_write_text
+from repro.report.run_report import RunReport
+
+__all__ = ["render_dashboard", "write_dashboard"]
+
+#: Sequential blue ramp (light→dark), steps 100..700 of the reference
+#: palette: heatmap cells pick the step nearest their normalized value.
+_SEQ_RAMP = (
+    "#cde2fb", "#b7d3f6", "#9ec5f4", "#86b6ef", "#6da7ec", "#5598e7",
+    "#3987e5", "#2a78d6", "#256abf", "#1c5cab", "#184f95", "#104281",
+    "#0d366b",
+)
+
+#: Alert severity -> (status color token, glyph).  The glyph + text
+#: label carry the meaning; color is reinforcement only.
+_SEVERITY_STYLE = {
+    "info": ("var(--status-good)", "i"),
+    "warn": ("var(--status-warning)", "!"),
+    "error": ("var(--status-critical)", "x"),
+}
+
+_CSS = """
+:root {
+  color-scheme: light;
+  --surface-1: #fcfcfb;
+  --page: #f9f9f7;
+  --text-primary: #0b0b0b;
+  --text-secondary: #52514e;
+  --text-muted: #898781;
+  --grid-line: #e1e0d9;
+  --axis: #c3c2b7;
+  --series-1: #2a78d6;
+  --status-good: #0ca30c;
+  --status-warning: #fab219;
+  --status-serious: #ec835a;
+  --status-critical: #d03b3b;
+  --border: rgba(11, 11, 11, 0.10);
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    color-scheme: dark;
+    --surface-1: #1a1a19;
+    --page: #0d0d0d;
+    --text-primary: #ffffff;
+    --text-secondary: #c3c2b7;
+    --text-muted: #898781;
+    --grid-line: #2c2c2a;
+    --axis: #383835;
+    --series-1: #3987e5;
+    --border: rgba(255, 255, 255, 0.10);
+  }
+}
+body {
+  margin: 0;
+  padding: 24px;
+  background: var(--page);
+  color: var(--text-primary);
+  font-family: system-ui, -apple-system, "Segoe UI", sans-serif;
+  font-size: 14px;
+  line-height: 1.5;
+}
+h1 { font-size: 20px; margin: 0 0 4px; }
+h2 { font-size: 15px; margin: 24px 0 8px; }
+.subtitle { color: var(--text-secondary); margin: 0 0 16px; }
+.card {
+  background: var(--surface-1);
+  border: 1px solid var(--border);
+  border-radius: 8px;
+  padding: 16px;
+  margin-bottom: 16px;
+}
+.stat-row { display: flex; flex-wrap: wrap; gap: 12px; }
+.stat {
+  background: var(--surface-1);
+  border: 1px solid var(--border);
+  border-radius: 8px;
+  padding: 10px 14px;
+  min-width: 120px;
+}
+.stat .v { font-size: 22px; }
+.stat .k { color: var(--text-muted); font-size: 12px; }
+table { border-collapse: collapse; font-variant-numeric: tabular-nums; }
+th, td {
+  text-align: right;
+  padding: 3px 10px;
+  border-bottom: 1px solid var(--grid-line);
+}
+th { color: var(--text-muted); font-weight: 500; }
+th:first-child, td:first-child { text-align: left; }
+.legend { color: var(--text-secondary); font-size: 12px; margin: 4px 0; }
+svg text { fill: var(--text-muted); font-size: 11px; }
+svg .title-lbl { fill: var(--text-secondary); }
+.flex { display: flex; flex-wrap: wrap; gap: 24px; align-items: flex-start; }
+"""
+
+
+def _esc(value: object) -> str:
+    return html.escape(str(value), quote=True)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, bool) or value is None:
+        return _esc(value)
+    if isinstance(value, float):
+        return f"{value:,.4g}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return _esc(value)
+
+
+# ------------------------------------------------------------------ power plot
+def _power_chart(series: Dict[str, Any]) -> str:
+    xs: List[float] = [float(v) for v in series.get("x_us", [])]
+    ys: List[float] = [float(v) for v in series.get("y_mw", [])]
+    budget = float(series.get("budget_mw", 0.0))
+    if len(xs) < 2 or len(xs) != len(ys):
+        return "<p class='legend'>no power series recorded</p>"
+    width, height, pad_l, pad_b, pad_t = 720.0, 240.0, 52.0, 28.0, 12.0
+    x_max = xs[-1] or 1.0
+    y_max = max(max(ys), budget) * 1.1 or 1.0
+
+    def px(x: float) -> float:
+        return pad_l + (width - pad_l - 8) * (x / x_max)
+
+    def py(y: float) -> float:
+        return height - pad_b - (height - pad_b - pad_t) * (y / y_max)
+
+    points = " ".join(f"{px(x):.1f},{py(y):.1f}" for x, y in zip(xs, ys))
+    grid_lines = []
+    for i in range(5):
+        gy = py(y_max * i / 4)
+        grid_lines.append(
+            f"<line x1='{pad_l}' y1='{gy:.1f}' x2='{width - 8}' "
+            f"y2='{gy:.1f}' stroke='var(--grid-line)' stroke-width='1'/>"
+            f"<text x='{pad_l - 6}' y='{gy + 4:.1f}' text-anchor='end'>"
+            f"{y_max * i / 4:.0f}</text>"
+        )
+    x_ticks = []
+    for i in range(5):
+        gx = px(x_max * i / 4)
+        x_ticks.append(
+            f"<text x='{gx:.1f}' y='{height - 8}' text-anchor='middle'>"
+            f"{x_max * i / 4:.0f}</text>"
+        )
+    by = py(budget)
+    budget_line = (
+        f"<line x1='{pad_l}' y1='{by:.1f}' x2='{width - 8}' y2='{by:.1f}' "
+        "stroke='var(--status-critical)' stroke-width='2' "
+        "stroke-dasharray='6 4'/>"
+        f"<text x='{width - 10}' y='{by - 5:.1f}' text-anchor='end' "
+        f"class='title-lbl'>budget {budget:.0f} mW</text>"
+    )
+    return (
+        f"<svg viewBox='0 0 {width:.0f} {height:.0f}' width='{width:.0f}' "
+        f"height='{height:.0f}' role='img' "
+        "aria-label='Total managed power versus budget over time'>"
+        + "".join(grid_lines)
+        + f"<line x1='{pad_l}' y1='{height - pad_b}' x2='{width - 8}' "
+        f"y2='{height - pad_b}' stroke='var(--axis)' stroke-width='1'/>"
+        + "".join(x_ticks)
+        + f"<polyline points='{points}' fill='none' "
+        "stroke='var(--series-1)' stroke-width='2' "
+        "stroke-linejoin='round'/>"
+        + budget_line
+        + f"<text x='{pad_l}' y='{height - 8}'>time (us)</text>"
+        "</svg>"
+        "<p class='legend'>power (mW, blue line) vs the dashed budget "
+        "limit; the paper's cap claim is the line staying under the "
+        "dash.</p>"
+    )
+
+
+# -------------------------------------------------------------------- heatmaps
+def _ramp_color(value: float, lo: float, hi: float) -> str:
+    if hi <= lo:
+        return _SEQ_RAMP[0]
+    frac = (value - lo) / (hi - lo)
+    idx = int(round(frac * (len(_SEQ_RAMP) - 1)))
+    return _SEQ_RAMP[max(0, min(idx, len(_SEQ_RAMP) - 1))]
+
+
+def _heatmap(
+    title: str,
+    unit: str,
+    grid: Tuple[int, int],
+    values: Dict[int, float],
+) -> str:
+    width_tiles, height_tiles = grid
+    if not values:
+        return f"<p class='legend'>no per-tile {_esc(title)} data</p>"
+    cell, gap, pad_top = 52, 2, 18
+    lo = min(values[t] for t in sorted(values))
+    hi = max(values[t] for t in sorted(values))
+    w = width_tiles * (cell + gap) + gap
+    h = height_tiles * (cell + gap) + gap + pad_top
+    cells = []
+    for tid in sorted(values):
+        x, y = tid % width_tiles, tid // width_tiles
+        cx = gap + x * (cell + gap)
+        cy = pad_top + gap + y * (cell + gap)
+        value = values[tid]
+        color = _ramp_color(value, lo, hi)
+        # Ink flips to keep >= 4.5:1-ish contrast on the ramp's ends.
+        ink = "#0b0b0b" if color in _SEQ_RAMP[:7] else "#ffffff"
+        cells.append(
+            f"<g><title>tile {tid}: {value:.4g} {_esc(unit)}</title>"
+            f"<rect x='{cx}' y='{cy}' width='{cell}' height='{cell}' "
+            f"rx='4' fill='{color}'/>"
+            f"<text x='{cx + cell / 2:.0f}' y='{cy + cell / 2 - 4:.0f}' "
+            f"text-anchor='middle' fill='{ink}'>t{tid}</text>"
+            f"<text x='{cx + cell / 2:.0f}' y='{cy + cell / 2 + 12:.0f}' "
+            f"text-anchor='middle' fill='{ink}'>{value:.3g}</text></g>"
+        )
+    return (
+        f"<div><svg viewBox='0 0 {w} {h}' width='{w}' height='{h}' "
+        f"role='img' aria-label='Per-tile {_esc(title)} heatmap'>"
+        f"<text x='{gap}' y='12' class='title-lbl'>{_esc(title)} "
+        f"({_esc(unit)}, light={lo:.3g} dark={hi:.3g})</text>"
+        + "".join(cells)
+        + "</svg></div>"
+    )
+
+
+def _tile_heatmaps(report: RunReport) -> str:
+    if report.grid is None or not report.tiles:
+        return "<p class='legend'>no tile grid in this report</p>"
+    power: Dict[int, float] = {}
+    coins: Dict[int, float] = {}
+    for row in report.tiles:
+        tid = int(row["tile"])
+        if isinstance(row.get("mean_power_mw"), (int, float)):
+            power[tid] = float(row["mean_power_mw"])
+        if isinstance(row.get("final_coins"), int):
+            coins[tid] = float(row["final_coins"])
+    parts = [_heatmap("mean power", "mW", report.grid, power)]
+    if coins:
+        parts.append(_heatmap("final coins", "coins", report.grid, coins))
+    parts.append(_tile_table(report.tiles))
+    return "<div class='flex'>" + "".join(parts) + "</div>"
+
+
+def _tile_table(tiles: Sequence[Dict[str, Any]]) -> str:
+    head = (
+        "<tr><th>tile</th><th>mean mW</th><th>peak mW</th>"
+        "<th>share</th><th>coins</th></tr>"
+    )
+    body = "".join(
+        "<tr>"
+        f"<td>{_fmt(row.get('tile'))}</td>"
+        f"<td>{_fmt(row.get('mean_power_mw'))}</td>"
+        f"<td>{_fmt(row.get('peak_power_mw'))}</td>"
+        f"<td>{_fmt(row.get('energy_share'))}</td>"
+        f"<td>{_fmt(row.get('final_coins'))}</td>"
+        "</tr>"
+        for row in tiles
+    )
+    return f"<div><table>{head}{body}</table></div>"
+
+
+# --------------------------------------------------------------- alert section
+def _alert_timeline(alerts: Sequence[Dict[str, Any]], span: float) -> str:
+    if not alerts:
+        return (
+            "<p class='legend'>no alerts: every online monitor stayed "
+            "quiet for the whole run.</p>"
+        )
+    width, row_h, pad_l = 720.0, 22.0, 130.0
+    monitors = sorted({str(a.get("monitor", "?")) for a in alerts})
+    height = len(monitors) * row_h + 30
+    span = max(span, max(float(a.get("cycle", 0)) for a in alerts), 1.0)
+    rows = []
+    for i, monitor in enumerate(monitors):
+        y = 14 + i * row_h
+        rows.append(
+            f"<text x='4' y='{y + 4:.0f}'>{_esc(monitor)}</text>"
+            f"<line x1='{pad_l}' y1='{y:.0f}' x2='{width - 8}' "
+            f"y2='{y:.0f}' stroke='var(--grid-line)' stroke-width='1'/>"
+        )
+        for alert in alerts:
+            if str(alert.get("monitor")) != monitor:
+                continue
+            cycle = float(alert.get("cycle", 0))
+            x = pad_l + (width - pad_l - 16) * (cycle / span)
+            color, glyph = _SEVERITY_STYLE.get(
+                str(alert.get("severity")), _SEVERITY_STYLE["warn"]
+            )
+            rows.append(
+                f"<g><title>{_esc(alert.get('message', ''))} "
+                f"@ cycle {cycle:.0f}</title>"
+                f"<circle cx='{x:.1f}' cy='{y:.0f}' r='6' fill='{color}'/>"
+                f"<text x='{x:.1f}' y='{y + 3:.0f}' text-anchor='middle' "
+                f"fill='var(--surface-1)'>{glyph}</text></g>"
+            )
+    rows.append(
+        f"<text x='{pad_l}' y='{height - 6:.0f}'>cycle 0</text>"
+        f"<text x='{width - 8}' y='{height - 6:.0f}' text-anchor='end'>"
+        f"cycle {span:.0f}</text>"
+    )
+    return (
+        f"<svg viewBox='0 0 {width:.0f} {height:.0f}' "
+        f"width='{width:.0f}' height='{height:.0f}' role='img' "
+        "aria-label='Alert timeline by monitor'>" + "".join(rows) + "</svg>"
+    )
+
+
+def _alert_table(alerts: Sequence[Dict[str, Any]]) -> str:
+    if not alerts:
+        return ""
+    head = (
+        "<tr><th>cycle</th><th>monitor</th><th>severity</th>"
+        "<th>tile</th><th>message</th></tr>"
+    )
+    body = "".join(
+        "<tr>"
+        f"<td>{_fmt(alert.get('cycle'))}</td>"
+        f"<td>{_esc(alert.get('monitor'))}</td>"
+        f"<td>{_esc(alert.get('severity'))}</td>"
+        f"<td>{_fmt(alert.get('tile'))}</td>"
+        f"<td style='text-align:left'>{_esc(alert.get('message'))}</td>"
+        "</tr>"
+        for alert in alerts
+    )
+    return f"<table>{head}{body}</table>"
+
+
+# -------------------------------------------------------------- summary blocks
+_HEADLINE_KEYS = (
+    ("makespan_us", "makespan (us)"),
+    ("peak_power_mw", "peak power (mW)"),
+    ("average_power_mw", "avg power (mW)"),
+    ("energy_mj", "energy (mJ)"),
+    ("budget_utilization", "budget use"),
+    ("convergence_rate", "converged"),
+    ("trials", "trials"),
+    ("units", "units"),
+)
+
+
+def _stat_tiles(summary: Dict[str, Any]) -> str:
+    tiles = []
+    for key, title in _HEADLINE_KEYS:
+        if key in summary and isinstance(summary[key], (int, float)):
+            tiles.append(
+                f"<div class='stat'><div class='v'>{_fmt(summary[key])}"
+                f"</div><div class='k'>{_esc(title)}</div></div>"
+            )
+    if not tiles:
+        return ""
+    return "<div class='stat-row'>" + "".join(tiles) + "</div>"
+
+
+def _summary_table(summary: Dict[str, Any]) -> str:
+    rows = []
+    for key in sorted(summary):
+        value = summary[key]
+        if isinstance(value, dict):
+            rendered = ", ".join(
+                f"{k}={_fmt(value[k])}" for k in sorted(value)
+            )
+        else:
+            rendered = _fmt(value)
+        rows.append(
+            f"<tr><td>{_esc(key)}</td>"
+            f"<td style='text-align:left'>{rendered}</td></tr>"
+        )
+    return (
+        "<table><tr><th>metric</th><th>value</th></tr>"
+        + "".join(rows)
+        + "</table>"
+    )
+
+
+# ------------------------------------------------------------------- document
+def render_dashboard(report: RunReport) -> str:
+    """The complete self-contained HTML document for one report."""
+    power_series = report.series.get("power_mw", {})
+    span_cycles = 0.0
+    makespan = report.summary.get("makespan_us")
+    if isinstance(makespan, (int, float)):
+        # Timeline axis in cycles: alerts are cycle-stamped; 1 us = 1000
+        # cycles at the 1 GHz NoC clock.
+        span_cycles = float(makespan) * 1000.0
+    sections = [
+        "<div class='card'>" + _stat_tiles(dict(report.summary)) + "</div>"
+        if _stat_tiles(dict(report.summary))
+        else "",
+    ]
+    if power_series:
+        sections.append(
+            "<h2>Power vs budget</h2><div class='card'>"
+            + _power_chart(dict(power_series))
+            + "</div>"
+        )
+    sections.append(
+        "<h2>Per-tile accounting</h2><div class='card'>"
+        + _tile_heatmaps(report)
+        + "</div>"
+    )
+    sections.append(
+        "<h2>Alerts</h2><div class='card'>"
+        + _alert_timeline(report.alerts, span_cycles)
+        + _alert_table(report.alerts)
+        + "</div>"
+    )
+    sections.append(
+        "<h2>Summary metrics</h2><div class='card'>"
+        + _summary_table(dict(report.summary))
+        + "</div>"
+    )
+    return (
+        "<!DOCTYPE html>\n"
+        "<html lang='en'>\n<head>\n<meta charset='utf-8'>\n"
+        "<meta name='viewport' content='width=device-width, "
+        "initial-scale=1'>\n"
+        f"<title>BlitzCoin run report: {_esc(report.label)}</title>\n"
+        f"<style>{_CSS}</style>\n</head>\n<body>\n"
+        f"<h1>BlitzCoin run report: {_esc(report.label)}</h1>\n"
+        f"<p class='subtitle'>kind={_esc(report.kind)} · "
+        f"config {_esc(report.config_hash[:16])} · "
+        f"{len(report.alerts)} alert(s)</p>\n"
+        + "\n".join(s for s in sections if s)
+        + "\n</body>\n</html>\n"
+    )
+
+
+def write_dashboard(report: RunReport, path: Union[str, Path]) -> Path:
+    """Atomically write the dashboard HTML next to the report."""
+    return atomic_write_text(Path(path), render_dashboard(report))

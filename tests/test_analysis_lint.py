@@ -92,7 +92,14 @@ class TestRuleD1Determinism:
 
     def test_set_iteration_not_flagged_outside_scheduling_packages(self):
         src = "def tally(xs):\n    return [x for x in set(xs)]\n"
-        assert lint_source(src, module="repro.report.x") == []
+        assert lint_source(src, module="repro.workloads.x") == []
+
+    def test_set_iteration_flagged_in_report_scope(self):
+        # repro.report produces byte-stable artifacts, so it lives in
+        # the D1 ordered-iteration scope alongside the simulator core.
+        src = "def tally(xs):\n    return [x for x in set(xs)]\n"
+        assert [f.code for f in lint_source(src, module="repro.report.x")] == ["D1"]
+        assert [f.code for f in lint_source(src, module="repro.obs.monitor")] == ["D1"]
 
     def test_set_membership_allowed(self):
         src = "def check(t, tiles):\n    return t in set(tiles)\n"

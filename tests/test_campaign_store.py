@@ -13,7 +13,7 @@ import os
 import pytest
 
 from repro.campaign import CampaignSpec, CampaignStore, StoreError
-from repro.campaign.store import _atomic_write_text
+from repro.campaign.store import atomic_write_text
 
 
 @pytest.fixture
@@ -75,14 +75,14 @@ class TestAtomicWrites:
         self, tmp_path, monkeypatch
     ):
         target = tmp_path / "unit.json"
-        _atomic_write_text(target, '{"result": "old"}\n')
+        atomic_write_text(target, '{"result": "old"}\n')
 
         def crash(src, dst):
             raise OSError("simulated crash at rename")
 
         monkeypatch.setattr(os, "replace", crash)
         with pytest.raises(OSError, match="simulated crash"):
-            _atomic_write_text(target, '{"result": "new"}\n')
+            atomic_write_text(target, '{"result": "new"}\n')
         # Old content intact, temp file cleaned up, nothing truncated.
         assert json.loads(target.read_text()) == {"result": "old"}
         assert list(tmp_path.iterdir()) == [target]
@@ -91,14 +91,14 @@ class TestAtomicWrites:
         self, tmp_path, monkeypatch
     ):
         target = tmp_path / "unit.json"
-        _atomic_write_text(target, '{"result": "old"}\n')
+        atomic_write_text(target, '{"result": "old"}\n')
 
         def crash(fd):
             raise OSError("simulated crash at fsync")
 
         monkeypatch.setattr(os, "fsync", crash)
         with pytest.raises(OSError, match="simulated crash"):
-            _atomic_write_text(target, '{"result": "new"}\n')
+            atomic_write_text(target, '{"result": "new"}\n')
         assert json.loads(target.read_text()) == {"result": "old"}
         assert list(tmp_path.iterdir()) == [target]
 

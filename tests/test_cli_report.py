@@ -1,0 +1,172 @@
+"""CLI contract for ``blitzcoin-repro report`` and ``... diff``.
+
+Error discipline first: every bad input — missing file, wrong schema,
+malformed threshold JSON — exits rc 2 with a one-line ``error:``
+diagnostic on stderr and never a traceback.  Then the regression gate:
+self-diff is rc 0, a seeded regression is rc 3 (distinct from rc 2 so
+CI can tell "worse" from "broken").
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.report.run_report import (
+    REPORT_SCHEMA,
+    RunReport,
+    write_run_report,
+)
+
+
+def run_cli(*argv):
+    return main(list(argv))
+
+
+def _write(tmp_path, name, summary, *, alert_counts=None, kind="convergence"):
+    report = RunReport(
+        kind=kind,
+        label=name,
+        config={"d": 3},
+        summary=summary,
+        alert_counts=alert_counts or {},
+    )
+    path = tmp_path / f"{name}.json"
+    write_run_report(report, path)
+    return str(path)
+
+
+BASE_SUMMARY = {"trials": 4, "convergence_rate": 1.0, "cycles": {"mean": 200.0}}
+
+
+@pytest.fixture
+def baseline(tmp_path):
+    return _write(tmp_path, "baseline", BASE_SUMMARY)
+
+
+class TestReportCommand:
+    def test_convergence_report_writes_json_and_html(self, capsys, tmp_path):
+        out = tmp_path / "r.json"
+        html = tmp_path / "r.html"
+        rc = run_cli(
+            "report", "convergence", "--dim", "3", "--trials", "2",
+            "--out", str(out), "--html", str(html),
+        )
+        assert rc == 0
+        stdout = capsys.readouterr().out
+        assert "kind=convergence" in stdout and "alerts=" in stdout
+        doc = json.loads(out.read_text())
+        assert doc["schema"] == REPORT_SCHEMA
+        assert html.read_text().startswith("<!DOCTYPE html>")
+
+    def test_unwritable_destination_is_rc2(self, capsys, tmp_path):
+        blocker = tmp_path / "flat"
+        blocker.write_text("")
+        rc = run_cli(
+            "report", "convergence", "--dim", "3", "--trials", "1",
+            "--out", str(blocker / "r.json"),
+        )
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "Traceback" not in err
+
+
+class TestDiffCommand:
+    def test_self_diff_rc0(self, capsys, baseline):
+        rc = run_cli("diff", baseline, baseline)
+        assert rc == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_regression_rc3(self, capsys, tmp_path, baseline):
+        worse = _write(
+            tmp_path,
+            "worse",
+            {**BASE_SUMMARY, "cycles": {"mean": 300.0}},
+            alert_counts={"starvation": 1},
+        )
+        rc = run_cli("diff", baseline, worse)
+        assert rc == 3
+        out = capsys.readouterr().out
+        assert "REGRESSED" in out
+        assert "! cycles.mean" in out
+
+    def test_directory_resolves_to_report_json(self, capsys, tmp_path, baseline):
+        spec_dir = tmp_path / "campaign-dir"
+        spec_dir.mkdir()
+        (spec_dir / "report.json").write_text(
+            open(baseline).read()
+        )
+        assert run_cli("diff", baseline, str(spec_dir)) == 0
+
+    def test_custom_thresholds_change_the_verdict(
+        self, capsys, tmp_path, baseline
+    ):
+        worse = _write(
+            tmp_path, "worse", {**BASE_SUMMARY, "cycles": {"mean": 300.0}}
+        )
+        lax = tmp_path / "lax.json"
+        lax.write_text(json.dumps({"default": {"rel": 0.9}}))
+        assert run_cli("diff", baseline, worse, "--thresholds", str(lax)) == 0
+        capsys.readouterr()
+        assert run_cli("diff", baseline, worse) == 3
+
+    def test_only_changed_hides_ok_rows(self, capsys, baseline):
+        rc = run_cli("diff", baseline, baseline, "--only-changed")
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "cycles.mean" not in out
+
+
+class TestDiffErrors:
+    def _expect_rc2(self, capsys, *argv):
+        assert run_cli(*argv) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+        assert err.count("\n") == 1  # exactly one line
+
+    def test_missing_baseline(self, capsys, tmp_path, baseline):
+        self._expect_rc2(
+            capsys, "diff", str(tmp_path / "absent.json"), baseline
+        )
+
+    def test_missing_candidate(self, capsys, tmp_path, baseline):
+        self._expect_rc2(
+            capsys, "diff", baseline, str(tmp_path / "absent.json")
+        )
+
+    def test_corrupt_report(self, capsys, tmp_path, baseline):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{nope")
+        self._expect_rc2(capsys, "diff", baseline, str(bad))
+
+    def test_schema_mismatch(self, capsys, tmp_path, baseline):
+        future = tmp_path / "future.json"
+        future.write_text(json.dumps({"schema": 99, "kind": "convergence"}))
+        self._expect_rc2(capsys, "diff", baseline, str(future))
+
+    def test_kind_mismatch(self, capsys, tmp_path, baseline):
+        soc = _write(
+            tmp_path, "soc", {"makespan_us": 5.0}, kind="soc"
+        )
+        self._expect_rc2(capsys, "diff", baseline, soc)
+
+    def test_bad_threshold_json(self, capsys, tmp_path, baseline):
+        bad = tmp_path / "t.json"
+        bad.write_text("{nope")
+        self._expect_rc2(
+            capsys, "diff", baseline, baseline, "--thresholds", str(bad)
+        )
+
+    def test_unknown_threshold_keys(self, capsys, tmp_path, baseline):
+        bad = tmp_path / "t.json"
+        bad.write_text(json.dumps({"default": {"relative": 0.5}}))
+        self._expect_rc2(
+            capsys, "diff", baseline, baseline, "--thresholds", str(bad)
+        )
+
+    def test_missing_thresholds_file(self, capsys, tmp_path, baseline):
+        self._expect_rc2(
+            capsys, "diff", baseline, baseline,
+            "--thresholds", str(tmp_path / "absent.json"),
+        )

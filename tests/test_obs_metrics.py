@@ -87,6 +87,66 @@ class TestHistogram:
             Histogram("bad", bounds=(4, 2))
 
 
+class TestHistogramPercentile:
+    def test_empty_returns_none(self):
+        h = Histogram("lat", bounds=(1, 2, 4))
+        assert h.percentile(0.5) is None
+        assert h.quantile_summary()["p99"] is None
+
+    def test_single_observation_all_quantiles_collapse(self):
+        h = Histogram("lat", bounds=(1, 10, 100))
+        h.observe(0, 7)
+        for q in (0.0, 0.25, 0.5, 0.99, 1.0):
+            assert h.percentile(q) == 7.0
+
+    def test_q0_is_min_and_q1_is_max(self):
+        h = Histogram("lat", bounds=(1, 10, 100))
+        for v in (3, 42, 80):
+            h.observe(0, v)
+        assert h.percentile(0.0) == 3.0
+        assert h.percentile(1.0) == 80.0
+
+    def test_bucket_resolution_median(self):
+        h = Histogram("lat", bounds=(10, 20, 40))
+        for v in (1, 2, 15, 16, 17, 35):
+            h.observe(0, v)
+        # rank 3 lands in the <=20 bucket.
+        assert h.percentile(0.5) == 20.0
+
+    def test_single_bucket_everything_clamps_to_observed_range(self):
+        h = Histogram("lat", bounds=(1000,))
+        for v in (5, 9):
+            h.observe(0, v)
+        # The bucket bound (1000) exceeds anything seen; clamp to max.
+        assert h.percentile(0.5) == 9.0
+        assert h.percentile(0.9) == 9.0
+
+    def test_overflow_bucket_reports_max(self):
+        h = Histogram("lat", bounds=(10,))
+        for v in (5, 500, 900):
+            h.observe(0, v)
+        assert h.percentile(0.99) == 900.0
+
+    def test_out_of_range_q_rejected(self):
+        h = Histogram("lat")
+        for bad in (-0.1, 1.1):
+            with pytest.raises(MetricsError):
+                h.percentile(bad)
+
+    def test_quantile_summary_keys(self):
+        h = Histogram("lat", bounds=(10, 100))
+        for v in (1, 2, 3, 50):
+            h.observe(0, v)
+        summary = h.quantile_summary()
+        assert sorted(summary) == [
+            "count", "max", "mean", "min", "p50", "p90", "p99",
+        ]
+        assert summary["count"] == 4.0
+        assert summary["min"] == 1.0
+        assert summary["max"] == 50.0
+        assert summary["p50"] == 10.0
+
+
 class TestMetricsRegistry:
     def test_get_or_create_is_stable(self):
         r = MetricsRegistry()

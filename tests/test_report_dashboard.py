@@ -1,0 +1,103 @@
+"""Dashboard rendering: one self-contained HTML file, no externals.
+
+The contract the tests pin down: the output is a single document with
+inline CSS and SVG only — no scripts, no stylesheets, no images, no
+network references of any kind — and it renders the budget reference
+line, the per-tile heatmaps, and the alert timeline from a *real*
+fig16 run, not a synthetic fixture.
+"""
+
+import re
+
+import pytest
+
+from repro.experiments.fig16_power_traces import run_reported
+from repro.report.dashboard import render_dashboard, write_dashboard
+from repro.report.run_report import RunReport
+
+
+@pytest.fixture(scope="module")
+def fig16_report():
+    return run_reported()
+
+
+@pytest.fixture(scope="module")
+def html(fig16_report):
+    return render_dashboard(fig16_report)
+
+
+class TestSelfContained:
+    def test_single_complete_document(self, html):
+        assert html.startswith("<!DOCTYPE html>")
+        assert html.count("<html") == html.count("</html>") == 1
+        assert "charset" in html
+
+    def test_no_external_references(self, html):
+        for banned in (
+            "http://", "https://", "<script", "<link", "src=", "@import",
+            "url(",
+        ):
+            assert banned not in html, f"external reference: {banned!r}"
+
+    def test_dark_mode_and_palette_inline(self, html):
+        assert "prefers-color-scheme: dark" in html
+        assert "--series-1" in html and "--status-critical" in html
+
+    def test_write_is_one_file(self, tmp_path, fig16_report):
+        out = tmp_path / "dash.html"
+        write_dashboard(fig16_report, out)
+        assert out.read_text() == render_dashboard(fig16_report)
+        assert [p.name for p in tmp_path.iterdir()] == ["dash.html"]
+
+
+class TestContent:
+    def test_power_chart_with_budget_line(self, html):
+        assert "<svg" in html
+        assert "budget 120 mW" in html
+        assert "stroke-dasharray" in html  # the reference line style
+
+    def test_heatmaps_from_real_grid(self, html):
+        assert "mean power" in html
+        assert "final coins" in html
+        # 3x3 grid -> 9 cells per heatmap, each with a hover tooltip
+        assert html.count("<title>") >= 9
+
+    def test_alert_section_renders(self, html, fig16_report):
+        assert "<h2>Alerts</h2>" in html
+        if fig16_report.alerts:
+            assert fig16_report.alerts[0]["monitor"] in html
+
+    def test_table_fallback_views_exist(self, html):
+        assert html.count("<table") >= 2  # tiles + summary at minimum
+
+    def test_title_names_the_run(self, html, fig16_report):
+        assert f"BlitzCoin run report: {fig16_report.label}" in html
+
+    def test_values_are_escaped(self):
+        report = RunReport(
+            kind="soc",
+            label="<x>&amp",
+            config={},
+            summary={"makespan_us": 1.0},
+        )
+        html = render_dashboard(report)
+        assert "<x>&amp" not in html
+        assert "&lt;x&gt;" in html
+
+
+class TestEmptyReport:
+    def test_minimal_report_still_renders(self):
+        report = RunReport(
+            kind="convergence", label="bare", config={}, summary={"trials": 1}
+        )
+        html = render_dashboard(report)
+        assert html.startswith("<!DOCTYPE html>")
+        assert "Power vs budget" not in html  # section omitted, not broken
+        assert "no tile grid" in html
+        assert "every online monitor stayed" in html
+
+    def test_no_unsubstituted_placeholders(self):
+        report = RunReport(
+            kind="convergence", label="bare", config={}, summary={"trials": 1}
+        )
+        assert not re.search(r"\{[a-z_]+\}", render_dashboard(report))

@@ -1,0 +1,201 @@
+"""RunReport: determinism, transport, and the committed CI golden.
+
+The artifact contract is byte-stability — building the same run's
+report twice must produce identical canonical-JSON bytes, because the
+CI regression gate diffs a freshly computed campaign report against a
+fixture committed in-tree.  That fixture
+(``tests/fixtures/reports/golden_smoke_report.json``) is regenerated
+here when it drifts legitimately: run the smoke campaign through
+``campaign_report`` and write ``report.to_json()`` over the file.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.campaign import CampaignStore, run_campaign
+from repro.campaign.presets import get_preset
+from repro.core.config import preferred_embodiment
+from repro.core.runner import run_trials
+from repro.experiments.soc_runs import run_soc_workload
+from repro.obs import MonitorSet, default_monitors, observing
+from repro.obs.sink import Observation
+from repro.report.run_report import (
+    REPORT_SCHEMA,
+    ReportError,
+    RunReport,
+    campaign_report,
+    convergence_report,
+    load_run_report,
+    soc_report,
+    write_run_report,
+)
+from repro.soc.pm import PMKind
+from repro.soc.presets import soc_3x3
+from repro.workloads.apps import pm_cluster_workload
+
+GOLDEN_SMOKE = (
+    Path(__file__).parent / "fixtures" / "reports" / "golden_smoke_report.json"
+)
+
+
+def _soc_report():
+    monitors = MonitorSet(default_monitors(budget_mw=120.0), Observation())
+    with observing(monitors):
+        result = run_soc_workload(
+            soc_3x3(), pm_cluster_workload(3), PMKind.BLITZCOIN, 120.0
+        )
+    return soc_report(
+        result, label="pm-cluster", monitors=monitors, grid=(3, 3)
+    )
+
+
+@pytest.fixture(scope="module")
+def soc_scorecard():
+    return _soc_report()
+
+
+class TestSocReport:
+    def test_summary_headlines(self, soc_scorecard):
+        s = soc_scorecard.summary
+        assert s["makespan_us"] > 0
+        assert s["budget_mw"] == 120.0
+        assert 0.0 < s["budget_utilization"] <= 1.5
+        assert s["tasks"] == s["response_samples"] > 0
+        assert s["response_cycles"]["p50"] is not None
+
+    def test_tile_rows_ordered_with_coins(self, soc_scorecard):
+        tiles = [row["tile"] for row in soc_scorecard.tiles]
+        assert tiles == sorted(tiles) and len(tiles) > 1
+        assert all(
+            row["final_coins"] is not None for row in soc_scorecard.tiles
+        )
+        share = sum(row["energy_share"] for row in soc_scorecard.tiles)
+        assert share == pytest.approx(1.0, abs=0.05)
+
+    def test_series_and_grid(self, soc_scorecard):
+        power = soc_scorecard.series["power_mw"]
+        assert len(power["x_us"]) == len(power["y_mw"]) == 240
+        assert power["budget_mw"] == 120.0
+        assert soc_scorecard.grid == (3, 3)
+
+    def test_alert_counts_cover_all_monitors(self, soc_scorecard):
+        assert sorted(soc_scorecard.alert_counts) == [
+            "budget_overshoot",
+            "coin_oscillation",
+            "convergence_stall",
+            "reconcile_backlog",
+            "starvation",
+        ]
+
+    def test_metrics_snapshot_present(self, soc_scorecard):
+        names = {row["name"] for row in soc_scorecard.metrics}
+        assert any(n.startswith("engine.") for n in names)
+
+    def test_rebuild_is_byte_identical(self, soc_scorecard):
+        assert _soc_report().to_json() == soc_scorecard.to_json()
+
+    def test_round_trip(self, soc_scorecard):
+        doc = json.loads(soc_scorecard.to_json())
+        loaded = RunReport.from_dict(doc)
+        assert loaded.to_json() == soc_scorecard.to_json()
+        assert loaded.config_hash == doc["config_hash"]
+
+
+class TestConvergenceReport:
+    def test_summary_and_grid(self):
+        results = run_trials(
+            3, preferred_embodiment(), 3, base_seed=5, threshold=1.5
+        )
+        report = convergence_report(results, label="t", d=3)
+        assert report.kind == "convergence"
+        assert report.grid == (3, 3)
+        assert report.summary["trials"] == 3
+        assert report.summary["converged"] <= 3
+        assert 0.0 <= report.summary["convergence_rate"] <= 1.0
+        assert report.summary["cycles"]["count"] == float(
+            report.summary["converged"]
+        )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReportError, match="at least one"):
+            convergence_report([], label="t", d=3)
+
+
+class TestCampaignReport:
+    def test_matches_committed_golden(self, tmp_path):
+        """The CI gate in one test: a cold smoke-campaign run must
+        reproduce the committed golden report byte for byte."""
+        spec = get_preset("smoke")
+        store = CampaignStore(tmp_path)
+        run_campaign(spec, store=store)
+        produced = store.report_path(spec).read_text()
+        assert produced == GOLDEN_SMOKE.read_text()
+
+    def test_warm_cache_rerun_is_byte_identical(self, tmp_path):
+        spec = get_preset("smoke")
+        store = CampaignStore(tmp_path)
+        run_campaign(spec, store=store)
+        cold = store.report_path(spec).read_text()
+        rerun = run_campaign(spec, store=store)
+        assert rerun.cached == len(rerun.results)
+        assert store.report_path(spec).read_text() == cold
+
+    def test_summary_shape(self, tmp_path):
+        spec = get_preset("smoke")
+        run = run_campaign(spec)
+        report = campaign_report(run)
+        assert report.kind == "campaign"
+        assert report.summary["units"] == 4
+        assert report.summary["points"] == 2
+        assert {"cycles.mean", "cycles.min", "cycles.max"} <= set(
+            report.summary
+        )
+        # Bookkeeping must stay out or warm reruns would diff dirty.
+        assert not any(
+            k.startswith(("cached", "executed", "workers"))
+            for k in report.summary
+        )
+
+
+class TestTransport:
+    def test_write_then_load(self, tmp_path, soc_scorecard):
+        path = tmp_path / "nested" / "report.json"
+        write_run_report(soc_scorecard, path)
+        loaded = load_run_report(path)
+        assert loaded.to_json() == soc_scorecard.to_json()
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ReportError, match="not found"):
+            load_run_report(tmp_path / "absent.json")
+
+    def test_corrupt_json(self, tmp_path):
+        path = tmp_path / "r.json"
+        path.write_text("{not json")
+        with pytest.raises(ReportError, match="corrupt"):
+            load_run_report(path)
+
+    def test_schema_mismatch(self, tmp_path):
+        path = tmp_path / "r.json"
+        path.write_text(json.dumps({"schema": 99, "kind": "soc"}))
+        with pytest.raises(ReportError, match="schema"):
+            load_run_report(path)
+
+    def test_non_object_document(self, tmp_path):
+        path = tmp_path / "r.json"
+        path.write_text("[1, 2]")
+        with pytest.raises(ReportError):
+            load_run_report(path)
+
+    def test_missing_summary(self, tmp_path):
+        path = tmp_path / "r.json"
+        path.write_text(
+            json.dumps({"schema": REPORT_SCHEMA, "kind": "soc"})
+        )
+        with pytest.raises(ReportError, match="summary"):
+            load_run_report(path)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ReportError, match="kind"):
+            RunReport(kind="mystery", label="x", config={}, summary={})
