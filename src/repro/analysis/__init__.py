@@ -1,13 +1,26 @@
 """Static analysis (blitzlint) and the runtime invariant sanitizer.
 
 ``repro.analysis.lint`` enforces the repo's determinism and
-coin-conservation coding rules at the AST level;
-``repro.analysis.sanitize`` checks the same invariants dynamically,
-event by event, when ``BLITZCOIN_SANITIZE=1`` (or
-``BlitzCoinConfig.sanitize``) is set.  See ``docs/STATIC_ANALYSIS.md``.
+coin-conservation coding rules; v2 adds a dataflow engine
+(``repro.analysis.dataflow``: CFG + worklist fixpoint + lattices)
+powering the D2/U2/C2/P1 rule families, a SARIF 2.1.0 exporter
+(``repro.analysis.sarif``), baseline gating
+(``repro.analysis.baseline``) and a content-hash result cache
+(``repro.analysis.cache``).  ``repro.analysis.sanitize`` checks the
+same invariants dynamically, event by event, when
+``BLITZCOIN_SANITIZE=1`` (or ``BlitzCoinConfig.sanitize``) is set.
+See ``docs/STATIC_ANALYSIS.md``.
 """
 
+from repro.analysis.baseline import (
+    BaselineError,
+    diff_against_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.cache import CacheError, ResultCache
 from repro.analysis.lint import (
+    LINT_VERSION,
     RULES,
     Finding,
     LintError,
@@ -24,19 +37,30 @@ from repro.analysis.sanitize import (
     attach_sanitizer,
     sanitize_enabled,
 )
+from repro.analysis.sarif import render_sarif, to_sarif, validate_sarif
 
 __all__ = [
-    "RULES",
+    "BaselineError",
+    "CacheError",
     "Finding",
+    "LINT_VERSION",
     "LintError",
+    "RULES",
+    "ResultCache",
     "Sanitizer",
     "SanitizerError",
     "TraceEntry",
     "attach_sanitizer",
+    "diff_against_baseline",
     "lint_file",
     "lint_paths",
     "lint_source",
+    "load_baseline",
     "render_json",
+    "render_sarif",
     "render_text",
     "sanitize_enabled",
+    "to_sarif",
+    "validate_sarif",
+    "write_baseline",
 ]

@@ -1,0 +1,143 @@
+"""AST helpers and determinism tables shared by every blitzlint pass.
+
+Extracted from ``repro.analysis.lint`` so the dataflow rule families
+(``repro.analysis.passes``) can reuse the same source-of-entropy
+definitions without importing the front end.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+__all__ = [
+    "Context",
+    "RNG_MODULE",
+    "SEEDED_RNG_CTORS",
+    "WALL_CLOCK_CALLS",
+    "build_function_map",
+    "dotted_name",
+    "entropy_source",
+    "in_scope",
+    "unordered_iterable",
+]
+
+#: Module allowed to talk to the RNG machinery directly.
+RNG_MODULE = "repro.sim.rng"
+
+#: Wall-clock calls that break seed-only reproducibility.
+WALL_CLOCK_CALLS = {
+    ("time", "time"),
+    ("time", "time_ns"),
+    ("time", "monotonic"),
+    ("time", "monotonic_ns"),
+    ("time", "perf_counter"),
+    ("time", "perf_counter_ns"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+    ("datetime", "today"),
+    ("date", "today"),
+}
+
+#: np.random.* constructors that take an explicit seed and are fine.
+SEEDED_RNG_CTORS = {
+    "Generator",
+    "BitGenerator",
+    "SeedSequence",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "SFC64",
+    "MT19937",
+}
+
+
+def in_scope(module: str, scopes: Sequence[str]) -> bool:
+    return any(module == s or module.startswith(s + ".") for s in scopes)
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """Render an attribute/name chain like ``np.random.default_rng``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def build_function_map(tree: ast.Module) -> Dict[ast.AST, str]:
+    """node -> name of the nearest enclosing function, "" at module level."""
+    func_of: Dict[ast.AST, str] = {}
+
+    def visit(node: ast.AST, current: str) -> None:
+        func_of[node] = current
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                visit(child, child.name)
+            else:
+                visit(child, current)
+
+    visit(tree, "")
+    return func_of
+
+
+@dataclass
+class Context:
+    """Everything a rule needs to know about the module being linted."""
+
+    path: str
+    module: str
+    tree: ast.Module
+    #: node -> name of the nearest enclosing function, "" at module level.
+    func_of: Dict[ast.AST, str]
+
+
+def unordered_iterable(node: ast.expr) -> Optional[str]:
+    """Describe ``node`` if iterating it depends on hash order."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return "a set literal"
+    if isinstance(node, ast.Call):
+        if isinstance(node.func, ast.Name) and node.func.id in (
+            "set", "frozenset"
+        ):
+            return f"a `{node.func.id}(...)` result"
+        if isinstance(node.func, ast.Attribute) and node.func.attr == "keys":
+            return "a `.keys()` view"
+    return None
+
+
+def entropy_source(node: ast.Call) -> Optional[str]:
+    """Describe ``node`` if calling it injects process entropy.
+
+    Covers unseeded randomness, wall-clock reads, ``id()`` (address-
+    space layout), ``os.urandom``, ``uuid4`` and ``secrets``.  Returns
+    a short human description, or None for deterministic calls.
+    """
+    dotted = dotted_name(node.func)
+    if dotted is None:
+        return None
+    parts = dotted.split(".")
+    if len(parts) >= 2 and tuple(parts[-2:]) in WALL_CLOCK_CALLS:
+        return f"wall-clock `{dotted}()`"
+    if len(parts) >= 3 and parts[-2] == "random" and parts[-3] in (
+        "np", "numpy"
+    ):
+        fn = parts[-1]
+        if fn in SEEDED_RNG_CTORS:
+            return None
+        if fn == "default_rng" and (node.args or node.keywords):
+            return None
+        return f"unseeded `{dotted}()`"
+    if parts[0] == "random" and len(parts) >= 2:
+        return f"stdlib `{dotted}()`"
+    if dotted == "id":
+        return "`id()` (address-space entropy)"
+    if dotted in ("os.urandom", "uuid.uuid4", "uuid.uuid1"):
+        return f"`{dotted}()`"
+    if parts[0] == "secrets":
+        return f"`{dotted}()`"
+    return None

@@ -1,0 +1,158 @@
+"""Baseline gating: fail CI only on findings that are *new*.
+
+A dataflow linter accumulates known, reviewed findings (intentional
+deviations that carry suppressions are invisible here, but historical
+ones sometimes stay visible while a refactor is pending).  The
+baseline file records a stable fingerprint for every currently
+accepted finding; ``diff_against_baseline`` partitions a fresh run
+into *new* findings (gate) and *known* ones (report quietly).
+
+Fingerprints must survive unrelated edits, so they hash the things
+that identify a finding semantically rather than positionally:
+
+* the file path (posix-normalized),
+* the rule code,
+* the whitespace-stripped text of the flagged line (robust to the
+  finding moving up or down when unrelated lines are added),
+* an occurrence index (the N-th identical line flagged by the same
+  rule in the same file, so duplicated lines stay distinguishable).
+
+The column and absolute line number are deliberately excluded.
+
+Baseline layout (JSON, sorted, committed to the repo)::
+
+    {"version": 1, "tool": "blitzlint",
+     "fingerprints": {"<fp>": "<path>:<line> <code> <message>"}}
+
+The value is a human-readable hint only; matching uses the key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.findings import Finding
+
+__all__ = [
+    "BaselineError",
+    "diff_against_baseline",
+    "fingerprint",
+    "load_baseline",
+    "write_baseline",
+]
+
+_BASELINE_SCHEMA_VERSION = 1
+
+
+class BaselineError(RuntimeError):
+    """Raised when a baseline file is missing or unusable."""
+
+
+def _line_text(source: Optional[str], line: int) -> str:
+    if source is None:
+        return ""
+    lines = source.splitlines()
+    if 1 <= line <= len(lines):
+        return lines[line - 1].strip()
+    return ""
+
+
+def fingerprint(
+    finding: Finding,
+    *,
+    source: Optional[str] = None,
+    occurrence: Optional[Dict[tuple, int]] = None,
+) -> str:
+    """Stable content-based fingerprint for one finding.
+
+    ``occurrence`` is a mutable counter shared across one run so the
+    N-th finding of the same (path, code, line-text) gets index N.
+    """
+    text = _line_text(source, finding.line)
+    key = (Path(finding.path).as_posix(), finding.code, text)
+    n = 0
+    if occurrence is not None:
+        n = occurrence.get(key, 0)
+        occurrence[key] = n + 1
+    h = hashlib.sha256()
+    for part in (*key, str(n)):
+        h.update(part.encode("utf-8"))
+        h.update(b"\x00")
+    return h.hexdigest()[:32]
+
+
+def compute_fingerprints(
+    findings: Sequence[Finding],
+    sources: Optional[Dict[str, str]] = None,
+) -> List[Tuple[str, Finding]]:
+    """(fingerprint, finding) pairs with per-run occurrence indexing."""
+    occurrence: Dict[tuple, int] = {}
+    out = []
+    for f in findings:
+        src = (sources or {}).get(f.path)
+        out.append((fingerprint(f, source=src, occurrence=occurrence), f))
+    return out
+
+
+def load_baseline(path: Path) -> Dict[str, str]:
+    """Load fingerprint -> hint mapping; raise BaselineError on trouble."""
+    if not path.exists():
+        raise BaselineError(
+            f"baseline file not found: {path} "
+            "(run with --update-baseline to create it)"
+        )
+    try:
+        raw = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise BaselineError(f"unreadable baseline {path}: {exc}") from exc
+    if (
+        not isinstance(raw, dict)
+        or raw.get("version") != _BASELINE_SCHEMA_VERSION
+        or not isinstance(raw.get("fingerprints"), dict)
+    ):
+        raise BaselineError(
+            f"unrecognized baseline layout in {path} "
+            "(regenerate with --update-baseline)"
+        )
+    return raw["fingerprints"]
+
+
+def write_baseline(
+    path: Path,
+    findings: Sequence[Finding],
+    sources: Optional[Dict[str, str]] = None,
+) -> int:
+    """Write (sorted, deterministic) baseline; returns entry count."""
+    fps = {
+        fp: f"{f.path}:{f.line} {f.code} {f.message}"
+        for fp, f in compute_fingerprints(findings, sources)
+    }
+    payload = {
+        "version": _BASELINE_SCHEMA_VERSION,
+        "tool": "blitzlint",
+        "fingerprints": dict(sorted(fps.items())),
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return len(fps)
+
+
+def diff_against_baseline(
+    findings: Sequence[Finding],
+    baseline: Dict[str, str],
+    sources: Optional[Dict[str, str]] = None,
+) -> Tuple[List[Finding], List[Finding], List[str]]:
+    """Partition findings into (new, known); also return fixed hints.
+
+    ``fixed`` lists the baseline hints whose fingerprints no longer
+    occur — useful for pruning the baseline after genuine fixes.
+    """
+    pairs = compute_fingerprints(findings, sources)
+    new = [f for fp, f in pairs if fp not in baseline]
+    known = [f for fp, f in pairs if fp in baseline]
+    seen = {fp for fp, _ in pairs}
+    fixed = [hint for fp, hint in sorted(baseline.items()) if fp not in seen]
+    return new, known, fixed

@@ -1,0 +1,118 @@
+"""Content-hash result cache for blitzlint.
+
+Warm lint runs should be near-instant: the dataflow passes (CFG build,
+fixpoint solving, acyclic path enumeration) dominate cold runtime, but
+their output is a pure function of (file content, selected rules,
+linter version).  ``ResultCache`` memoizes per-file findings keyed on
+exactly that triple, so editing one file re-analyzes one file.
+
+On disk the cache is a single JSON document::
+
+    {
+      "version": 1,
+      "entries": {
+        "<path>": {"key": "<sha256…>", "findings": [ {...}, ... ]}
+      }
+    }
+
+A cache file that cannot be parsed raises :class:`CacheError`; the CLI
+surfaces that as a one-line rc-2 diagnostic rather than silently
+re-linting, because a corrupt cache usually means a mangled checkout
+or a concurrent writer — both worth a human look.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.findings import Finding
+
+__all__ = ["CacheError", "ResultCache"]
+
+_CACHE_SCHEMA_VERSION = 1
+
+
+class CacheError(RuntimeError):
+    """Raised when a cache file exists but cannot be used."""
+
+
+class ResultCache:
+    """Per-file lint-result memo keyed on content hash + rules + version."""
+
+    def __init__(self, path: Path) -> None:
+        self.path = Path(path)
+        self._entries: Dict[str, dict] = {}
+        self._dirty = False
+        if self.path.exists():
+            self._load()
+
+    # ------------------------------------------------------------- keys
+    @staticmethod
+    def key_for(source: str, rules: Optional[Sequence[str]]) -> str:
+        """Cache key for one file's lint result."""
+        from repro.analysis.lint import LINT_VERSION
+
+        h = hashlib.sha256()
+        h.update(f"blitzlint-v{LINT_VERSION}".encode())
+        h.update(b"\x00")
+        h.update(",".join(rules).encode() if rules else b"<all>")
+        h.update(b"\x00")
+        h.update(source.encode("utf-8"))
+        return h.hexdigest()
+
+    # ------------------------------------------------------------ store
+    def _load(self) -> None:
+        try:
+            raw = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CacheError(
+                f"corrupt lint cache {self.path}: {exc}"
+            ) from exc
+        if (
+            not isinstance(raw, dict)
+            or raw.get("version") != _CACHE_SCHEMA_VERSION
+            or not isinstance(raw.get("entries"), dict)
+        ):
+            raise CacheError(
+                f"corrupt lint cache {self.path}: unrecognized layout "
+                "(delete it to start fresh)"
+            )
+        self._entries = raw["entries"]
+
+    def get(self, path: str, key: str) -> Optional[List[Finding]]:
+        entry = self._entries.get(path)
+        if not entry or entry.get("key") != key:
+            return None
+        try:
+            # to_dict() adds the derived "rule" name; drop it to rebuild.
+            return [
+                Finding(**{k: v for k, v in d.items() if k != "rule"})
+                for d in entry["findings"]
+            ]
+        except (TypeError, KeyError) as exc:
+            raise CacheError(
+                f"corrupt lint cache {self.path}: bad entry for {path}: {exc}"
+            ) from exc
+
+    def put(self, path: str, key: str, findings: Sequence[Finding]) -> None:
+        self._entries[path] = {
+            "key": key,
+            "findings": [f.to_dict() for f in findings],
+        }
+        self._dirty = True
+
+    def save(self) -> None:
+        if not self._dirty:
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "version": _CACHE_SCHEMA_VERSION,
+            "entries": self._entries,
+        }
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        tmp.write_text(json.dumps(payload, indent=0), encoding="utf-8")
+        tmp.replace(self.path)
+        self._dirty = False

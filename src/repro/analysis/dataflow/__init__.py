@@ -1,0 +1,31 @@
+"""Dataflow static-analysis core: CFGs, a worklist solver, lattices.
+
+This package is the machinery under blitzlint's v2 rule families
+(D2 rng-taint, U2 units-flow, C2 coin-flow, P1 parallel-safety in
+``repro.analysis.passes``); it knows nothing about any specific rule.
+"""
+
+from repro.analysis.dataflow.cfg import (
+    CFG,
+    BasicBlock,
+    FunctionUnit,
+    build_cfg,
+    functions_in,
+    iter_acyclic_paths,
+)
+from repro.analysis.dataflow.lattice import Taint, TaintEnv, UnitEnv
+from repro.analysis.dataflow.solver import FixpointDiverged, solve_forward
+
+__all__ = [
+    "CFG",
+    "BasicBlock",
+    "FixpointDiverged",
+    "FunctionUnit",
+    "Taint",
+    "TaintEnv",
+    "UnitEnv",
+    "build_cfg",
+    "functions_in",
+    "iter_acyclic_paths",
+    "solve_forward",
+]

@@ -1,0 +1,306 @@
+"""Per-function control-flow graphs over Python AST.
+
+A :class:`CFG` is a set of :class:`BasicBlock` nodes holding whole
+``ast.stmt`` objects (expressions inside one statement are treated as
+atomic — fine-grained enough for every blitzlint pass).  The builder
+understands ``if``/``while``/``for``/``try``/``with``, ``break``,
+``continue``, ``return`` and ``raise``; nested function definitions are
+*not* inlined — they appear as plain statements in the enclosing graph
+and get their own CFG via :func:`functions_in`.
+
+Loops produce back edges; :func:`iter_acyclic_paths` enumerates
+entry→exit paths ignoring back edges (each loop body is traversed at
+most once per path), with a hard cap so pathological functions degrade
+to "analysis gave up" rather than exponential blowup.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+__all__ = [
+    "CFG",
+    "BasicBlock",
+    "FunctionUnit",
+    "build_cfg",
+    "functions_in",
+    "iter_acyclic_paths",
+]
+
+
+@dataclass
+class BasicBlock:
+    """A straight-line run of statements with single entry/exit."""
+
+    bid: int
+    stmts: List[ast.stmt] = field(default_factory=list)
+    succs: List[int] = field(default_factory=list)
+    preds: List[int] = field(default_factory=list)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kinds = ",".join(type(s).__name__ for s in self.stmts)
+        return f"<B{self.bid} [{kinds}] -> {self.succs}>"
+
+
+@dataclass
+class CFG:
+    """Control-flow graph of one function body."""
+
+    blocks: Dict[int, BasicBlock]
+    entry: int
+    exit: int
+
+    def block(self, bid: int) -> BasicBlock:
+        return self.blocks[bid]
+
+    def rpo(self) -> List[int]:
+        """Reverse post-order from the entry (good worklist seed order)."""
+        seen = set()
+        order: List[int] = []
+
+        def visit(bid: int) -> None:
+            # Iterative DFS; recursion would overflow on long chains.
+            stack: List[Tuple[int, int]] = [(bid, 0)]
+            while stack:
+                node, idx = stack.pop()
+                if idx == 0:
+                    if node in seen:
+                        continue
+                    seen.add(node)
+                succ = self.blocks[node].succs
+                if idx < len(succ):
+                    stack.append((node, idx + 1))
+                    nxt = succ[idx]
+                    if nxt not in seen:
+                        stack.append((nxt, 0))
+                else:
+                    order.append(node)
+
+        visit(self.entry)
+        order.reverse()
+        return order
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.blocks: Dict[int, BasicBlock] = {}
+        self._next = 0
+
+    def new_block(self) -> BasicBlock:
+        b = BasicBlock(self._next)
+        self.blocks[self._next] = b
+        self._next += 1
+        return b
+
+    def edge(self, src: BasicBlock, dst: BasicBlock) -> None:
+        if dst.bid not in src.succs:
+            src.succs.append(dst.bid)
+            dst.preds.append(src.bid)
+
+    # The walker threads the "current" block through the statement list
+    # and returns the block control falls out of (None if unreachable).
+    def walk_body(
+        self,
+        body: List[ast.stmt],
+        current: Optional[BasicBlock],
+        exit_block: BasicBlock,
+        loop_head: Optional[BasicBlock],
+        loop_after: Optional[BasicBlock],
+    ) -> Optional[BasicBlock]:
+        for stmt in body:
+            if current is None:
+                # Dead code after return/raise/break still gets a block
+                # so passes can see it, but no edge leads into it.
+                current = self.new_block()
+            if isinstance(stmt, ast.If):
+                current.stmts.append(stmt)
+                after = self.new_block()
+                then = self.new_block()
+                self.edge(current, then)
+                t_out = self.walk_body(
+                    stmt.body, then, exit_block, loop_head, loop_after
+                )
+                if t_out is not None:
+                    self.edge(t_out, after)
+                if stmt.orelse:
+                    els = self.new_block()
+                    self.edge(current, els)
+                    e_out = self.walk_body(
+                        stmt.orelse, els, exit_block, loop_head, loop_after
+                    )
+                    if e_out is not None:
+                        self.edge(e_out, after)
+                else:
+                    self.edge(current, after)
+                current = after
+            elif isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+                head = self.new_block()
+                head.stmts.append(stmt)
+                self.edge(current, head)
+                after = self.new_block()
+                body_entry = self.new_block()
+                self.edge(head, body_entry)
+                self.edge(head, after)  # zero-iteration / loop-exit edge
+                b_out = self.walk_body(
+                    stmt.body, body_entry, exit_block, head, after
+                )
+                if b_out is not None:
+                    self.edge(b_out, head)  # back edge
+                if stmt.orelse:
+                    # for/while else runs on normal exhaustion; model it
+                    # on the exit edge path.
+                    els = self.new_block()
+                    head.succs.remove(after.bid)
+                    after.preds.remove(head.bid)
+                    self.edge(head, els)
+                    e_out = self.walk_body(
+                        stmt.orelse, els, exit_block, loop_head, loop_after
+                    )
+                    if e_out is not None:
+                        self.edge(e_out, after)
+                current = after
+            elif isinstance(stmt, ast.Try):
+                current.stmts.append(stmt)
+                after = self.new_block()
+                body_entry = self.new_block()
+                self.edge(current, body_entry)
+                b_out = self.walk_body(
+                    stmt.body, body_entry, exit_block, loop_head, loop_after
+                )
+                # Any statement in the try body may raise into a handler;
+                # approximate with an edge from the try entry and from the
+                # body exit to each handler.
+                handler_outs: List[Optional[BasicBlock]] = []
+                for handler in stmt.handlers:
+                    h_entry = self.new_block()
+                    h_entry.stmts.append(handler)
+                    self.edge(body_entry, h_entry)
+                    if b_out is not None:
+                        self.edge(b_out, h_entry)
+                    h_out = self.walk_body(
+                        handler.body, h_entry, exit_block,
+                        loop_head, loop_after,
+                    )
+                    handler_outs.append(h_out)
+                # orelse runs after a clean body
+                o_out = b_out
+                if stmt.orelse and b_out is not None:
+                    els = self.new_block()
+                    self.edge(b_out, els)
+                    o_out = self.walk_body(
+                        stmt.orelse, els, exit_block, loop_head, loop_after
+                    )
+                tails = [o_out] + handler_outs
+                if stmt.finalbody:
+                    fin = self.new_block()
+                    for t in tails:
+                        if t is not None:
+                            self.edge(t, fin)
+                    f_out = self.walk_body(
+                        stmt.finalbody, fin, exit_block, loop_head,
+                        loop_after,
+                    )
+                    if f_out is not None:
+                        self.edge(f_out, after)
+                else:
+                    for t in tails:
+                        if t is not None:
+                            self.edge(t, after)
+                current = after if after.preds else None
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                current.stmts.append(stmt)
+                inner = self.new_block()
+                self.edge(current, inner)
+                w_out = self.walk_body(
+                    stmt.body, inner, exit_block, loop_head, loop_after
+                )
+                after = self.new_block()
+                if w_out is not None:
+                    self.edge(w_out, after)
+                current = after
+            elif isinstance(stmt, (ast.Return, ast.Raise)):
+                current.stmts.append(stmt)
+                self.edge(current, exit_block)
+                current = None
+            elif isinstance(stmt, ast.Break):
+                current.stmts.append(stmt)
+                if loop_after is not None:
+                    self.edge(current, loop_after)
+                current = None
+            elif isinstance(stmt, ast.Continue):
+                current.stmts.append(stmt)
+                if loop_head is not None:
+                    self.edge(current, loop_head)
+                current = None
+            else:
+                # Plain statement (incl. nested FunctionDef/ClassDef,
+                # Assign, Expr, Assert, Global, ...): straight line.
+                current.stmts.append(stmt)
+        return current
+
+
+def build_cfg(fn: "ast.FunctionDef | ast.AsyncFunctionDef") -> CFG:
+    """Build the CFG of one function's body."""
+    b = _Builder()
+    entry = b.new_block()
+    exit_block = b.new_block()
+    out = b.walk_body(fn.body, entry, exit_block, None, None)
+    if out is not None:
+        b.edge(out, exit_block)
+    return CFG(blocks=b.blocks, entry=entry.bid, exit=exit_block.bid)
+
+
+@dataclass
+class FunctionUnit:
+    """One analyzable function: its AST node, qualname, and nesting."""
+
+    node: "ast.FunctionDef | ast.AsyncFunctionDef"
+    qualname: str
+    #: Qualname of the directly enclosing function ("" at module level).
+    parent: str
+    depth: int
+
+
+def functions_in(tree: ast.AST) -> List[FunctionUnit]:
+    """All function definitions in ``tree``, outermost first."""
+    units: List[FunctionUnit] = []
+
+    def visit(node: ast.AST, prefix: str, parent: str, depth: int) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{prefix}{child.name}" if prefix else child.name
+                units.append(FunctionUnit(child, qual, parent, depth))
+                visit(child, qual + ".", qual, depth + 1)
+            elif isinstance(child, ast.ClassDef):
+                cprefix = f"{prefix}{child.name}." if prefix else child.name + "."
+                visit(child, cprefix, parent, depth)
+            else:
+                visit(child, prefix, parent, depth)
+
+    visit(tree, "", "", 0)
+    return units
+
+
+def iter_acyclic_paths(
+    cfg: CFG, limit: int = 256
+) -> Iterator[List[BasicBlock]]:
+    """Enumerate entry→exit paths, skipping back edges.
+
+    Yields at most ``limit`` paths; a function with more distinct
+    acyclic paths than that yields what fits (callers should treat a
+    truncated enumeration as "analysis incomplete", not "verified").
+    """
+    count = 0
+    stack: List[Tuple[int, List[int]]] = [(cfg.entry, [cfg.entry])]
+    while stack and count < limit:
+        bid, path = stack.pop()
+        if bid == cfg.exit:
+            count += 1
+            yield [cfg.blocks[p] for p in path]
+            continue
+        for succ in reversed(cfg.blocks[bid].succs):
+            if succ in path:  # back edge (or any revisit): skip
+                continue
+            stack.append((succ, path + [succ]))

@@ -1,0 +1,103 @@
+"""Abstract domains for the blitzlint dataflow passes.
+
+Two concrete domains cover every current rule family:
+
+* :class:`TaintEnv` — maps variable names to *sets* of taint labels
+  (powerset lattice; join = pointwise union).  Used by D2 to track
+  values derived from nondeterministic sources.
+* :class:`UnitEnv` — maps variable names to a single unit tag
+  (flat lattice; join keeps a binding only when both sides agree, so
+  a merged unit is never *guessed*).  Used by U2.
+
+Both are small immutable-ish wrappers over dicts with the operations
+the generic worklist solver needs: ``copy``, ``join`` and ``==``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional
+
+__all__ = ["Taint", "TaintEnv", "UnitEnv"]
+
+
+@dataclass(frozen=True)
+class Taint:
+    """One taint label: what kind of entropy, introduced where."""
+
+    kind: str  # "rng", "wall-clock", "id", "iter-order", ...
+    line: int
+    desc: str
+
+    def __str__(self) -> str:
+        return f"{self.desc} (line {self.line})"
+
+
+class TaintEnv:
+    """Variable -> set-of-taints environment (powerset lattice)."""
+
+    __slots__ = ("vars",)
+
+    def __init__(
+        self, vars: Optional[Dict[str, FrozenSet[Taint]]] = None
+    ) -> None:
+        self.vars: Dict[str, FrozenSet[Taint]] = dict(vars or {})
+
+    def copy(self) -> "TaintEnv":
+        return TaintEnv(self.vars)
+
+    def get(self, name: str) -> FrozenSet[Taint]:
+        return self.vars.get(name, frozenset())
+
+    def set(self, name: str, taints: FrozenSet[Taint]) -> None:
+        if taints:
+            self.vars[name] = taints
+        else:
+            self.vars.pop(name, None)
+
+    def join(self, other: "TaintEnv") -> "TaintEnv":
+        merged = dict(self.vars)
+        for name, taints in other.vars.items():
+            merged[name] = merged.get(name, frozenset()) | taints
+        return TaintEnv(merged)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, TaintEnv) and self.vars == other.vars
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TaintEnv({self.vars!r})"
+
+
+@dataclass
+class UnitEnv:
+    """Variable -> unit-tag environment (flat lattice per variable).
+
+    A binding is only present when the unit is *known*; ``join`` drops
+    any variable the two branches disagree on, which keeps the pass
+    from fabricating units at merge points.
+    """
+
+    vars: Dict[str, str] = field(default_factory=dict)
+
+    def copy(self) -> "UnitEnv":
+        return UnitEnv(dict(self.vars))
+
+    def get(self, name: str) -> Optional[str]:
+        return self.vars.get(name)
+
+    def set(self, name: str, unit: Optional[str]) -> None:
+        if unit is None:
+            self.vars.pop(name, None)
+        else:
+            self.vars[name] = unit
+
+    def join(self, other: "UnitEnv") -> "UnitEnv":
+        merged = {
+            name: unit
+            for name, unit in self.vars.items()
+            if other.vars.get(name) == unit
+        }
+        return UnitEnv(merged)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, UnitEnv) and self.vars == other.vars

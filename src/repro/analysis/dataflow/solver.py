@@ -1,0 +1,94 @@
+"""Generic forward worklist fixpoint solver over a :class:`~repro.analysis.dataflow.cfg.CFG`.
+
+The solver is deliberately tiny: a pass supplies an initial abstract
+state, a ``transfer(block, state) -> state`` function, and the state
+type's own ``join``/``copy``/``==``.  Iteration order is reverse
+post-order, which converges in one or two sweeps for reducible graphs
+(every CFG Python syntax can produce is reducible).
+
+A hard iteration cap guards against a non-monotone transfer function
+looping forever — hitting it raises :class:`FixpointDiverged` so the
+bug is loud instead of a silent hang in CI.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, TypeVar
+
+from repro.analysis.dataflow.cfg import CFG, BasicBlock
+
+__all__ = ["FixpointDiverged", "solve_forward"]
+
+S = TypeVar("S")
+
+
+class FixpointDiverged(RuntimeError):
+    """The worklist did not stabilize within the iteration budget."""
+
+
+def solve_forward(
+    cfg: CFG,
+    init: S,
+    transfer: Callable[[BasicBlock, S], S],
+    join: Callable[[S, S], S],
+    copy: Callable[[S], S],
+    max_visits_per_block: int = 64,
+) -> Dict[int, S]:
+    """Run to fixpoint; returns the abstract state at each block *entry*.
+
+    ``transfer`` must not mutate its input state (take a copy first or
+    return a fresh state).  ``init`` seeds the entry block.
+    """
+    order = cfg.rpo()
+    position = {bid: i for i, bid in enumerate(order)}
+    entry_state: Dict[int, S] = {cfg.entry: copy(init)}
+    out_state: Dict[int, S] = {}
+    visits: Dict[int, int] = {}
+    budget = max_visits_per_block * max(1, len(cfg.blocks))
+
+    # Worklist keyed by RPO position for deterministic iteration order.
+    worklist = sorted(cfg.blocks, key=lambda b: position.get(b, len(order)))
+    pending = set(worklist)
+    total = 0
+    while worklist:
+        bid = worklist.pop(0)
+        pending.discard(bid)
+        total += 1
+        if total > budget:
+            raise FixpointDiverged(
+                f"no fixpoint after {total} block visits "
+                f"({len(cfg.blocks)} blocks)"
+            )
+        visits[bid] = visits.get(bid, 0) + 1
+        block = cfg.blocks[bid]
+        preds = [p for p in block.preds if p in out_state]
+        if bid == cfg.entry:
+            state = copy(init)
+            for p in preds:  # back edges into the entry are possible
+                state = join(state, out_state[p])
+        elif preds:
+            state = copy(out_state[preds[0]])
+            for p in preds[1:]:
+                state = join(state, out_state[p])
+        elif bid in entry_state:
+            state = copy(entry_state[bid])
+        else:
+            # Unreachable block: analyze from the initial state so its
+            # statements are still checked.
+            state = copy(init)
+        entry_state[bid] = copy(state)
+        new_out = transfer(block, state)
+        if bid not in out_state or not (out_state[bid] == new_out):
+            out_state[bid] = new_out
+            for succ in block.succs:
+                if succ not in pending:
+                    pending.add(succ)
+                    # Insert keeping RPO order (small graphs; O(n) fine).
+                    pos = position.get(succ, len(order))
+                    idx = 0
+                    while idx < len(worklist) and position.get(
+                        worklist[idx], len(order)
+                    ) < pos:
+                        idx += 1
+                    worklist.insert(idx, succ)
+    return entry_state

@@ -1,0 +1,51 @@
+"""Shared finding/rule vocabulary for blitzlint.
+
+Kept in its own module so the rule passes (``repro.analysis.passes``),
+the dataflow core (``repro.analysis.dataflow``), and the front end
+(``repro.analysis.lint``) can all depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["Finding", "LintError", "RULES"]
+
+
+class LintError(RuntimeError):
+    """Raised when a target cannot be linted (bad path, syntax error)."""
+
+
+#: code -> short rule name, the stable public catalog.
+RULES: Dict[str, str] = {
+    "D1": "determinism",
+    "D2": "rng-taint",
+    "C1": "coin-integrality",
+    "C2": "coin-flow",
+    "S1": "state-discipline",
+    "U1": "units",
+    "U2": "units-flow",
+    "P1": "parallel-safety",
+}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "rule": RULES[self.code],
+            "message": self.message,
+        }

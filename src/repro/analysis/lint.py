@@ -10,41 +10,69 @@ under ``repro`` and enforces the coding rules that keep them true.
 
 Rule catalog (see ``docs/STATIC_ANALYSIS.md`` for the full rationale):
 
-``D1`` determinism
+``D1`` determinism (syntactic)
     No wall-clock or unseeded randomness anywhere outside
     ``repro.sim.rng``, and no iteration over unordered ``set`` /
-    ``dict.keys()`` results in the event-scheduling packages
-    (``repro.core``, ``repro.noc``, ``repro.sim``).
-``C1`` coin integrality
+    ``dict.keys()`` results in the event-scheduling packages.
+``D2`` rng-taint (dataflow)
+    Values *derived from* entropy sources (unseeded randomness, wall
+    clock, ``id()``, hash-ordered iteration) must not flow into sim
+    state, seeds, scheduling delays, or hashes — anywhere.
+``C1`` coin integrality (syntactic)
     No float literals, ``/`` true division, or float ``==``/``!=``
     comparisons in ``repro.core.coins`` or the delta-computation
     helpers of ``repro.core.engine``.
-``S1`` state discipline
-    Coin registers (``*.coins.has`` / ``*.coins.max``) may only be
-    mutated by the engine's blessed mutation points, never directly
-    from a packet/event handler.
-``U1`` units
+``C2`` coin-flow (dataflow)
+    Every control-flow path through a coin-moving function must be
+    delta-balanced (Σhas + in_flight + lost_pending conserved).
+``S1`` state discipline (syntactic)
+    Coin registers may only be mutated by the engine's blessed
+    mutation points, never directly from a packet/event handler.
+``U1`` units (syntactic)
     Public functions in ``repro.core`` / ``repro.noc`` whose name or
     docstring mentions time must state the unit (cycles or seconds).
+``U2`` units-flow (dataflow)
+    Unit tags (mW/J/cycles/coins/…) propagate through assignments and
+    arithmetic; mixed-unit adds and unit-contradicting returns flag.
+``P1`` parallel-safety (syntactic+scope)
+    No module-level mutable state, unpicklable executor submissions,
+    or fork-unsafe patterns in campaign-executed packages.
 
 Suppression: append ``# blitzlint: disable=<code>[,<code>...]`` (or
-``disable=all``) to the offending line.  Files outside ``src/repro``
-may pin their effective module identity for rule scoping with a
-``# blitzlint: scope=<dotted.module>`` comment on any line.
+``disable=all``) to the offending line, or put the same comment alone
+on the line directly above it.  A whole intentional-deviation file
+(e.g. a benchmark that *measures* wall time) may carry
+``# blitzlint: disable-file=<code>[,<code>...]``.  Files outside
+``src/repro`` may pin their effective module identity for rule scoping
+with a ``# blitzlint: scope=<dotted.module>`` comment on any line.
 """
 
 from __future__ import annotations
 
 import ast
+import fnmatch
 import json
 import re
-from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.astutil import (
+    Context as _Context,
+    RNG_MODULE,
+    SEEDED_RNG_CTORS as _SEEDED_RNG_CTORS,
+    WALL_CLOCK_CALLS as _WALL_CLOCK_CALLS,
+    build_function_map as _build_function_map,
+    dotted_name as _dotted,
+    in_scope as _in_scope,
+    unordered_iterable as _unordered_iterable,
+)
+from repro.analysis.findings import Finding, LintError, RULES
+from repro.analysis.passes import check_c2, check_d2, check_p1, check_u2
 
 __all__ = [
     "Finding",
     "LintError",
+    "LINT_VERSION",
     "RULES",
     "lint_file",
     "lint_paths",
@@ -53,72 +81,19 @@ __all__ = [
     "render_text",
 ]
 
-
-class LintError(RuntimeError):
-    """Raised when a target cannot be linted (bad path, syntax error)."""
-
-
-@dataclass(frozen=True)
-class Finding:
-    """One rule violation at a source location."""
-
-    path: str
-    line: int
-    col: int
-    code: str
-    message: str
-
-    def to_dict(self) -> Dict[str, object]:
-        return {
-            "path": self.path,
-            "line": self.line,
-            "col": self.col,
-            "code": self.code,
-            "rule": RULES[self.code],
-            "message": self.message,
-        }
-
-
-#: code -> short rule name, the stable public catalog.
-RULES: Dict[str, str] = {
-    "D1": "determinism",
-    "C1": "coin-integrality",
-    "S1": "state-discipline",
-    "U1": "units",
-}
+#: Bumped whenever any rule's behavior changes; part of the result-cache
+#: key so stale cached findings can never survive a linter upgrade.
+LINT_VERSION = 2
 
 _DISABLE_RE = re.compile(
     r"#\s*blitzlint:\s*disable=([A-Za-z0-9_,\s]+|all)"
 )
+_DISABLE_FILE_RE = re.compile(
+    r"#\s*blitzlint:\s*disable-file=([A-Za-z0-9_,\s]+|all)"
+)
 _SCOPE_RE = re.compile(r"#\s*blitzlint:\s*scope=([A-Za-z0-9_.]+)")
 
 # ---------------------------------------------------------------- D1 tables
-#: Module allowed to talk to the RNG machinery directly.
-RNG_MODULE = "repro.sim.rng"
-#: Wall-clock calls that break seed-only reproducibility.
-_WALL_CLOCK_CALLS = {
-    ("time", "time"),
-    ("time", "time_ns"),
-    ("time", "monotonic"),
-    ("time", "monotonic_ns"),
-    ("time", "perf_counter"),
-    ("time", "perf_counter_ns"),
-    ("datetime", "now"),
-    ("datetime", "utcnow"),
-    ("datetime", "today"),
-    ("date", "today"),
-}
-#: np.random.* constructors that take an explicit seed and are fine.
-_SEEDED_RNG_CTORS = {
-    "Generator",
-    "BitGenerator",
-    "SeedSequence",
-    "PCG64",
-    "PCG64DXSM",
-    "Philox",
-    "SFC64",
-    "MT19937",
-}
 #: Packages whose event-scheduling code must not iterate unordered sets.
 #: repro.faults is included: fault decisions are event-scheduling inputs,
 #: so hash-order iteration there would break run reproducibility too.
@@ -169,7 +144,17 @@ _S1_SCOPES = (
 _S1_BLESSED_FUNCS = {"_apply_delta", "set_max", "__init__", "__post_init__"}
 
 # ---------------------------------------------------------------- U1 tables
-_U1_SCOPES = ("repro.core", "repro.noc")
+#: v2 widened U1 beyond core/noc: the simulator kernel and trace APIs
+#: (cycles) and the thermal/power models (seconds) are where a missing
+#: unit statement actually bites — cycles-vs-seconds confusion at the
+#: sim/physics boundary is the classic reproduction bug.
+_U1_SCOPES = (
+    "repro.core",
+    "repro.noc",
+    "repro.sim",
+    "repro.power",
+    "repro.thermal",
+)
 _U1_TRIGGERS = re.compile(
     r"\b(time|latency|delay|duration|timeout|interval|period)\b", re.I
 )
@@ -178,50 +163,6 @@ _U1_UNITS = re.compile(
     r"microsecond|microseconds|millisecond|milliseconds)\b",
     re.I,
 )
-
-
-def _in_scope(module: str, scopes: Sequence[str]) -> bool:
-    return any(
-        module == s or module.startswith(s + ".") for s in scopes
-    )
-
-
-def _dotted(node: ast.AST) -> Optional[str]:
-    """Render an attribute/name chain like ``np.random.default_rng``."""
-    parts: List[str] = []
-    while isinstance(node, ast.Attribute):
-        parts.append(node.attr)
-        node = node.value
-    if isinstance(node, ast.Name):
-        parts.append(node.id)
-        return ".".join(reversed(parts))
-    return None
-
-
-@dataclass
-class _Context:
-    """Everything a rule needs to know about the module being linted."""
-
-    path: str
-    module: str
-    tree: ast.Module
-    #: node -> name of the nearest enclosing function, "" at module level.
-    func_of: Dict[ast.AST, str]
-
-
-def _build_function_map(tree: ast.Module) -> Dict[ast.AST, str]:
-    func_of: Dict[ast.AST, str] = {}
-
-    def visit(node: ast.AST, current: str) -> None:
-        func_of[node] = current
-        for child in ast.iter_child_nodes(node):
-            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                visit(child, child.name)
-            else:
-                visit(child, current)
-
-    visit(tree, "")
-    return func_of
 
 
 # ===================================================================== rules
@@ -286,19 +227,6 @@ def _check_d1(ctx: _Context) -> Iterator[Finding]:
                     "iterate a list or wrap in sorted() so event order "
                     "cannot depend on hash order",
                 )
-
-
-def _unordered_iterable(node: ast.expr) -> Optional[str]:
-    if isinstance(node, (ast.Set, ast.SetComp)):
-        return "a set literal"
-    if isinstance(node, ast.Call):
-        if isinstance(node.func, ast.Name) and node.func.id in (
-            "set", "frozenset"
-        ):
-            return f"a `{node.func.id}(...)` result"
-        if isinstance(node.func, ast.Attribute) and node.func.attr == "keys":
-            return "a `.keys()` view"
-    return None
 
 
 def _is_float_node(node: ast.expr) -> bool:
@@ -415,9 +343,13 @@ def _check_u1(ctx: _Context) -> Iterator[Finding]:
 
 _CHECKS = {
     "D1": _check_d1,
+    "D2": check_d2,
     "C1": _check_c1,
+    "C2": check_c2,
     "S1": _check_s1,
     "U1": _check_u1,
+    "U2": check_u2,
+    "P1": check_p1,
 }
 
 
@@ -426,7 +358,7 @@ def _module_name_for(path: Path) -> str:
     """Map a file path to its dotted module name under ``repro``.
 
     Files outside a ``repro`` package root get an empty module name (only
-    the globally scoped D1 checks apply) unless they carry a
+    the globally scoped D1/D2 checks apply) unless they carry a
     ``# blitzlint: scope=...`` pragma.
     """
     parts = list(path.with_suffix("").parts)
@@ -439,24 +371,62 @@ def _module_name_for(path: Path) -> str:
     return ""
 
 
-def _suppressions(source: str) -> Tuple[Dict[int, set], Optional[str]]:
-    """Per-line suppressed codes plus an optional scope override."""
-    suppressed: Dict[int, set] = {}
+def _parse_codes(raw: str) -> Set[str]:
+    if raw.strip() == "all":
+        return set(RULES)
+    return {c.strip().upper() for c in raw.split(",") if c.strip()}
+
+
+def _comment_lines(source: str) -> Iterator[Tuple[int, str, bool]]:
+    """Yield (lineno, comment text, standalone?) for real comment tokens.
+
+    Tokenizing (rather than regex-scanning raw lines) keeps pragma text
+    inside string literals inert — test files embed lint snippets as
+    strings and must not re-scope or suppress their *own* findings.
+    Falls back to a conservative line scan if tokenization fails.
+    """
+    import io
+    import tokenize
+
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type == tokenize.COMMENT:
+                standalone = tok.line[: tok.start[1]].strip() == ""
+                yield tok.start[0], tok.string, standalone
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            if "#" in line:
+                idx = line.index("#")
+                yield lineno, line[idx:], line[:idx].strip() == ""
+
+
+def _suppressions(
+    source: str,
+) -> Tuple[Dict[int, Set[str]], Optional[str], Set[str]]:
+    """(per-line suppressed codes, scope override, whole-file codes).
+
+    A ``disable=`` pragma on a line suppresses that line; the same
+    pragma *standalone* on a comment-only line also suppresses the
+    next line (for statements too long to carry a trailing comment).
+    """
+    suppressed: Dict[int, Set[str]] = {}
     scope: Optional[str] = None
-    for lineno, line in enumerate(source.splitlines(), start=1):
-        m = _DISABLE_RE.search(line)
-        if m:
-            raw = m.group(1).strip()
-            if raw == "all":
-                suppressed[lineno] = set(RULES)
-            else:
-                suppressed[lineno] = {
-                    c.strip().upper() for c in raw.split(",") if c.strip()
-                }
-        s = _SCOPE_RE.search(line)
+    file_codes: Set[str] = set()
+    for lineno, comment, standalone in _comment_lines(source):
+        fm = _DISABLE_FILE_RE.search(comment)
+        if fm:
+            file_codes |= _parse_codes(fm.group(1))
+        m = _DISABLE_RE.search(comment)
+        if m and not fm:
+            codes = _parse_codes(m.group(1))
+            suppressed.setdefault(lineno, set()).update(codes)
+            if standalone:
+                # standalone pragma: also covers the following line
+                suppressed.setdefault(lineno + 1, set()).update(codes)
+        s = _SCOPE_RE.search(comment)
         if s:
             scope = s.group(1)
-    return suppressed, scope
+    return suppressed, scope, file_codes
 
 
 def lint_source(
@@ -471,7 +441,7 @@ def lint_source(
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
         raise LintError(f"{path}: syntax error: {exc}") from exc
-    suppressed, scope = _suppressions(source)
+    suppressed, scope, file_codes = _suppressions(source)
     if module is None:
         module = scope or _module_name_for(Path(path))
     ctx = _Context(
@@ -487,6 +457,8 @@ def lint_source(
     findings: List[Finding] = []
     for code in selected:
         for f in _CHECKS[code](ctx):
+            if f.code in file_codes:
+                continue
             if f.code in suppressed.get(f.line, set()):
                 continue
             findings.append(f)
@@ -515,10 +487,28 @@ def _iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
             raise LintError(f"not a Python file or directory: {p}")
 
 
+def _excluded(path: Path, patterns: Sequence[str]) -> bool:
+    text = path.as_posix()
+    return any(
+        fnmatch.fnmatch(text, pat) or fnmatch.fnmatch(path.name, pat)
+        for pat in patterns
+    )
+
+
 def lint_paths(
-    paths: Sequence[str], *, rules: Optional[Sequence[str]] = None
+    paths: Sequence[str],
+    *,
+    rules: Optional[Sequence[str]] = None,
+    exclude: Sequence[str] = (),
+    cache: Optional["ResultCache"] = None,
 ) -> List[Finding]:
-    """Lint every ``*.py`` file under the given files/directories."""
+    """Lint every ``*.py`` file under the given files/directories.
+
+    ``exclude`` holds fnmatch globs applied to the posix path and the
+    bare filename.  ``cache``, when given, is consulted per file keyed
+    on content hash + rule selection + linter version (see
+    ``repro.analysis.cache``).
+    """
     resolved = [Path(p) for p in paths]
     missing = [p for p in resolved if not p.exists()]
     if missing:
@@ -527,7 +517,23 @@ def lint_paths(
         )
     findings: List[Finding] = []
     for f in _iter_python_files(resolved):
-        findings.extend(lint_file(f, rules=rules))
+        if _excluded(f, exclude):
+            continue
+        if cache is not None:
+            try:
+                source = f.read_text(encoding="utf-8")
+            except OSError as exc:
+                raise LintError(f"cannot read {f}: {exc}") from exc
+            key = cache.key_for(source, rules)
+            hit = cache.get(str(f), key)
+            if hit is not None:
+                findings.extend(hit)
+                continue
+            result = lint_source(source, str(f), rules=rules)
+            cache.put(str(f), key, result)
+            findings.extend(result)
+        else:
+            findings.extend(lint_file(f, rules=rules))
     return findings
 
 
@@ -557,3 +563,7 @@ def render_json(findings: Sequence[Finding]) -> str:
         },
         indent=2,
     )
+
+
+# Imported late to avoid a cycle (cache stores Finding objects).
+from repro.analysis.cache import ResultCache  # noqa: E402  (cycle guard)

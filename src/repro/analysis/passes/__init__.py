@@ -1,0 +1,13 @@
+"""blitzlint v2 rule families, built on ``repro.analysis.dataflow``.
+
+Each pass exports ``check_<code>(ctx) -> Iterator[Finding]`` with the
+same contract as the syntactic rules in ``repro.analysis.lint``; the
+front end registers them in its ``_CHECKS`` table.
+"""
+
+from repro.analysis.passes.c2 import check_c2
+from repro.analysis.passes.d2 import check_d2
+from repro.analysis.passes.p1 import check_p1
+from repro.analysis.passes.u2 import check_u2
+
+__all__ = ["check_c2", "check_d2", "check_p1", "check_u2"]

@@ -1,0 +1,321 @@
+"""SARIF 2.1.0 export for blitzlint findings.
+
+SARIF (Static Analysis Results Interchange Format) is the OASIS
+standard consumed by GitHub code scanning, VS Code's SARIF viewer, and
+most CI dashboards.  ``to_sarif`` renders a finding list as a
+single-run SARIF log: one ``reportingDescriptor`` per blitzlint rule
+(so viewers can show the rule catalog), one ``result`` per finding
+with a physical location and the stable blitzlint fingerprint in
+``partialFingerprints`` (so re-runs correlate results across line
+drift exactly like the baseline gate does).
+
+``validate_sarif`` checks a parsed log against the subset of the
+2.1.0 schema we emit.  When ``jsonschema`` is importable it validates
+against the vendored schema fragment below; otherwise it falls back to
+the same structural checks written by hand, so the test suite does not
+depend on an optional package.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.baseline import fingerprint
+from repro.analysis.findings import Finding, RULES
+
+__all__ = ["SARIF_SCHEMA", "SARIF_VERSION", "to_sarif", "validate_sarif"]
+
+SARIF_VERSION = "2.1.0"
+_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: Rule catalog metadata beyond the one-line name in ``RULES``.
+_RULE_HELP = {
+    "D1": "Syntactic determinism: no wall clock, no unseeded RNG, no "
+          "unordered iteration in event-scheduling code.",
+    "D2": "RNG-taint dataflow: entropy-derived values must not reach "
+          "sim state, seeds, scheduling delays, or hashes.",
+    "C1": "Coin integrality: exchange arithmetic stays in exact "
+          "integers (no float literals, `/`, or float equality).",
+    "C2": "Coin-flow balance: every path through a coin-moving "
+          "function must be delta-balanced.",
+    "S1": "State discipline: coin registers change only through the "
+          "engine's blessed mutation points.",
+    "U1": "Units docstrings: public time-related APIs state their "
+          "unit (cycles or seconds).",
+    "U2": "Units inference: unit tags propagate through dataflow; "
+          "mixed-unit arithmetic and unit-dropping returns flag.",
+    "P1": "Parallel safety: campaign-executed code avoids mutable "
+          "module state, unpicklable submissions, and fork hazards.",
+}
+
+#: Trimmed SARIF 2.1.0 schema covering exactly what ``to_sarif`` emits.
+#: Vendored (no network fetch) and intentionally strict about the
+#: pieces we rely on: version string, run/tool/driver shape, and the
+#: ruleId/message/locations layout of each result.
+SARIF_SCHEMA: Dict = {
+    "$schema": "http://json-schema.org/draft-07/schema#",
+    "type": "object",
+    "required": ["version", "runs"],
+    "properties": {
+        "version": {"const": "2.1.0"},
+        "$schema": {"type": "string"},
+        "runs": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["tool", "results"],
+                "properties": {
+                    "tool": {
+                        "type": "object",
+                        "required": ["driver"],
+                        "properties": {
+                            "driver": {
+                                "type": "object",
+                                "required": ["name"],
+                                "properties": {
+                                    "name": {"type": "string"},
+                                    "version": {"type": "string"},
+                                    "informationUri": {"type": "string"},
+                                    "rules": {
+                                        "type": "array",
+                                        "items": {
+                                            "type": "object",
+                                            "required": ["id"],
+                                            "properties": {
+                                                "id": {"type": "string"},
+                                                "name": {"type": "string"},
+                                            },
+                                        },
+                                    },
+                                },
+                            }
+                        },
+                    },
+                    "results": {
+                        "type": "array",
+                        "items": {
+                            "type": "object",
+                            "required": ["ruleId", "message", "locations"],
+                            "properties": {
+                                "ruleId": {"type": "string"},
+                                "level": {
+                                    "enum": [
+                                        "none", "note", "warning", "error"
+                                    ]
+                                },
+                                "message": {
+                                    "type": "object",
+                                    "required": ["text"],
+                                    "properties": {
+                                        "text": {"type": "string"}
+                                    },
+                                },
+                                "locations": {
+                                    "type": "array",
+                                    "minItems": 1,
+                                    "items": {
+                                        "type": "object",
+                                        "required": ["physicalLocation"],
+                                        "properties": {
+                                            "physicalLocation": {
+                                                "type": "object",
+                                                "required": [
+                                                    "artifactLocation",
+                                                    "region",
+                                                ],
+                                                "properties": {
+                                                    "artifactLocation": {
+                                                        "type": "object",
+                                                        "required": ["uri"],
+                                                    },
+                                                    "region": {
+                                                        "type": "object",
+                                                        "required": [
+                                                            "startLine"
+                                                        ],
+                                                        "properties": {
+                                                            "startLine": {
+                                                                "type":
+                                                                "integer",
+                                                                "minimum": 1,
+                                                            },
+                                                            "startColumn": {
+                                                                "type":
+                                                                "integer",
+                                                                "minimum": 1,
+                                                            },
+                                                        },
+                                                    },
+                                                },
+                                            }
+                                        },
+                                    },
+                                },
+                                "partialFingerprints": {"type": "object"},
+                            },
+                        },
+                    },
+                },
+            },
+        },
+    },
+}
+
+
+def to_sarif(
+    findings: Sequence[Finding],
+    *,
+    sources: Optional[Dict[str, str]] = None,
+) -> Dict:
+    """Render findings as a SARIF 2.1.0 log (a plain dict).
+
+    ``sources`` optionally maps path -> file content so each result can
+    carry the same content-based ``partialFingerprints`` the baseline
+    gate uses; without it the fingerprint falls back to line text "".
+    """
+    from repro.analysis.lint import LINT_VERSION
+
+    rules = [
+        {
+            "id": code,
+            "name": RULES[code],
+            "shortDescription": {"text": RULES[code]},
+            "fullDescription": {"text": _RULE_HELP[code]},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for code in sorted(RULES)
+    ]
+    results: List[Dict] = []
+    occurrence: Dict[tuple, int] = {}
+    for f in findings:
+        source = (sources or {}).get(f.path)
+        fp = fingerprint(f, source=source, occurrence=occurrence)
+        results.append(
+            {
+                "ruleId": f.code,
+                "level": "error",
+                "message": {"text": f.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": f.path.replace("\\", "/"),
+                                "uriBaseId": "SRCROOT",
+                            },
+                            "region": {
+                                "startLine": f.line,
+                                # SARIF columns are 1-based; ast's are 0-based
+                                "startColumn": f.col + 1,
+                            },
+                        }
+                    }
+                ],
+                "partialFingerprints": {"blitzlintFingerprint/v1": fp},
+            }
+        )
+    return {
+        "$schema": _SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "blitzlint",
+                        "version": f"{LINT_VERSION}.0.0",
+                        "informationUri": (
+                            "https://example.invalid/blitzcoin-repro/"
+                            "docs/STATIC_ANALYSIS.md"
+                        ),
+                        "rules": rules,
+                    }
+                },
+                "columnKind": "utf16CodeUnits",
+                "results": results,
+            }
+        ],
+    }
+
+
+def render_sarif(
+    findings: Sequence[Finding],
+    *,
+    sources: Optional[Dict[str, str]] = None,
+) -> str:
+    """``to_sarif`` serialized with a trailing newline for clean diffs."""
+    return json.dumps(to_sarif(findings, sources=sources), indent=2) + "\n"
+
+
+# ------------------------------------------------------------- validation
+def _structural_validate(log: Dict, errors: List[str]) -> None:
+    """Hand-rolled subset validation mirroring ``SARIF_SCHEMA``."""
+    if not isinstance(log, dict):
+        errors.append("log is not an object")
+        return
+    if log.get("version") != SARIF_VERSION:
+        errors.append(f"version is {log.get('version')!r}, expected 2.1.0")
+    runs = log.get("runs")
+    if not isinstance(runs, list) or not runs:
+        errors.append("runs must be a non-empty array")
+        return
+    for i, run in enumerate(runs):
+        driver = (
+            run.get("tool", {}).get("driver")
+            if isinstance(run, dict)
+            else None
+        )
+        if not isinstance(driver, dict) or not isinstance(
+            driver.get("name"), str
+        ):
+            errors.append(f"runs[{i}].tool.driver.name missing")
+        results = run.get("results") if isinstance(run, dict) else None
+        if not isinstance(results, list):
+            errors.append(f"runs[{i}].results must be an array")
+            continue
+        for j, res in enumerate(results):
+            where = f"runs[{i}].results[{j}]"
+            if not isinstance(res, dict):
+                errors.append(f"{where} is not an object")
+                continue
+            if not isinstance(res.get("ruleId"), str):
+                errors.append(f"{where}.ruleId missing")
+            msg = res.get("message")
+            if not isinstance(msg, dict) or not isinstance(
+                msg.get("text"), str
+            ):
+                errors.append(f"{where}.message.text missing")
+            locs = res.get("locations")
+            if not isinstance(locs, list) or not locs:
+                errors.append(f"{where}.locations must be non-empty")
+                continue
+            phys = locs[0].get("physicalLocation", {})
+            art = phys.get("artifactLocation", {})
+            region = phys.get("region", {})
+            if not isinstance(art.get("uri"), str):
+                errors.append(f"{where} artifactLocation.uri missing")
+            start = region.get("startLine")
+            if not isinstance(start, int) or start < 1:
+                errors.append(f"{where} region.startLine must be >= 1")
+
+
+def validate_sarif(log: Dict) -> List[str]:
+    """Return a list of validation errors (empty means valid).
+
+    Uses ``jsonschema`` against the vendored 2.1.0 schema subset when
+    available, otherwise equivalent structural checks.
+    """
+    try:
+        import jsonschema
+    except ImportError:
+        errors: List[str] = []
+        _structural_validate(log, errors)
+        return errors
+    validator = jsonschema.Draft7Validator(SARIF_SCHEMA)
+    return [
+        f"{'/'.join(str(p) for p in err.absolute_path) or '<root>'}: "
+        f"{err.message}"
+        for err in validator.iter_errors(log)
+    ]

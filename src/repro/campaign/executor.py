@@ -227,7 +227,9 @@ def execute_unit(spec: CampaignSpec, unit: CampaignUnit) -> Dict[str, Any]:
 
 # ------------------------------------------------------------ worker plumbing
 #: Memo of decoded specs in worker processes (one spec per campaign, so
-#: this holds a single entry in practice; bounded defensively).
+#: this holds a single entry in practice; bounded defensively).  Pure
+#: key->decode(key) memo: worker-private copies cannot diverge results.
+# blitzlint: disable=P1
 _SPEC_MEMO: Dict[str, CampaignSpec] = {}
 
 

@@ -99,9 +99,9 @@ class Simulator:
 
     def run(self, until: Optional[int] = None) -> int:
         """Run events until the queue drains, ``stop()`` is called, or
-        simulated time would pass ``until``.
+        simulated time would pass ``until`` (NoC cycles).
 
-        Returns the simulation time when the run ended.  When ``until`` is
+        Returns the simulation time, in cycles, when the run ended.  When ``until`` is
         given, ``now`` is advanced to ``until`` even if the queue drained
         earlier, so repeated bounded runs compose naturally.
         """
@@ -182,7 +182,7 @@ class PeriodicProcess:
             self._event = self.sim.schedule(self.period, self._fire, self.priority)
 
     def set_period(self, period: int) -> None:
-        """Change the period used for the *next* rescheduling."""
+        """Change the period (in cycles) used for the *next* rescheduling."""
         if period <= 0:
             raise SimulationError(f"period must be positive, got {period}")
         self.period = period
@@ -205,7 +205,7 @@ class PeriodicProcess:
 def run_to_quiescence(sim: Simulator, guard_cycles: int = 10_000_000) -> int:
     """Run the simulator until its queue drains, bounded by ``guard_cycles``.
 
-    Returns the final simulation time.  Raises :class:`SimulationError` if
+    Returns the final simulation time in cycles.  Raises :class:`SimulationError` if
     the guard is exceeded, which usually means a periodic process was never
     stopped.
     """

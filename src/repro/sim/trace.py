@@ -23,7 +23,8 @@ class StateTrace:
     values: List[float] = field(default_factory=list)
 
     def record(self, time: int, value: float) -> None:
-        """Append a sample; same-time re-records overwrite the last value."""
+        """Append a sample at ``time`` (cycles); same-time re-records
+        overwrite the last value."""
         if self.times and time < self.times[-1]:
             raise ValueError(
                 f"trace {self.name!r}: time went backwards "
@@ -39,7 +40,8 @@ class StateTrace:
         self.values.append(value)
 
     def value_at(self, time: int) -> float:
-        """Value of the step function at ``time`` (0.0 before first sample)."""
+        """Value of the step function at ``time`` in cycles (0.0 before
+        the first sample)."""
         idx = bisect_right(self.times, time) - 1
         if idx < 0:
             return 0.0
@@ -99,7 +101,7 @@ class StateTrace:
         return total
 
     def mean(self, t0: int, t1: int) -> float:
-        """Time-average of the signal over ``[t0, t1)``."""
+        """Time-average of the signal over ``[t0, t1)`` cycles."""
         if t1 <= t0:
             return 0.0
         return self.integral(t0, t1) / (t1 - t0)
@@ -109,7 +111,7 @@ class StateTrace:
         return max(self.values) if self.values else 0.0
 
     def resample(self, times: np.ndarray) -> np.ndarray:
-        """Evaluate the step function at each time in ``times``."""
+        """Evaluate the step function at each time (cycles) in ``times``."""
         return np.array([self.value_at(int(t)) for t in times], dtype=float)
 
 
@@ -126,7 +128,7 @@ class TraceRecorder:
         return self._traces[name]
 
     def record(self, name: str, time: int, value: float) -> None:
-        """Record one sample into the trace called ``name``."""
+        """Record one sample at ``time`` (cycles) into the trace ``name``."""
         self.trace(name).record(time, value)
 
     def names(self) -> List[str]:
@@ -144,7 +146,7 @@ class TraceRecorder:
         return self._traces.get(name)
 
     def sum_at(self, time: int, prefix: str = "") -> float:
-        """Sum of all traces whose name starts with ``prefix`` at ``time``."""
+        """Sum of traces named ``prefix``* at ``time`` (cycles)."""
         return sum(
             t.value_at(time)
             for name, t in self._traces.items()
@@ -152,7 +154,7 @@ class TraceRecorder:
         )
 
     def aggregate(self, prefix: str, times: np.ndarray) -> np.ndarray:
-        """Sum of matching traces evaluated at each time in ``times``."""
+        """Sum of matching traces at each time (cycles) in ``times``."""
         total = np.zeros(len(times), dtype=float)
         for name, trace in self._traces.items():
             if name.startswith(prefix):

@@ -41,7 +41,7 @@ class ThermalConfig:
 
     @property
     def tau_vertical_s(self) -> float:
-        """Dominant (vertical) thermal time constant."""
+        """Dominant (vertical) thermal time constant, in seconds."""
         return self.r_vertical_k_per_w * self.c_tile_j_per_k
 
 
@@ -70,7 +70,7 @@ class ThermalGrid:
 
     # ------------------------------------------------------------ stepping
     def step(self, power_w: np.ndarray, dt_s: float) -> np.ndarray:
-        """Advance the network by ``dt_s`` under per-tile power (W).
+        """Advance the network by ``dt_s`` seconds under per-tile power (W).
 
         Internally sub-steps to keep explicit Euler stable (dt below a
         fifth of the smallest time constant).
@@ -124,7 +124,8 @@ def simulate_run_thermals(
     config: Optional[ThermalConfig] = None,
     dt_cycles: int = 1_000,
 ) -> Dict[str, np.ndarray]:
-    """Post-hoc thermal analysis of a recorded SoC run.
+    """Post-hoc thermal analysis of a recorded SoC run, sampled every
+    ``dt_cycles`` NoC cycles.
 
     Replays the run's per-tile power traces through the RC network and
     returns the time axis, the per-tile peak temperatures, and the

@@ -1,0 +1,15 @@
+# blitzlint: scope=repro.core.fixture_c2
+"""Fixture: violates rule C2 (coin-flow).
+
+One path applies only the initiator's half of an exchange; the
+partner's delta is dropped, so coins leak from the conserved sum.
+"""
+
+
+class LeakyEngine:
+    def apply_exchange(self, result, src, dst):
+        delta_src, delta_dst = result.deltas
+        self._apply_delta(src, delta_src)
+        if delta_dst > 0:
+            self._apply_delta(dst, delta_dst)
+        # negative partner deltas silently dropped: unbalanced path

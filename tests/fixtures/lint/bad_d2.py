@@ -1,0 +1,19 @@
+# blitzlint: scope=repro.sim.fixture_d2
+"""Fixture: violates rule D2 (rng-taint) without tripping D1's sinks.
+
+The entropy draw itself is D1-visible, but the *flows* are D2's job:
+a wall-clock-derived value laundered through arithmetic into a
+scheduling delay, and a hash-order-derived value used as a seed.
+"""
+
+import time
+
+
+def schedule_jittered(sim, handler, tiles):
+    stamp = time.time()
+    jitter = int(stamp * 1000) % 17
+    delay = jitter + 1
+    sim.schedule(delay, handler)
+    first = [t for t in {tid for tid in tiles}][0]
+    rng = spawn_rng(first, 4)
+    return rng

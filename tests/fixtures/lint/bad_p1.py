@@ -1,0 +1,17 @@
+# blitzlint: scope=repro.campaign.fixture_p1
+"""Fixture: violates rule P1 (parallel-safety).
+
+A module-level results list mutated by the worker, and a lambda
+submitted to the pool (unpicklable under spawn).
+"""
+
+_RESULTS = []
+
+
+def run_unit(unit):
+    _RESULTS.append(unit)
+    return len(_RESULTS)
+
+
+def drive(pool, units):
+    return list(pool.map(lambda u: run_unit(u), units))

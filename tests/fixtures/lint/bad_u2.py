@@ -1,0 +1,12 @@
+# blitzlint: scope=repro.power.fixture_u2
+"""Fixture: violates rule U2 (units-flow).
+
+Adds milliwatts to joules, and returns joules from a function whose
+docstring declares milliwatts.
+"""
+
+
+def budget_mw(static_mw, burst_j):
+    """Total budget in mW."""
+    mixed = static_mw + burst_j
+    return burst_j

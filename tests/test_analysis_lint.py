@@ -284,9 +284,13 @@ class TestFixtureFiles:
         "name,code",
         [
             ("bad_d1.py", "D1"),
+            ("bad_d2.py", "D2"),
             ("bad_c1.py", "C1"),
+            ("bad_c2.py", "C2"),
             ("bad_s1.py", "S1"),
             ("bad_u1.py", "U1"),
+            ("bad_u2.py", "U2"),
+            ("bad_p1.py", "P1"),
         ],
     )
     def test_fixture_trips_its_rule(self, name, code, capsys):
