@@ -13,11 +13,14 @@ nothing at all.  EXPERIMENTS.md records the measured numbers.
 
 import json
 import os
+import tempfile
 import time
+from pathlib import Path
 
 from repro.campaign import CampaignSpec, CampaignStore, run_campaign
 from repro.campaign.spec import canonical_json, encode_config
 from repro.core.config import plain_one_way
+from repro.perf import register
 
 WORKER_COUNTS = (1, 2, 4, 8)
 
@@ -39,6 +42,21 @@ def _spec():
 
 def _results_fingerprint(run):
     return canonical_json([json.loads(canonical_json(r)) for r in run.results])
+
+
+@register(
+    "campaign.parallel",
+    params={"workers": 4},
+    suites=("full",),
+    description="The scaling spec on a cold store with a 4-wide worker "
+    "pool (results live in worker processes, so no counters).",
+)
+def run_parallel_campaign(workers):
+    with tempfile.TemporaryDirectory(prefix="bench-campaign-") as scratch:
+        run = run_campaign(
+            _spec(), store=CampaignStore(Path(scratch)), workers=workers
+        )
+        return {"units_executed": run.executed, "units_total": run.total}
 
 
 def test_campaign_scaling(benchmark, report, tmp_path):
@@ -96,3 +114,20 @@ def test_campaign_scaling(benchmark, report, tmp_path):
 
     # The cache claim holds everywhere: a warm rerun is pure reads.
     assert warm_time < serial_time
+
+
+def main() -> int:
+    from repro.perf import REGISTRY, run_benchmark
+
+    result = run_benchmark(
+        REGISTRY.get("campaign.parallel"), reps=1, warmup=0
+    )
+    print(
+        f"campaign.parallel  {min(result.per_rep_s):.2f} s  "
+        f"metrics={result.metrics}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

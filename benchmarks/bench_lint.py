@@ -15,15 +15,32 @@ ratio.
 # blitzlint: disable-file=D1
 
 import shutil
+import tempfile
 import time
 from pathlib import Path
 
 from repro.analysis.cache import ResultCache
 from repro.analysis.lint import lint_paths
+from repro.perf import register
 
 REPO = Path(__file__).resolve().parent.parent
 TARGET = REPO / "src" / "repro"
 REPEATS = 3
+
+
+@register(
+    "lint.tree_cold",
+    params={},
+    suites=("full",),
+    description="blitzlint full dataflow analysis of the whole "
+    "src/repro tree on a fresh result cache.",
+)
+def run_cold_lint():
+    with tempfile.TemporaryDirectory(prefix="bench-lint-") as scratch:
+        findings = lint_paths(
+            [str(TARGET)], cache=ResultCache(Path(scratch) / "cache.json")
+        )
+    return {"findings": len(findings)}
 
 
 def _timed_lint(cache):
@@ -89,3 +106,18 @@ def _timed_lint_at(target, cache):
     t0 = time.perf_counter()
     findings = lint_paths([str(target)], cache=cache)
     return time.perf_counter() - t0, findings
+
+
+def main() -> int:
+    from repro.perf import REGISTRY, run_benchmark
+
+    result = run_benchmark(REGISTRY.get("lint.tree_cold"), reps=1, warmup=0)
+    print(
+        f"lint.tree_cold  {min(result.per_rep_s) * 1000:.1f} ms  "
+        f"metrics={result.metrics}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

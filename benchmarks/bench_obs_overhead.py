@@ -19,10 +19,30 @@ from repro.core.config import preferred_embodiment
 from repro.core.runner import run_trials
 from repro.obs import MonitorSet, default_monitors, observing
 from repro.obs.sink import Observation
+from repro.perf import register
 
 D = 6
 TRIALS = 4
 REPEATS = 3
+
+
+@register(
+    "obs.overhead_monitors",
+    params={"d": D, "trials": TRIALS},
+    suites=("full",),
+    description="The fig03-quick workload under the full MonitorSet — "
+    "the most expensive observability configuration. Installs its own "
+    "sink, so no counters/profile.",
+)
+def run_monitored(d, trials):
+    with observing(MonitorSet(default_monitors(), Observation("bench"))):
+        results = run_trials(
+            d, preferred_embodiment(), trials, base_seed=3, threshold=1.5
+        )
+    return {
+        "converged": sum(1 for r in results if r.converged),
+        "packets": sum(r.packets for r in results),
+    }
 
 
 def _workload():
@@ -84,3 +104,20 @@ def test_obs_overhead(report):
     # because they reuse events tracing already pays for.
     assert obs_time < 5.0 * off_time
     assert mon_time < 1.5 * obs_time + 0.05
+
+
+def main() -> int:
+    from repro.perf import REGISTRY, run_benchmark
+
+    result = run_benchmark(
+        REGISTRY.get("obs.overhead_monitors"), reps=REPEATS, warmup=1
+    )
+    print(
+        f"obs.overhead_monitors  best "
+        f"{min(result.per_rep_s) * 1000:.1f} ms  metrics={result.metrics}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

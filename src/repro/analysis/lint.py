@@ -83,7 +83,7 @@ __all__ = [
 
 #: Bumped whenever any rule's behavior changes; part of the result-cache
 #: key so stale cached findings can never survive a linter upgrade.
-LINT_VERSION = 2
+LINT_VERSION = 3
 
 _DISABLE_RE = re.compile(
     r"#\s*blitzlint:\s*disable=([A-Za-z0-9_,\s]+|all)"
@@ -110,6 +110,7 @@ _ORDERED_ITERATION_SCOPES = (
     "repro.campaign",
     "repro.obs.monitor",
     "repro.report",
+    "repro.perf",
 )
 
 # ---------------------------------------------------------------- C1 tables
@@ -137,6 +138,7 @@ _S1_SCOPES = (
     "repro.campaign",
     "repro.obs.monitor",
     "repro.report",
+    "repro.perf",
 )
 #: The only functions allowed to write a coin register directly: the
 #: engine's single delta-application point, the activity-edge API, and

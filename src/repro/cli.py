@@ -593,6 +593,190 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return run_lint(args)
 
 
+def _bench_selection(args: argparse.Namespace):
+    """The benchmarks named by ``--bench`` or ``--suite``."""
+    from repro.perf import REGISTRY, load_builtin_suites
+
+    load_builtin_suites()
+    if getattr(args, "bench", None):
+        return [REGISTRY.get(name) for name in args.bench]
+    benches = REGISTRY.suite(args.suite)
+    if not benches:
+        from repro.perf import PerfError
+
+        raise PerfError(
+            f"no benchmarks in suite {args.suite!r}; known suites: "
+            f"{', '.join(REGISTRY.suite_names())}"
+        )
+    return benches
+
+
+def cmd_bench_list(args: argparse.Namespace) -> int:
+    """List registered benchmarks, one line each."""
+    from repro.perf import REGISTRY, load_builtin_suites
+
+    load_builtin_suites()
+    names = REGISTRY.names()
+    if not names:
+        print("no benchmarks registered")
+        return 0
+    width = max(len(n) for n in names)
+    for name in names:
+        b = REGISTRY.get(name)
+        extras = []
+        if b.counters:
+            extras.append(f"counters={len(b.counters)}")
+        if b.profile:
+            extras.append("profile")
+        suffix = f"  [{', '.join(extras)}]" if extras else ""
+        print(
+            f"{name:<{width}}  suites={','.join(b.suites)}{suffix}  "
+            f"{b.description}".rstrip()
+        )
+    return 0
+
+
+def cmd_bench_run(args: argparse.Namespace) -> int:
+    """Run a suite and write its ``BENCH_<suite>.json`` artifact."""
+    from repro.perf import (
+        PerfError,
+        bench_artifact,
+        run_suite_benchmarks,
+        write_bench_artifact,
+    )
+
+    try:
+        benches = _bench_selection(args)
+    except PerfError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    def progress(i: int, n: int, bench) -> None:
+        print(f"[{i + 1}/{n}] {bench.name}", flush=True)
+
+    try:
+        results = run_suite_benchmarks(
+            benches,
+            reps=args.reps,
+            warmup=args.warmup,
+            profile=not args.no_profile,
+            progress=progress if not args.quiet else None,
+        )
+        doc = bench_artifact(args.suite, results)
+    except PerfError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    width = max(len(r.name) for r in results)
+    for r in results:
+        best = min(r.per_rep_s) * 1000
+        print(
+            f"{r.name:<{width}}  min={best:9.1f} ms  reps={r.reps}  "
+            f"metrics={len(r.metrics)} counters={len(r.counters)}"
+        )
+    out = args.out or f"BENCH_{args.suite}.json"
+    try:
+        print(f"wrote {write_bench_artifact(doc, out)}")
+    except (OSError, PerfError) as exc:
+        print(f"error: cannot write artifact: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def cmd_bench_compare(args: argparse.Namespace) -> int:
+    """Diff two bench artifacts; rc 3 when the candidate regressed."""
+    from repro.perf import (
+        PerfError,
+        bench_thresholds,
+        compare_bench_artifacts,
+        flat_bench_metrics,
+        load_bench_artifact,
+    )
+    from repro.report.diff import DiffError, format_diff_table, load_thresholds
+
+    try:
+        baseline = load_bench_artifact(args.baseline)
+        candidate = load_bench_artifact(args.candidate)
+        if args.thresholds:
+            policy = load_thresholds(args.thresholds)
+        else:
+            keys = sorted(
+                set(flat_bench_metrics(baseline))
+                | set(flat_bench_metrics(candidate))
+            )
+            from repro.perf.artifact import (
+                DEFAULT_WALL_ABS,
+                DEFAULT_WALL_REL,
+            )
+
+            policy = bench_thresholds(
+                keys,
+                wall_rel=(
+                    DEFAULT_WALL_REL
+                    if args.wall_rel is None
+                    else args.wall_rel
+                ),
+                wall_abs=(
+                    DEFAULT_WALL_ABS
+                    if args.wall_abs is None
+                    else args.wall_abs
+                ),
+            )
+        diff = compare_bench_artifacts(baseline, candidate, policy)
+    except (PerfError, DiffError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for line in format_diff_table(diff, only_changed=args.only_changed):
+        print(line)
+    return 3 if diff.regressed else 0
+
+
+def cmd_bench_profile(args: argparse.Namespace) -> int:
+    """Phase-profile one benchmark and print where the time went."""
+    import json as json_mod
+
+    from repro.perf import (
+        REGISTRY,
+        PerfError,
+        load_builtin_suites,
+        phase_chrome_trace,
+        phase_summary_lines,
+        profiling,
+    )
+
+    load_builtin_suites()
+    try:
+        bench = REGISTRY.get(args.name)
+    except PerfError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not bench.profile:
+        print(
+            f"error: benchmark {bench.name!r} is not profileable "
+            "(it manages its own observability sink)",
+            file=sys.stderr,
+        )
+        return 2
+    kwargs = bench.param_dict
+    if bench.setup is not None:
+        extra = bench.setup(**kwargs)
+        if extra:
+            kwargs.update(extra)
+    with profiling() as profiler:
+        bench.run(**kwargs)
+    for line in phase_summary_lines(profiler):
+        print(line)
+    if args.trace_out:
+        try:
+            path = Path(args.trace_out)
+            path.write_text(json_mod.dumps(phase_chrome_trace(profiler)))
+        except OSError as exc:
+            print(f"error: cannot write trace: {exc}", file=sys.stderr)
+            return 2
+        print(f"wrote {path}")
+        print("open it in ui.perfetto.dev or chrome://tracing")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -856,6 +1040,90 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_lint_arguments(p)
     p.set_defaults(func=cmd_lint)
+
+    p = sub.add_parser(
+        "bench",
+        help="performance benchmarks: run suites, compare BENCH_*.json "
+        "trajectories, phase-profile workloads (see docs/BENCHMARKS.md)",
+    )
+    bsub = p.add_subparsers(dest="bench_command", required=True)
+
+    bp = bsub.add_parser("list", help="list registered benchmarks")
+    bp.set_defaults(func=cmd_bench_list)
+
+    bp = bsub.add_parser(
+        "run", help="run a suite and write its BENCH_<suite>.json artifact"
+    )
+    bp.add_argument(
+        "--suite", default="core",
+        help="suite to run (default: core)",
+    )
+    bp.add_argument(
+        "--bench", action="append", default=None, metavar="NAME",
+        help="run only this benchmark (repeatable; overrides --suite "
+        "selection, artifact still labeled by --suite)",
+    )
+    bp.add_argument(
+        "--reps", type=int, default=3,
+        help="timed repetitions per benchmark (default: 3)",
+    )
+    bp.add_argument(
+        "--warmup", type=int, default=1,
+        help="untimed warmup repetitions (default: 1)",
+    )
+    bp.add_argument(
+        "--no-profile", action="store_true",
+        help="skip the phase-attributed repetition",
+    )
+    bp.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="artifact destination (default: BENCH_<suite>.json)",
+    )
+    bp.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="suppress per-benchmark progress lines",
+    )
+    bp.set_defaults(func=cmd_bench_run)
+
+    bp = bsub.add_parser(
+        "compare",
+        help="diff two BENCH_*.json artifacts; exit 3 when the candidate "
+        "regressed against the baseline",
+    )
+    bp.add_argument("baseline", help="baseline BENCH_*.json")
+    bp.add_argument("candidate", help="candidate BENCH_*.json")
+    bp.add_argument(
+        "--thresholds", default=None, metavar="FILE",
+        help="threshold policy JSON (default: exact on identity metrics, "
+        "--wall-rel/--wall-abs on timing metrics)",
+    )
+    bp.add_argument(
+        "--wall-rel", type=float, default=None, metavar="FRAC",
+        help="relative slowdown tolerance for timing metrics "
+        "(default: 0.5 = flag >50%% slower)",
+    )
+    bp.add_argument(
+        "--wall-abs", type=float, default=None, metavar="SECONDS",
+        help="absolute timing-change floor in seconds (default: 0.005)",
+    )
+    bp.add_argument(
+        "--only-changed", action="store_true",
+        help="hide metrics whose status is 'ok'",
+    )
+    bp.set_defaults(func=cmd_bench_compare)
+
+    bp = bsub.add_parser(
+        "profile",
+        help="run one benchmark under the phase-attribution profiler and "
+        "print where the wall time went",
+    )
+    bp.add_argument("name", help="benchmark name (see 'bench list')")
+    bp.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="also write the phase breakdown as a Perfetto-loadable "
+        "Chrome trace",
+    )
+    bp.set_defaults(func=cmd_bench_profile)
 
     return parser
 

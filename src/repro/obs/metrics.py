@@ -139,8 +139,17 @@ class Histogram:
             self.counts = [0] * (len(self.bounds) + 1)
 
     def observe(self, time: int, value: Number) -> None:
-        """Record one observation of ``value`` at simulation cycle ``time``."""
+        """Record one observation of ``value`` at simulation cycle ``time``.
+
+        Non-finite values are rejected loudly: one NaN would silently
+        poison ``total``/``mean`` and break the min/max tracking that
+        :meth:`percentile` clamps against.
+        """
         v = float(value)
+        if v != v or v in (float("inf"), float("-inf")):
+            raise MetricsError(
+                f"histogram {self.name!r} observed non-finite value {value!r}"
+            )
         idx = len(self.bounds)
         for i, bound in enumerate(self.bounds):
             if v <= bound:
@@ -188,7 +197,15 @@ class Histogram:
         return self.max_value
 
     def quantile_summary(self) -> Dict[str, Optional[float]]:
-        """The RunReport quantile row: count, mean, p50/p90/p99, min/max."""
+        """The RunReport quantile row: count, mean, p50/p90/p99, min/max.
+
+        Well-defined at the edges: an empty histogram reports
+        ``count`` 0.0 and None for every statistic (absence, not a
+        fake zero); a single-sample histogram reports that sample
+        exactly for mean, min, max, and every quantile — the
+        min/max clamp in :meth:`percentile` collapses the bucket
+        grid's resolution error to zero.
+        """
         return {
             "count": float(self.count),
             "mean": self.mean if self.count else None,

@@ -1,0 +1,323 @@
+"""``BENCH_<suite>.json``: the schema-validated perf-trajectory artifact.
+
+A bench artifact is the frozen record of one harness run: the suite
+name, an environment fingerprint (python / platform / cpu count / git
+sha), and one entry per benchmark splitting cleanly into *identity*
+fields (name, params, units, deterministic result metrics, obs
+counters) and *timing* fields (wall stats, per-rep times, peak RSS,
+phase attribution).  Artifacts are canonical JSON written atomically
+through the campaign store helper, so two runs of the same suite on
+the same tree are byte-identical once their timing fields are
+stripped — which is exactly what the CI determinism check asserts.
+
+Comparison reuses the RunReport diff machinery
+(:func:`repro.report.diff.diff_flat`): timing metrics get a noise-
+tolerant directional threshold (slower is worse), identity metrics an
+exact one (any drift in a deterministic cost proxy is a behavior
+change someone must acknowledge by regenerating the baseline).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import platform
+import subprocess
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.campaign.spec import canonical_json
+from repro.campaign.store import atomic_write_text
+from repro.perf.harness import BenchResult, wall_stats
+from repro.perf.registry import PerfError
+from repro.report.diff import (
+    ReportDiff,
+    ThresholdRule,
+    Thresholds,
+    diff_flat,
+)
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "bench_artifact",
+    "bench_thresholds",
+    "compare_bench_artifacts",
+    "env_fingerprint",
+    "flat_bench_metrics",
+    "load_bench_artifact",
+    "strip_timing",
+    "validate_bench_artifact",
+    "write_bench_artifact",
+]
+
+#: Bumped on any incompatible change to the artifact layout.
+BENCH_SCHEMA = 1
+
+#: Default wall-time regression tolerance: CI runners are noisy, so a
+#: benchmark must slow down by more than 50% (and by more than 5 ms)
+#: before ``bench compare`` calls it a regression.  An injected 2x
+#: slowdown (+100%) trips it with margin; run-to-run jitter does not.
+DEFAULT_WALL_REL = 0.5
+DEFAULT_WALL_ABS = 0.005
+
+
+def _git_sha() -> Optional[str]:
+    """The repo HEAD sha, or None outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and len(sha) == 40 else None
+
+
+def env_fingerprint() -> Dict[str, Any]:
+    """Where this artifact was measured (stable across reruns on one
+    machine and checkout, so it survives the determinism diff)."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "git_sha": _git_sha(),
+    }
+
+
+def _round6(value: float) -> float:
+    v = float(value)
+    if not math.isfinite(v):
+        raise PerfError(f"non-finite value {value!r} in bench artifact")
+    return round(v, 6)
+
+
+def bench_artifact(
+    suite: str,
+    results: Sequence[BenchResult],
+    *,
+    env: Optional[Mapping[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Assemble the artifact document for one harness run."""
+    if not results:
+        raise PerfError(f"suite {suite!r} produced no benchmark results")
+    benchmarks: List[Dict[str, Any]] = []
+    for r in results:
+        entry: Dict[str, Any] = {
+            "name": r.name,
+            "units": r.units,
+            "params": dict(r.params),
+            "reps": r.reps,
+            "warmup": r.warmup,
+            "metrics": {k: _round6(v) for k, v in sorted(r.metrics.items())},
+            "counters": {k: int(v) for k, v in sorted(r.counters.items())},
+            "timing": {
+                "wall_s": {
+                    k: _round6(v) for k, v in wall_stats(r.per_rep_s).items()
+                },
+                "per_rep_s": [_round6(v) for v in r.per_rep_s],
+                "peak_rss_kb": int(r.peak_rss_kb),
+            },
+        }
+        if r.phases:
+            entry["timing"]["phases_s"] = {
+                k: _round6(v) for k, v in sorted(r.phases.items())
+            }
+            entry["timing"]["profile_total_s"] = _round6(r.profile_total_s)
+        benchmarks.append(entry)
+    return {
+        "schema": BENCH_SCHEMA,
+        "kind": "bench",
+        "suite": suite,
+        "env": dict(env) if env is not None else env_fingerprint(),
+        "benchmarks": benchmarks,
+    }
+
+
+# ----------------------------------------------------------------- validation
+def validate_bench_artifact(doc: Any) -> List[str]:
+    """Schema problems in a loaded artifact (empty when valid)."""
+    problems: List[str] = []
+    if not isinstance(doc, Mapping):
+        return ["artifact is not a JSON object"]
+    if doc.get("schema") != BENCH_SCHEMA:
+        problems.append(
+            f"unsupported schema {doc.get('schema')!r} "
+            f"(this build reads schema {BENCH_SCHEMA})"
+        )
+    if doc.get("kind") != "bench":
+        problems.append(f"kind is {doc.get('kind')!r}, expected 'bench'")
+    if not isinstance(doc.get("suite"), str) or not doc.get("suite"):
+        problems.append("suite must be a non-empty string")
+    if not isinstance(doc.get("env"), Mapping):
+        problems.append("env must be an object")
+    benchmarks = doc.get("benchmarks")
+    if not isinstance(benchmarks, list) or not benchmarks:
+        problems.append("benchmarks missing, not a list, or empty")
+        return problems
+    seen = set()
+    for i, entry in enumerate(benchmarks):
+        where = f"benchmarks[{i}]"
+        if not isinstance(entry, Mapping):
+            problems.append(f"{where}: not an object")
+            continue
+        name = entry.get("name")
+        if not isinstance(name, str) or not name:
+            problems.append(f"{where}: name must be a non-empty string")
+        elif name in seen:
+            problems.append(f"{where}: duplicate benchmark name {name!r}")
+        else:
+            seen.add(name)
+        for key, kind in (
+            ("params", Mapping),
+            ("metrics", Mapping),
+            ("counters", Mapping),
+            ("timing", Mapping),
+        ):
+            if not isinstance(entry.get(key), kind):
+                problems.append(f"{where}: {key} must be an object")
+        timing = entry.get("timing")
+        if isinstance(timing, Mapping):
+            wall = timing.get("wall_s")
+            if not isinstance(wall, Mapping):
+                problems.append(f"{where}: timing.wall_s must be an object")
+            else:
+                for stat in ("min", "median", "p90", "mean", "max"):
+                    if not isinstance(wall.get(stat), (int, float)):
+                        problems.append(
+                            f"{where}: timing.wall_s.{stat} must be a number"
+                        )
+            reps = timing.get("per_rep_s")
+            if not isinstance(reps, list) or not all(
+                isinstance(v, (int, float)) for v in reps
+            ):
+                problems.append(
+                    f"{where}: timing.per_rep_s must be a number list"
+                )
+    return problems
+
+
+def load_bench_artifact(path: Union[str, Path]) -> Dict[str, Any]:
+    """Read and validate one artifact; :class:`PerfError` on any defect."""
+    p = Path(path)
+    try:
+        text = p.read_text()
+    except FileNotFoundError:
+        raise PerfError(f"bench artifact not found: {p}") from None
+    except OSError as exc:
+        raise PerfError(f"cannot read bench artifact {p}: {exc}") from exc
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise PerfError(f"corrupt bench artifact {p}: {exc}") from exc
+    problems = validate_bench_artifact(doc)
+    if problems:
+        raise PerfError(f"invalid bench artifact {p}: {problems[0]}")
+    return doc
+
+
+def write_bench_artifact(
+    doc: Mapping[str, Any], path: Union[str, Path]
+) -> Path:
+    """Atomically persist an artifact as canonical JSON."""
+    problems = validate_bench_artifact(doc)
+    if problems:
+        raise PerfError(f"refusing to write invalid artifact: {problems[0]}")
+    return atomic_write_text(Path(path), canonical_json(doc) + "\n")
+
+
+def strip_timing(doc: Mapping[str, Any]) -> Dict[str, Any]:
+    """The identity view: the artifact minus every timing field.
+
+    Two harness runs of the same suite on the same tree must agree
+    byte-for-byte on ``canonical_json(strip_timing(doc))``.
+    """
+    out = {k: v for k, v in doc.items() if k != "benchmarks"}
+    out["benchmarks"] = [
+        {k: v for k, v in entry.items() if k != "timing"}
+        for entry in doc.get("benchmarks", [])
+    ]
+    return out
+
+
+# ----------------------------------------------------------------- comparison
+def flat_bench_metrics(doc: Mapping[str, Any]) -> Dict[str, float]:
+    """The diffable view: dotted numeric leaves, one prefix per bench."""
+    out: Dict[str, float] = {}
+    for entry in doc.get("benchmarks", []):
+        name = entry["name"]
+        timing = entry.get("timing", {})
+        for stat, value in sorted(dict(timing.get("wall_s", {})).items()):
+            out[f"{name}.wall_s.{stat}"] = float(value)
+        out[f"{name}.peak_rss_kb"] = float(timing.get("peak_rss_kb", 0))
+        for phase, value in sorted(
+            dict(timing.get("phases_s", {})).items()
+        ):
+            out[f"{name}.phase_s.{phase}"] = float(value)
+        for key, value in sorted(dict(entry.get("metrics", {})).items()):
+            out[f"{name}.metrics.{key}"] = float(value)
+        for key, value in sorted(dict(entry.get("counters", {})).items()):
+            out[f"{name}.counters.{key}"] = float(value)
+        out[f"{name}.reps"] = float(entry.get("reps", 0))
+    return out
+
+
+def _is_timing_metric(metric: str) -> bool:
+    return (
+        ".wall_s." in metric
+        or ".phase_s." in metric
+        or metric.endswith(".peak_rss_kb")
+    )
+
+
+def bench_thresholds(
+    metrics: Sequence[str],
+    *,
+    wall_rel: float = DEFAULT_WALL_REL,
+    wall_abs: float = DEFAULT_WALL_ABS,
+) -> Thresholds:
+    """The default bench policy over a concrete flat-metric key set.
+
+    Timing metrics regress upward past the noise tolerance; identity
+    metrics (result metrics, obs counters, rep counts) must match the
+    baseline exactly — they are deterministic, so any drift means the
+    workload itself changed and the baseline needs a deliberate
+    update.
+    """
+    exact = ThresholdRule(rel=0.0, abs=0.0, direction="increase")
+    wall = ThresholdRule(rel=wall_rel, abs=wall_abs, direction="increase")
+    rules = {m: wall for m in metrics if _is_timing_metric(m)}
+    return Thresholds(default=exact, metrics=rules)
+
+
+def compare_bench_artifacts(
+    baseline: Mapping[str, Any],
+    candidate: Mapping[str, Any],
+    thresholds: Optional[Thresholds] = None,
+) -> ReportDiff:
+    """Diff two artifacts through the report-diff threshold machinery."""
+    if baseline.get("suite") != candidate.get("suite"):
+        raise PerfError(
+            f"cannot compare suite {baseline.get('suite')!r} against "
+            f"suite {candidate.get('suite')!r}"
+        )
+    a = flat_bench_metrics(baseline)
+    b = flat_bench_metrics(candidate)
+    policy = (
+        thresholds
+        if thresholds is not None
+        else bench_thresholds(sorted(set(a) | set(b)))
+    )
+    return diff_flat(
+        f"BENCH_{baseline.get('suite')} (baseline)",
+        f"BENCH_{candidate.get('suite')} (candidate)",
+        a,
+        b,
+        policy,
+    )

@@ -1,0 +1,265 @@
+"""The benchmark harness: warmup, timed repetitions, stats, counters.
+
+One :func:`run_benchmark` call executes a registered
+:class:`~repro.perf.registry.Benchmark`: ``warmup`` untimed repetitions
+(imports, allocator, caches), then ``reps`` timed ones, recording per-
+repetition wall seconds, exact min/median/p90/mean stats, the process
+peak RSS, any deterministic result metrics the benchmark returns, and
+snapshots of the declared :mod:`repro.obs` counters.  Benchmarks that
+declare ``profile=True`` additionally get one phase-attributed
+repetition under :class:`~repro.perf.phase.PhaseProfiler`.
+
+The split the artifact layer depends on: everything wall-clock-derived
+(times, RSS, phase attribution) is *timing*; everything else (name,
+params, units, result metrics, obs counters) is *identity* and must be
+byte-reproducible run over run.
+"""
+# The harness is the wall-clock timer the D1 rule carves benchmarks
+# out for: it measures the simulator from outside, never from within.
+# blitzlint: disable-file=D1
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.obs.metrics import Counter
+from repro.obs.runtime import observing
+from repro.obs.sink import Observation
+from repro.perf.phase import PhaseProfiler, profiling
+from repro.perf.registry import Benchmark, PerfError
+
+__all__ = [
+    "BenchResult",
+    "counter_total",
+    "exact_quantile",
+    "peak_rss_kb",
+    "run_benchmark",
+    "run_suite_benchmarks",
+    "wall_stats",
+]
+
+
+def counter_total(session: Observation, name: str) -> int:
+    """Counter total for ``name`` summed across all label sets.
+
+    ``registry.value(name)`` only sees the unlabeled instrument; sites
+    like the campaign executor label their counters, and a benchmark
+    snapshot wants the aggregate regardless.
+    """
+    total = 0
+    for instrument in session.registry.instruments():
+        if isinstance(instrument, Counter) and instrument.name == name:
+            total += instrument.total
+    return total
+
+
+def peak_rss_kb() -> int:
+    """Process high-water RSS in KiB (0 where ``resource`` is absent).
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; normalize
+    to KiB so artifacts agree across platforms.
+    """
+    try:
+        import resource
+        import sys
+    except ImportError:  # non-Unix platform
+        return 0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        peak //= 1024
+    return int(peak)
+
+
+def exact_quantile(samples: Sequence[float], q: float) -> float:
+    """Exact rank quantile (no bucketing) over a non-empty sample list.
+
+    Uses the nearest-rank method: the smallest sample covering fraction
+    ``q`` of the sorted data, so ``q=0`` is the min and ``q=1`` the max.
+    """
+    if not samples:
+        raise PerfError("exact_quantile needs at least one sample")
+    if not 0.0 <= q <= 1.0:
+        raise PerfError(f"quantile q={q} outside [0, 1]")
+    ordered = sorted(samples)
+    if q == 0.0:
+        return ordered[0]
+    # ceil with an epsilon so q*n landing exactly on an integer (e.g.
+    # q=0.5, n=2) selects that rank, not the one above it.
+    rank = max(1, math.ceil(q * len(ordered) - 1e-12))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+def wall_stats(per_rep_s: Sequence[float]) -> Dict[str, float]:
+    """The artifact's wall-time stat row: min/median/p90/mean/max."""
+    if not per_rep_s:
+        raise PerfError("wall_stats needs at least one repetition")
+    return {
+        "min": min(per_rep_s),
+        "median": exact_quantile(per_rep_s, 0.5),
+        "p90": exact_quantile(per_rep_s, 0.9),
+        "mean": sum(per_rep_s) / len(per_rep_s),
+        "max": max(per_rep_s),
+    }
+
+
+@dataclass
+class BenchResult:
+    """Everything one benchmark run produced, identity and timing."""
+
+    name: str
+    units: str
+    params: Dict[str, Any]
+    reps: int
+    warmup: int
+    #: Deterministic result metrics returned by the benchmark body.
+    metrics: Dict[str, float] = field(default_factory=dict)
+    #: Deterministic obs counter totals from the last timed repetition.
+    counters: Dict[str, int] = field(default_factory=dict)
+    #: Wall seconds, one entry per timed repetition (timing).
+    per_rep_s: List[float] = field(default_factory=list)
+    #: Process peak RSS in KiB after the run (timing).
+    peak_rss_kb: int = 0
+    #: phase -> wall seconds from the profiled repetition (timing).
+    phases: Dict[str, float] = field(default_factory=dict)
+    #: Total wall seconds of the profiled repetition (timing).
+    profile_total_s: float = 0.0
+
+
+def _coerce_metrics(name: str, value: Any) -> Dict[str, float]:
+    """Validate a benchmark body's return value into flat numbers."""
+    if value is None:
+        return {}
+    if not isinstance(value, Mapping):
+        raise PerfError(
+            f"benchmark {name!r} must return None or a flat mapping of "
+            f"numbers, got {type(value).__name__}"
+        )
+    out: Dict[str, float] = {}
+    for key in sorted(value):
+        v = value[key]
+        if isinstance(v, bool):
+            v = int(v)
+        if not isinstance(v, (int, float)):
+            raise PerfError(
+                f"benchmark {name!r} metric {key!r} is not a number"
+            )
+        v = float(v)
+        if v != v or v in (float("inf"), float("-inf")):
+            raise PerfError(
+                f"benchmark {name!r} metric {key!r} is not finite"
+            )
+        out[str(key)] = v
+    return out
+
+
+def _one_rep(
+    bench: Benchmark, *, session: Optional[Observation]
+) -> "tuple[float, Any]":
+    """Run one repetition (setup untimed, run timed) and return
+    (wall seconds, run() return value)."""
+    kwargs = bench.param_dict
+    if bench.setup is not None:
+        extra = bench.setup(**kwargs)
+        if extra:
+            kwargs.update(extra)
+    if session is not None:
+        with observing(session):
+            t0 = time.perf_counter()
+            value = bench.run(**kwargs)
+            elapsed = time.perf_counter() - t0
+    else:
+        t0 = time.perf_counter()
+        value = bench.run(**kwargs)
+        elapsed = time.perf_counter() - t0
+    return elapsed, value
+
+
+def run_benchmark(
+    bench: Benchmark,
+    *,
+    reps: int = 3,
+    warmup: int = 1,
+    profile: bool = False,
+) -> BenchResult:
+    """Execute one benchmark: warmup, timed reps, optional profile rep."""
+    if reps < 1:
+        raise PerfError(f"reps must be >= 1, got {reps}")
+    if warmup < 0:
+        raise PerfError(f"warmup must be >= 0, got {warmup}")
+
+    for _ in range(warmup):
+        _one_rep(bench, session=None)
+
+    per_rep: List[float] = []
+    metrics: Dict[str, float] = {}
+    counters: Dict[str, int] = {}
+    for rep in range(reps):
+        # A fresh Observation per rep keeps counter totals per-run
+        # deterministic instead of accumulating across repetitions.
+        session = Observation(bench.name) if bench.counters else None
+        elapsed, value = _one_rep(bench, session=session)
+        per_rep.append(elapsed)
+        rep_metrics = _coerce_metrics(bench.name, value)
+        if rep and rep_metrics != metrics:
+            raise PerfError(
+                f"benchmark {bench.name!r} returned different metrics "
+                f"across repetitions: {metrics} != {rep_metrics} — "
+                "benchmark bodies must be deterministic"
+            )
+        metrics = rep_metrics
+        if session is not None:
+            counters = {
+                name: counter_total(session, name)
+                for name in bench.counters
+            }
+
+    phases: Dict[str, float] = {}
+    profile_total = 0.0
+    if profile and bench.profile:
+        profiler: PhaseProfiler
+        with profiling() as profiler:
+            kwargs = bench.param_dict
+            if bench.setup is not None:
+                extra = bench.setup(**kwargs)
+                if extra:
+                    kwargs.update(extra)
+            bench.run(**kwargs)
+        phases = {k: profiler.totals[k] for k in sorted(profiler.totals)}
+        profile_total = profiler.total_s
+
+    return BenchResult(
+        name=bench.name,
+        units=bench.units,
+        params=bench.param_dict,
+        reps=reps,
+        warmup=warmup,
+        metrics=metrics,
+        counters=counters,
+        per_rep_s=per_rep,
+        peak_rss_kb=peak_rss_kb(),
+        phases=phases,
+        profile_total_s=profile_total,
+    )
+
+
+def run_suite_benchmarks(
+    benchmarks: Sequence[Benchmark],
+    *,
+    reps: int = 3,
+    warmup: int = 1,
+    profile: bool = False,
+    progress: Optional[Any] = None,
+) -> List[BenchResult]:
+    """Run a list of benchmarks in order; ``progress(i, n, bench)`` is
+    called before each one when given."""
+    results: List[BenchResult] = []
+    for i, bench in enumerate(benchmarks):
+        if progress is not None:
+            progress(i, len(benchmarks), bench)
+        results.append(
+            run_benchmark(bench, reps=reps, warmup=warmup, profile=profile)
+        )
+    return results

@@ -1,0 +1,328 @@
+"""Phase-attribution wall-time profiler riding the ObsSink fast path.
+
+Every benchmark in this repo ultimately asks the same question: *where
+did the wall time go?*  The event kernel already reports every executed
+callback through :meth:`ObsSink.kernel_event`, so a sink that
+timestamps those reports can attribute the wall time between
+consecutive events to the subsystem whose callback just ran — engine
+exchange, NoC routing, thermal stepping, SoC/PM bookkeeping — with
+zero changes to simulation code and zero cost when not installed.
+
+Attribution model (all wall seconds):
+
+* the gap between two ``kernel_event`` reports is the just-executed
+  callback plus the kernel's heap dispatch for it; it is credited to
+  the callback's subsystem (dispatch rides along — it is proportional
+  to event count, which is exactly what the per-phase split shows);
+* time spent inside delegated sink calls (metrics, tracing, monitors)
+  is subtracted from the enclosing callback and credited to ``obs``,
+  so instrumentation overhead is visible instead of smeared;
+* everything outside the event loop — setup, result aggregation,
+  report building — lands in ``harness`` when :meth:`finish` runs.
+
+The phase totals therefore sum *exactly* to the measured wall window
+(``total_s``), per epoch and overall.  Like every sink, the profiler
+observes and never schedules: an enabled run is bit-identical to a
+disabled one (``tests/test_perf_phase.py`` proves it).
+"""
+# The profiler's whole job is reading the wall clock; the D1 wall-time
+# ban protects simulation results, which a sink cannot influence.
+# blitzlint: disable-file=D1
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.obs.profile import callback_site
+from repro.obs.runtime import install, uninstall
+from repro.obs.sink import ObsSink
+
+__all__ = [
+    "PHASES",
+    "PhaseProfiler",
+    "classify_site",
+    "phase_chrome_trace",
+    "phase_summary_lines",
+    "profiling",
+]
+
+Number = Union[int, float]
+
+#: Module-prefix -> phase table, most specific prefix first.  The
+#: classifier matches the callback's defining module, which works
+#: because the engine/NoC/SoC schedule closures defined inside their
+#: own methods (see :func:`repro.obs.profile.callback_site`).
+_PHASE_PREFIXES: Tuple[Tuple[str, str], ...] = (
+    ("repro.core", "engine"),
+    ("repro.noc", "noc"),
+    ("repro.thermal", "thermal"),
+    ("repro.soc", "soc"),
+    ("repro.workloads", "workload"),
+    ("repro.faults", "faults"),
+    ("repro.dvfs", "dvfs"),
+    ("repro.sim", "kernel"),
+)
+
+#: Every phase the profiler can report, in display order.  ``obs`` is
+#: delegated-sink overhead; ``harness`` is wall time outside the event
+#: loop; ``other`` is any callback from an unrecognized module.
+PHASES: Tuple[str, ...] = tuple(
+    [phase for _, phase in _PHASE_PREFIXES] + ["other", "obs", "harness"]
+)
+
+
+def classify_site(site: str) -> str:
+    """Phase name for a ``module:qualname`` callback site."""
+    module = site.split(":", 1)[0]
+    for prefix, phase in _PHASE_PREFIXES:
+        if module == prefix or module.startswith(prefix + "."):
+            return phase
+    return "other"
+
+
+class PhaseProfiler(ObsSink):
+    """Wall-time-per-subsystem collecting sink.
+
+    Optionally wraps an ``inner`` sink (an :class:`Observation` or a
+    :class:`MonitorSet`); every delegated call is timed and credited
+    to the ``obs`` phase, so the profiler can answer "what do the
+    monitors cost" in the same breakdown as "what does the engine
+    cost".  Use :func:`profiling` to scope installation.
+    """
+
+    def __init__(self, inner: Optional[ObsSink] = None) -> None:
+        self.inner = inner
+        #: phase -> wall seconds, whole run.
+        self.totals: Dict[str, float] = {}
+        #: epoch label -> phase -> wall seconds.
+        self.by_epoch: Dict[str, Dict[str, float]] = {}
+        #: epoch labels in first-seen order ("" is the implicit first).
+        self.epochs: List[str] = [""]
+        self.events: int = 0
+        self.total_s: float = 0.0
+        self._epoch = ""
+        self._mark: Optional[float] = None
+        self._obs_pending = 0.0
+        self._t0: Optional[float] = None
+
+    # ------------------------------------------------------------ lifecycle
+    def start(self) -> None:
+        """Open the measured wall window (idempotent)."""
+        if self._t0 is None:
+            self._t0 = time.perf_counter()
+            self._mark = self._t0
+
+    def finish(self) -> None:
+        """Close the window; residual time is credited to ``harness``."""
+        if self._t0 is None:
+            return
+        now = time.perf_counter()
+        self._flush_gap(now, "harness")
+        self._mark = now
+        self.total_s = now - self._t0
+
+    # ---------------------------------------------------------- attribution
+    def _add(self, phase: str, seconds: float) -> None:
+        if seconds <= 0.0:
+            return
+        self.totals[phase] = self.totals.get(phase, 0.0) + seconds
+        per = self.by_epoch.setdefault(self._epoch, {})
+        per[phase] = per.get(phase, 0.0) + seconds
+
+    def _flush_gap(self, now: float, phase: str) -> None:
+        """Credit the time since the last mark to ``phase`` (minus any
+        pending obs overhead, which goes to ``obs``)."""
+        if self._mark is None:
+            return
+        gap = now - self._mark - self._obs_pending
+        self._add(phase, gap)
+        self._add("obs", self._obs_pending)
+        self._obs_pending = 0.0
+
+    def attributed_s(self) -> float:
+        """Sum of all phase totals (== ``total_s`` after finish)."""
+        return sum(self.totals.values())
+
+    def shares(self) -> Dict[str, float]:
+        """phase -> fraction of the measured window (0 when empty)."""
+        total = self.total_s or self.attributed_s()
+        if total <= 0.0:
+            return {}
+        return {
+            phase: self.totals[phase] / total for phase in sorted(self.totals)
+        }
+
+    # ------------------------------------------------------------ sink hooks
+    def kernel_event(self, time_: int, callback: Callable[[], None]) -> None:
+        now = time.perf_counter()
+        if self._t0 is None:
+            self._t0 = now
+            self._mark = now
+        self._flush_gap(now, classify_site(callback_site(callback)))
+        self._mark = now
+        self.events += 1
+        # The delegated hook is obs overhead like any other sink call;
+        # _obs_pending carries it into the next gap's subtraction.
+        self._delegate("kernel_event", time_, callback)
+
+    def epoch(self, label: str) -> None:
+        now = time.perf_counter()
+        # Inter-epoch time (trial teardown/setup) is harness work.
+        self._flush_gap(now, "harness")
+        self._mark = now
+        self._epoch = label
+        if label not in self.epochs:
+            self.epochs.append(label)
+        self._delegate("epoch", label)
+
+    # Delegated observation calls: timed, credited to the obs phase.
+    def _delegate(self, method: str, *args: object, **kwargs: object) -> None:
+        if self.inner is None:
+            return
+        t0 = time.perf_counter()
+        getattr(self.inner, method)(*args, **kwargs)
+        self._obs_pending += time.perf_counter() - t0
+
+    def inc(self, name: str, time_: int, n: int = 1, **labels: object) -> None:
+        self._delegate("inc", name, time_, n, **labels)
+
+    def set_gauge(
+        self, name: str, time_: int, value: Number, **labels: object
+    ) -> None:
+        self._delegate("set_gauge", name, time_, value, **labels)
+
+    def observe(
+        self, name: str, time_: int, value: Number, **labels: object
+    ) -> None:
+        self._delegate("observe", name, time_, value, **labels)
+
+    def begin_span(self, span_id: str, name: str, time_: int, **kw: object) -> None:
+        self._delegate("begin_span", span_id, name, time_, **kw)
+
+    def end_span(self, span_id: str, time_: int, **kw: object) -> None:
+        self._delegate("end_span", span_id, time_, **kw)
+
+    def complete_span(
+        self, span_id: str, name: str, begin: int, end: int, **kw: object
+    ) -> None:
+        self._delegate("complete_span", span_id, name, begin, end, **kw)
+
+    def event(self, name: str, time_: int, **kw: object) -> None:
+        self._delegate("event", name, time_, **kw)
+
+    def sample(
+        self, name: str, time_: int, value: Number, **kw: object
+    ) -> None:
+        self._delegate("sample", name, time_, value, **kw)
+
+
+@contextmanager
+def profiling(
+    inner: Optional[ObsSink] = None,
+) -> Iterator[PhaseProfiler]:
+    """Install a :class:`PhaseProfiler` for the ``with`` body.
+
+    >>> from repro.perf.phase import profiling
+    >>> with profiling() as prof:
+    ...     pass  # run the simulation here
+    >>> prof.events
+    0
+    """
+    profiler = PhaseProfiler(inner)
+    profiler.start()
+    install(profiler)
+    try:
+        yield profiler
+    finally:
+        uninstall()
+        profiler.finish()
+
+
+# ------------------------------------------------------------------ readouts
+def phase_summary_lines(profiler: PhaseProfiler) -> List[str]:
+    """Aligned where-did-the-time-go table for one profiled window."""
+    total = profiler.total_s or profiler.attributed_s()
+    lines = [
+        f"phase profile: {profiler.events} events, "
+        f"{total * 1000:.1f} ms wall"
+    ]
+    if not profiler.totals:
+        lines.append("(no phases attributed)")
+        return lines
+    ranked = sorted(
+        profiler.totals.items(), key=lambda kv: (-kv[1], kv[0])
+    )
+    width = max(len(p) for p, _ in ranked)
+    for phase, seconds in ranked:
+        share = 100.0 * seconds / total if total > 0 else 0.0
+        lines.append(
+            f"{phase:<{width}}  {seconds * 1000:9.2f} ms  {share:5.1f}%"
+        )
+    return lines
+
+
+def phase_chrome_trace(profiler: PhaseProfiler) -> Dict[str, object]:
+    """Render the per-epoch phase totals as a Chrome ``trace_event`` doc.
+
+    Wall time, in integer microseconds — each epoch is a process row,
+    each phase a thread row carrying one complete (``ph: "X"``) span.
+    Loadable in ui.perfetto.dev next to the sim-cycle traces exported
+    by :mod:`repro.obs.export` (the ``time_unit`` differs and is
+    advertised in ``otherData``).
+    """
+    events: List[Dict[str, object]] = []
+    phase_tid = {phase: i + 1 for i, phase in enumerate(PHASES)}
+    for pid, epoch in enumerate(profiler.epochs, start=1):
+        per = profiler.by_epoch.get(epoch)
+        if not per:
+            continue
+        events.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": pid,
+                "tid": 0,
+                "ts": 0,
+                "args": {"name": f"epoch:{epoch}" if epoch else "run"},
+            }
+        )
+        cursor = 0
+        for phase in PHASES:
+            seconds = per.get(phase)
+            if seconds is None:
+                continue
+            tid = phase_tid[phase]
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": pid,
+                    "tid": tid,
+                    "ts": 0,
+                    "args": {"name": phase},
+                }
+            )
+            dur = max(1, int(round(seconds * 1e6)))
+            events.append(
+                {
+                    "ph": "X",
+                    "name": phase,
+                    "cat": "perf",
+                    "pid": pid,
+                    "tid": tid,
+                    "ts": cursor,
+                    "dur": dur,
+                    "args": {"seconds": round(seconds, 9)},
+                }
+            )
+            cursor += dur
+    return {
+        "traceEvents": events,
+        "otherData": {
+            "time_unit": "wall-us",
+            "events": profiler.events,
+            "total_s": round(profiler.total_s, 9),
+        },
+    }

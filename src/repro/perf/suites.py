@@ -1,0 +1,216 @@
+"""The built-in benchmark suites (importing this module registers them).
+
+The ``core`` suite is the CI trajectory gate: small, deterministic
+workloads exercising every hot layer — the exchange engine, the
+campaign executor, blitzlint's dataflow passes, and the observability
+path itself.  Each body derives all randomness from the seeds in its
+params, so the identity half of ``BENCH_core.json`` (metrics and
+counters) is byte-reproducible; only the wall times move.
+
+Sizes here are deliberately "quick": the whole suite must run twice in
+the CI bench job, so every body targets well under a second.  The
+standalone ``benchmarks/bench_*.py`` pytest benchmarks remain the
+heavyweight versions.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+from typing import Any, Dict
+
+from repro.perf.registry import register
+
+_SRC_REPRO = Path(__file__).resolve().parent.parent
+
+
+def _trial_metrics(results: Any) -> Dict[str, int]:
+    """Deterministic identity metrics for a list of TrialResults."""
+    return {
+        "converged": sum(1 for r in results if r.converged),
+        "packets": sum(r.packets for r in results),
+        "exchanges": sum(r.exchanges for r in results),
+        "cycles": sum(r.cycles or 0 for r in results),
+    }
+
+
+@register(
+    "engine.convergence",
+    params={"d": 6, "trials": 3, "base_seed": 3, "threshold": 1.5},
+    suites=("core",),
+    counters=(
+        "engine.exchanges_initiated",
+        "engine.coins_moved",
+        "engine.coin_deltas",
+    ),
+    profile=True,
+    description="Seeded convergence trials on the preferred embodiment "
+    "(the engine + NoC + kernel hot loop).",
+)
+def _engine_convergence(d, trials, base_seed, threshold):
+    from repro.core.config import preferred_embodiment
+    from repro.core.runner import run_trials
+
+    results = run_trials(
+        d,
+        preferred_embodiment(),
+        trials,
+        base_seed=base_seed,
+        threshold=threshold,
+    )
+    return _trial_metrics(results)
+
+
+@register(
+    "fig03.quick",
+    params={"dims": (4, 6), "trials": 2, "base_seed": 3},
+    suites=("core",),
+    counters=("engine.exchanges_initiated", "campaign.units_executed"),
+    profile=True,
+    description="A shrunken Fig. 3 sweep through the campaign layer "
+    "(1-way vs 4-way on d=4 and d=6 meshes).",
+)
+def _fig03_quick(dims, trials, base_seed):
+    from repro.experiments import fig03_convergence
+
+    result = fig03_convergence.run(
+        tuple(dims), trials, base_seed, workers=1
+    )
+    metrics: Dict[str, float] = {}
+    for technique, suffix in (("1-way", "1way"), ("4-way", "4way")):
+        pts = result.curve(technique)
+        metrics[f"cycles_{suffix}"] = sum(p.mean_cycles for p in pts)
+        metrics[f"packets_{suffix}"] = sum(p.mean_packets for p in pts)
+        metrics[f"converged_{suffix}"] = min(
+            p.converged_fraction for p in pts
+        )
+    return metrics
+
+
+@register(
+    "campaign.serial",
+    params={"d_values": (4,), "trials": 2, "base_seed": 3},
+    suites=("core",),
+    counters=(
+        "campaign.units_total",
+        "campaign.units_executed",
+        "campaign.units_cached",
+    ),
+    description="A small convergence campaign on a cold store: spec "
+    "expansion, unit execution, result persistence.",
+)
+def _campaign_serial(d_values, trials, base_seed):
+    from repro.campaign import CampaignSpec, CampaignStore, run_campaign
+    from repro.campaign.spec import encode_config
+    from repro.core.config import plain_one_way
+
+    spec = CampaignSpec(
+        name="bench-core-campaign",
+        kind="convergence",
+        trials=trials,
+        base_seed=base_seed,
+        seed_stride=1000,
+        axes=(("mode", ("1-way", "4-way")), ("d", tuple(d_values))),
+        params={"threshold": 1.5},
+        config=encode_config(plain_one_way()),
+    )
+    with tempfile.TemporaryDirectory(prefix="bench-campaign-") as scratch:
+        run = run_campaign(
+            spec, store=CampaignStore(Path(scratch)), workers=1
+        )
+        return {
+            "units_total": run.total,
+            "units_executed": run.executed,
+            "units_cached": run.cached,
+        }
+
+
+@register(
+    "lint.cold",
+    params={},
+    suites=("core",),
+    description="blitzlint full dataflow analysis of src/repro on a "
+    "fresh result cache.",
+)
+def _lint_cold():
+    from repro.analysis.cache import ResultCache
+    from repro.analysis.lint import lint_paths
+
+    with tempfile.TemporaryDirectory(prefix="bench-lint-") as scratch:
+        cache = ResultCache(Path(scratch) / "cache.json")
+        findings = lint_paths([str(_SRC_REPRO)], cache=cache)
+    return {"findings": len(findings)}
+
+
+def _lint_warm_setup():
+    from repro.analysis.cache import ResultCache
+    from repro.analysis.lint import lint_paths
+
+    scratch = Path(tempfile.mkdtemp(prefix="bench-lint-warm-"))
+    cache_path = scratch / "cache.json"
+    cache = ResultCache(cache_path)
+    lint_paths([str(_SRC_REPRO)], cache=cache)
+    cache.save()
+    return {"cache_path": str(cache_path)}
+
+
+@register(
+    "lint.warm",
+    params={},
+    setup=_lint_warm_setup,
+    suites=("core",),
+    description="blitzlint over src/repro with every file served from "
+    "the content-hash result cache.",
+)
+def _lint_warm(cache_path):
+    from repro.analysis.cache import ResultCache
+    from repro.analysis.lint import lint_paths
+
+    findings = lint_paths([str(_SRC_REPRO)], cache=ResultCache(cache_path))
+    return {"findings": len(findings)}
+
+
+@register(
+    "obs.overhead_off",
+    params={"d": 4, "trials": 2, "base_seed": 3, "threshold": 1.5},
+    suites=("core",),
+    description="Convergence trials with no sink installed — the "
+    "baseline for the obs fast-flag overhead trajectory.",
+)
+def _obs_overhead_off(d, trials, base_seed, threshold):
+    from repro.core.config import preferred_embodiment
+    from repro.core.runner import run_trials
+
+    results = run_trials(
+        d,
+        preferred_embodiment(),
+        trials,
+        base_seed=base_seed,
+        threshold=threshold,
+    )
+    return _trial_metrics(results)
+
+
+@register(
+    "obs.overhead_on",
+    params={"d": 4, "trials": 2, "base_seed": 3, "threshold": 1.5},
+    suites=("core",),
+    description="The identical workload under a full Observation sink; "
+    "the wall-time ratio against obs.overhead_off tracks the 'cheap "
+    "enabled' claim. Installs its own sink, so no counters/profile.",
+)
+def _obs_overhead_on(d, trials, base_seed, threshold):
+    from repro.core.config import preferred_embodiment
+    from repro.core.runner import run_trials
+    from repro.obs import observing
+    from repro.obs.sink import Observation
+
+    with observing(Observation("bench-overhead")):
+        results = run_trials(
+            d,
+            preferred_embodiment(),
+            trials,
+            base_seed=base_seed,
+            threshold=threshold,
+        )
+    return _trial_metrics(results)

@@ -40,6 +40,7 @@ __all__ = [
     "ReportDiff",
     "Thresholds",
     "ThresholdRule",
+    "diff_flat",
     "diff_reports",
     "format_diff_table",
     "load_thresholds",
@@ -258,27 +259,30 @@ def flat_metrics(report: RunReport) -> Dict[str, float]:
     return out
 
 
-def diff_reports(
-    baseline: RunReport,
-    candidate: RunReport,
+def diff_flat(
+    baseline_label: str,
+    candidate_label: str,
+    baseline: Mapping[str, float],
+    candidate: Mapping[str, float],
     thresholds: Optional[Thresholds] = None,
+    *,
+    zero_default_prefixes: Tuple[str, ...] = (),
 ) -> ReportDiff:
-    """Compare two reports of the same kind, metric by metric."""
-    if baseline.kind != candidate.kind:
-        raise DiffError(
-            f"cannot diff a {baseline.kind!r} report against a "
-            f"{candidate.kind!r} report"
-        )
+    """Diff two flat ``metric -> value`` maps under a threshold policy.
+
+    This is the reusable core of :func:`diff_reports`: any artifact
+    that can flatten itself to dotted numeric leaves (RunReports,
+    ``BENCH_*.json`` benchmark artifacts) gets the same directional
+    classification and rc-3 regression semantics.  Metrics whose name
+    starts with one of ``zero_default_prefixes`` treat absence on one
+    side as 0.0 rather than as an added/removed schema difference.
+    """
     policy = thresholds if thresholds is not None else DEFAULT_THRESHOLDS
-    a = flat_metrics(baseline)
-    b = flat_metrics(candidate)
     rows: List[DiffRow] = []
-    for metric in sorted(set(a) | set(b)):
-        va = a.get(metric)
-        vb = b.get(metric)
-        if metric.startswith("alerts."):
-            # A monitor that raised nothing on one side is a 0, not a
-            # schema difference.
+    for metric in sorted(set(baseline) | set(candidate)):
+        va = baseline.get(metric)
+        vb = candidate.get(metric)
+        if metric.startswith(zero_default_prefixes or ()):
             va = 0.0 if va is None else va
             vb = 0.0 if vb is None else vb
         if va is None:
@@ -290,9 +294,32 @@ def diff_reports(
         status = policy.rule_for(metric).judge(va, vb)
         rows.append(DiffRow(metric, va, vb, status))
     return ReportDiff(
-        baseline_label=baseline.label,
-        candidate_label=candidate.label,
+        baseline_label=baseline_label,
+        candidate_label=candidate_label,
         rows=rows,
+    )
+
+
+def diff_reports(
+    baseline: RunReport,
+    candidate: RunReport,
+    thresholds: Optional[Thresholds] = None,
+) -> ReportDiff:
+    """Compare two reports of the same kind, metric by metric."""
+    if baseline.kind != candidate.kind:
+        raise DiffError(
+            f"cannot diff a {baseline.kind!r} report against a "
+            f"{candidate.kind!r} report"
+        )
+    # A monitor that raised nothing on one side is a 0, not a schema
+    # difference — hence the alerts.* zero-default.
+    return diff_flat(
+        baseline.label,
+        candidate.label,
+        flat_metrics(baseline),
+        flat_metrics(candidate),
+        thresholds,
+        zero_default_prefixes=("alerts.",),
     )
 
 

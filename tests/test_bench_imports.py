@@ -1,0 +1,69 @@
+"""Every benchmarks/bench_*.py must import without side effects.
+
+The perf registry relies on this: ``bench run`` and pytest collection
+both import benchmark modules, so an import that ran a simulation,
+installed an observability sink, or wrote files would execute that
+work twice (and poison the fast-flag bit-identity guarantee).
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro.obs.runtime as obs_runtime
+from repro.perf.registry import REGISTRY
+
+BENCH_DIR = Path(__file__).resolve().parent.parent / "benchmarks"
+BENCH_FILES = sorted(BENCH_DIR.glob("bench_*.py"))
+
+
+def _import(path: Path):
+    name = path.stem
+    if name in sys.modules:
+        return sys.modules[name]
+    spec = importlib.util.spec_from_file_location(name, path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_benchmark_files_exist():
+    assert len(BENCH_FILES) >= 30
+
+
+@pytest.mark.parametrize(
+    "path", BENCH_FILES, ids=[p.stem for p in BENCH_FILES]
+)
+def test_imports_cleanly_without_side_effects(path):
+    before = obs_runtime.sink
+    module = _import(path)
+    # No sink installed, no simulation scheduled at import time.
+    assert obs_runtime.sink is before is None
+    # Anything executable is behind a guard, never at module level.
+    assert not hasattr(module, "__bench_ran__")
+
+
+def test_migrated_benchmarks_register_declarations():
+    for path in BENCH_FILES:
+        _import(path)
+    for name in (
+        "fig03.full",
+        "campaign.parallel",
+        "lint.tree_cold",
+        "obs.overhead_monitors",
+    ):
+        assert name in REGISTRY, name
+        bench = REGISTRY.get(name)
+        assert "full" in bench.suites
+        assert bench.description
+
+
+def test_standalone_entrypoints_are_guarded():
+    # Files that define main() must only call it under __main__.
+    for path in BENCH_FILES:
+        text = path.read_text(encoding="utf-8")
+        if "def main(" in text:
+            assert 'if __name__ == "__main__":' in text, path.name

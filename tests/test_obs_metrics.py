@@ -133,6 +133,33 @@ class TestHistogramPercentile:
             with pytest.raises(MetricsError):
                 h.percentile(bad)
 
+    def test_empty_quantile_summary_is_all_none_except_count(self):
+        # The edge contract the bench harness relies on: an empty
+        # series is absence (None), never a fabricated zero.
+        summary = Histogram("lat", bounds=(1, 2)).quantile_summary()
+        assert summary["count"] == 0.0
+        for stat in ("mean", "min", "p50", "p90", "p99", "max"):
+            assert summary[stat] is None, stat
+
+    def test_single_sample_quantile_summary_is_exact(self):
+        h = Histogram("lat", bounds=(1, 10, 100))
+        h.observe(0, 7)
+        summary = h.quantile_summary()
+        assert summary["count"] == 1.0
+        for stat in ("mean", "min", "p50", "p90", "p99", "max"):
+            assert summary[stat] == 7.0, stat
+
+    def test_non_finite_observations_rejected(self):
+        h = Histogram("lat", bounds=(1, 2))
+        h.observe(0, 1.5)
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(MetricsError):
+                h.observe(0, bad)
+        # The rejected values must not have touched any state.
+        assert h.count == 1
+        assert h.total == 1.5
+        assert h.quantile_summary()["max"] == 1.5
+
     def test_quantile_summary_keys(self):
         h = Histogram("lat", bounds=(10, 100))
         for v in (1, 2, 3, 50):
