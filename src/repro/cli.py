@@ -48,6 +48,7 @@ from repro.faults import (
     TileFaultEvent,
     load_fault_plan,
 )
+from repro.fuzz.cli import add_fuzz_parser
 from repro.obs import (
     Observation,
     observing,
@@ -1124,6 +1125,8 @@ def build_parser() -> argparse.ArgumentParser:
         "Chrome trace",
     )
     bp.set_defaults(func=cmd_bench_profile)
+
+    add_fuzz_parser(sub)
 
     return parser
 

@@ -1,0 +1,56 @@
+"""Coverage-guided scenario fuzzing for the BlitzCoin reproduction.
+
+The fuzzer composes random-but-valid scenario bundles (mesh/SoC
+configurations, workload DAGs, fault plans, timed thermal and budget
+events), runs them through the real simulator with three oracle
+families armed — health-monitor alerts, the runtime sanitizer's
+conservation invariants, and cross-config differential identities —
+and keeps a content-addressed corpus of behaviorally novel seeds.
+Failures shrink to minimal frozen repro bundles that replay
+bit-identically (``blitzcoin-repro fuzz replay``).
+
+See docs/FUZZING.md for the oracle table, corpus layout, shrink
+semantics, and the replay contract.
+"""
+
+from repro.fuzz.campaign import CampaignSummary, fuzz_campaign, replay_corpus
+from repro.fuzz.corpus import Corpus, ReproBundle, load_bundle
+from repro.fuzz.coverage import coverage_tokens, log2_bucket
+from repro.fuzz.generate import generate_scenario
+from repro.fuzz.oracles import (
+    Failure,
+    FuzzOutcome,
+    execute_scenario,
+    run_oracles,
+)
+from repro.fuzz.scenario import (
+    EngineSection,
+    FuzzError,
+    Scenario,
+    ScenarioEvent,
+    SocSection,
+)
+from repro.fuzz.shrink import ShrinkResult, shrink_scenario
+
+__all__ = [
+    "CampaignSummary",
+    "Corpus",
+    "EngineSection",
+    "Failure",
+    "FuzzError",
+    "FuzzOutcome",
+    "ReproBundle",
+    "Scenario",
+    "ScenarioEvent",
+    "ShrinkResult",
+    "SocSection",
+    "coverage_tokens",
+    "execute_scenario",
+    "fuzz_campaign",
+    "generate_scenario",
+    "load_bundle",
+    "log2_bucket",
+    "replay_corpus",
+    "run_oracles",
+    "shrink_scenario",
+]

@@ -1,0 +1,330 @@
+"""The seed-driven scenario generator: random but always valid.
+
+``generate_scenario(seed, index)`` is a pure function of its two
+arguments — every random draw comes from one
+:func:`repro.sim.rng.rng_for` stream, so a fuzz campaign is replayable
+from ``(seed, budget)`` alone and two machines running the same
+campaign produce byte-identical corpora.
+
+The generator composes from the whole scenario space:
+
+* **engine** scenarios (the common case) — 3x3 / 4x4 meshes with
+  heterogeneous targets, all three config variants, demand steps,
+  thermal caps, global budget steps, and fault plans mixing link
+  faults, kill/hang/revive storms, and coin-loss upsets;
+* **soc** scenarios — the managed 3x3 / 4x4 presets driving small task
+  DAGs (chains, diamonds, layered graphs, and production-shaped
+  diurnal arrival traces from :mod:`repro.workloads.production`)
+  under a power budget, with runtime thermal caps.
+
+Generated scenarios must stay *completable*: revives chase kills,
+thermal caps stay >= 1, SoC task work is sized so the workload finishes
+inside the horizon — the oracle treats an unfinished workload as a
+hang, and a generator that emits impossible workloads would bury real
+failures in false positives.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.faults.plan import (
+    CoinLossEvent,
+    FaultPlan,
+    LinkFaultRates,
+    TileFaultEvent,
+)
+from repro.fuzz.scenario import (
+    MANAGED_TILES,
+    VARIANTS,
+    EngineSection,
+    Scenario,
+    ScenarioEvent,
+    SocSection,
+)
+from repro.sim.rng import rng_for
+from repro.workloads.dag import TaskGraph
+from repro.workloads.production import diurnal_arrival_trace
+from repro.workloads.scenarios import build_parallel, chain, diamond
+from repro.workloads.synthetic import random_layered_dag
+
+__all__ = ["generate_scenario"]
+
+#: Accelerator classes available on each SoC preset (repro.soc.presets).
+_PRESET_CLASSES = {
+    "3x3": ("FFT", "Viterbi", "NVDLA"),
+    "4x4": ("GEMM", "Conv2D", "Vision"),
+}
+
+_PRESET_BUDGET_MW = {"3x3": 120, "4x4": 450}
+
+
+def _pick(rng: np.random.Generator, options: Tuple[str, ...]) -> str:
+    return options[int(rng.integers(0, len(options)))]
+
+
+# ------------------------------------------------------------ fault plans
+def _random_fault_plan(
+    rng: np.random.Generator, n_tiles: int, horizon: int, seed: int
+) -> FaultPlan:
+    """A sometimes-null fault plan sized to the scenario.
+
+    Roughly 40% of plans are null (exercising the null-plan ≡
+    no-injector differential); the rest mix link rates, tile
+    kill/hang/revive sequences (revives chase kills so scenarios stay
+    completable), and coin-loss upsets.
+    """
+    if rng.random() < 0.40:
+        return FaultPlan(seed=seed)
+    link = LinkFaultRates()
+    if rng.random() < 0.5:
+        link = LinkFaultRates(
+            drop=round(float(rng.uniform(0.0, 0.04)), 4),
+            duplicate=round(float(rng.uniform(0.0, 0.02)), 4),
+            corrupt=round(float(rng.uniform(0.0, 0.02)), 4),
+            delay=round(float(rng.uniform(0.0, 0.10)), 4),
+            max_delay_cycles=int(rng.integers(8, 128)),
+        )
+    tile_events: List[TileFaultEvent] = []
+    if rng.random() < 0.6:
+        for _ in range(int(rng.integers(1, 4))):
+            tile = int(rng.integers(0, n_tiles))
+            at = int(rng.integers(0, max(1, horizon // 2)))
+            action = _pick(rng, ("kill", "hang"))
+            tile_events.append(
+                TileFaultEvent(cycle=at, tile=tile, action=action)
+            )
+            if rng.random() < 0.7:  # usually bring it back
+                back = int(rng.integers(at + 1, horizon))
+                tile_events.append(
+                    TileFaultEvent(cycle=back, tile=tile, action="revive")
+                )
+    coin_losses: List[CoinLossEvent] = []
+    if rng.random() < 0.5:
+        for _ in range(int(rng.integers(1, 4))):
+            coin_losses.append(
+                CoinLossEvent(
+                    cycle=int(rng.integers(0, horizon)),
+                    tile=int(rng.integers(0, n_tiles)),
+                    coins=int(rng.integers(1, 9)),
+                )
+            )
+    return FaultPlan(
+        seed=seed,
+        link=link,
+        tile_events=tuple(
+            sorted(tile_events, key=lambda e: (e.cycle, e.tile, e.action))
+        ),
+        coin_loss_events=tuple(
+            sorted(coin_losses, key=lambda e: (e.cycle, e.tile, e.coins))
+        ),
+    )
+
+
+# --------------------------------------------------------------- engine kind
+def _engine_scenario(
+    rng: np.random.Generator, seed: int, index: int
+) -> Scenario:
+    dim = int(rng.integers(3, 5))  # 3x3 or 4x4 mesh
+    n = dim * dim
+    max_by_tile = tuple(int(m) for m in rng.integers(4, 49, size=n))
+    pool = int(round(sum(max_by_tile) * float(rng.uniform(0.4, 0.95))))
+    # Engine runs simulate the full horizon (refresh events never stop)
+    # with the sanitizer scanning invariants on every event, so the
+    # horizon is the cost knob: convergence on a 4x4 mesh takes O(10^3)
+    # cycles, 10k-30k leaves room for fault/recovery arcs while keeping
+    # one oracled run (primary + differential re-runs) near a second.
+    horizon = int(rng.integers(10_000, 30_001))
+    variant = _pick(rng, VARIANTS)
+
+    events: List[ScenarioEvent] = []
+    for _ in range(int(rng.integers(0, 7))):
+        kind = _pick(rng, ("set_max", "set_max", "thermal_cap", "budget_step"))
+        at = int(rng.integers(0, (horizon * 3) // 5))
+        if kind == "set_max":
+            events.append(
+                ScenarioEvent(
+                    cycle=at,
+                    kind=kind,
+                    tile=int(rng.integers(0, n)),
+                    value=int(rng.integers(0, 65)),
+                )
+            )
+        elif kind == "thermal_cap":
+            # -1 clears; caps stay >= 1 so a capped tile can still hold
+            # a coin (a 0-cap tile wedges demand forever → false hangs).
+            value = -1 if rng.random() < 0.25 else int(rng.integers(1, 33))
+            events.append(
+                ScenarioEvent(
+                    cycle=at,
+                    kind=kind,
+                    tile=int(rng.integers(0, n)),
+                    value=value,
+                )
+            )
+        else:
+            events.append(
+                ScenarioEvent(
+                    cycle=at,
+                    kind=kind,
+                    tile=-1,
+                    value=int(rng.integers(50, 151)),
+                )
+            )
+    plan = _random_fault_plan(rng, n, horizon, seed=seed * 1_000_003 + index)
+    return Scenario(
+        kind="engine",
+        seed=seed,
+        variant=variant,
+        max_cycles=horizon,
+        events=tuple(events),
+        fault_plan=plan,
+        engine=EngineSection(dim=dim, max_by_tile=max_by_tile, pool=pool),
+    )
+
+
+# ------------------------------------------------------------------ soc kind
+def _soc_taskgraph(
+    rng: np.random.Generator, preset: str, seed: int, index: int
+) -> TaskGraph:
+    classes = _PRESET_CLASSES[preset]
+    shape = int(rng.integers(0, 5))
+
+    def spec(i: int) -> Tuple[str, str, int]:
+        return (
+            f"t{i}",
+            _pick(rng, classes),
+            int(rng.integers(5_000, 40_001)),
+        )
+
+    if shape == 0:
+        return chain([spec(i) for i in range(int(rng.integers(2, 6)))])
+    if shape == 1:
+        return build_parallel(
+            [spec(i) for i in range(int(rng.integers(2, 5)))]
+        )
+    if shape == 2:
+        n_mid = int(rng.integers(1, 4))
+        return diamond(
+            spec(0), [spec(i + 1) for i in range(n_mid)], spec(n_mid + 1)
+        )
+    if shape == 3:
+        return random_layered_dag(
+            int(rng.integers(3, 8)),
+            classes,
+            seed * 37 + index,
+            n_layers=int(rng.integers(2, 4)),
+            work_range=(5_000, 40_000),
+        )
+    # Production-shaped: a short diurnal arrival trace as a task DAG.
+    trace = diurnal_arrival_trace(
+        n_tenants=int(rng.integers(2, 5)),
+        horizon_cycles=200_000,
+        seed=seed * 31 + index,
+        mean_arrivals=int(rng.integers(4, 10)),
+        acc_classes=classes,
+        work_range=(5_000, 30_000),
+    )
+    if trace.arrivals:
+        return trace.to_taskgraph(dependent=bool(rng.integers(0, 2)))
+    return chain([spec(0), spec(1)])
+
+
+def _soc_scenario(
+    rng: np.random.Generator, seed: int, index: int
+) -> Scenario:
+    # 3x3 dominates: the 4x4 preset simulates ~3x slower.
+    preset = "3x3" if rng.random() < 0.75 else "4x4"
+    base_budget = _PRESET_BUDGET_MW[preset]
+    budget = int(base_budget * float(rng.uniform(0.8, 1.3)))
+    graph = _soc_taskgraph(rng, preset, seed, index)
+    # Horizon with slack: total work is bounded by tasks * max work and
+    # accelerators run >= ~0.2 GHz under any sane budget, so 40x the
+    # serialized work keeps finishable workloads finishing.
+    total_work = sum(graph[n].work_cycles for n in graph.topological_order())
+    horizon = max(200_000, min(2_000_000, total_work * 40))
+    managed = MANAGED_TILES[preset]
+    events: List[ScenarioEvent] = []
+    for _ in range(int(rng.integers(0, 3))):
+        value = -1 if rng.random() < 0.25 else int(rng.integers(1, 33))
+        events.append(
+            ScenarioEvent(
+                cycle=int(rng.integers(0, horizon // 2)),
+                kind="thermal_cap",
+                tile=int(managed[int(rng.integers(0, len(managed)))]),
+                value=value,
+            )
+        )
+    n_tiles = 9 if preset == "3x3" else 16
+    plan = _random_fault_plan(
+        rng, n_tiles, horizon, seed=seed * 1_000_003 + index
+    )
+    # Keep SoC workloads completable: never leave a tile dead/hung to
+    # the end of the run (a task pinned there could never finish).
+    plan = _ensure_revived(plan, horizon)
+    return Scenario(
+        kind="soc",
+        seed=seed,
+        variant="preferred",
+        max_cycles=horizon,
+        events=tuple(events),
+        fault_plan=plan,
+        soc=SocSection.from_taskgraph(
+            graph, preset=preset, budget_mw=budget
+        ),
+    )
+
+
+def _ensure_revived(plan: FaultPlan, horizon: int) -> FaultPlan:
+    """Append revives for tiles a plan leaves dead or hung."""
+    down: dict = {}
+    for ev in plan.tile_events:
+        if ev.action in ("kill", "hang"):
+            down[ev.tile] = max(down.get(ev.tile, 0), ev.cycle)
+        else:
+            down.pop(ev.tile, None)
+    if not down:
+        return plan
+    extra = [
+        TileFaultEvent(
+            cycle=min(horizon - 1, last + max(1, horizon // 4)),
+            tile=tile,
+            action="revive",
+        )
+        for tile, last in sorted(down.items())
+    ]
+    merged = tuple(
+        sorted(
+            plan.tile_events + tuple(extra),
+            key=lambda e: (e.cycle, e.tile, e.action),
+        )
+    )
+    return FaultPlan(
+        seed=plan.seed,
+        link=plan.link,
+        link_overrides=plan.link_overrides,
+        tile_events=merged,
+        coin_loss_events=plan.coin_loss_events,
+    )
+
+
+# ------------------------------------------------------------------- driver
+def generate_scenario(
+    seed: int, index: int, *, kind: Optional[str] = None
+) -> Scenario:
+    """Deterministically generate the ``index``-th scenario of a campaign.
+
+    ``kind`` forces "engine" or "soc"; by default ~70% of scenarios are
+    engine-kind (cheap, covers the exchange protocol) and ~30% drive
+    the full managed SoC (covers PM, executor, starvation/overshoot).
+    """
+    rng = rng_for(seed, index, 23)
+    if kind is None:
+        kind = "engine" if rng.random() < 0.70 else "soc"
+    if kind == "engine":
+        return _engine_scenario(rng, seed, index)
+    if kind == "soc":
+        return _soc_scenario(rng, seed, index)
+    raise ValueError(f"unknown scenario kind {kind!r}")

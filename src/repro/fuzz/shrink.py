@@ -1,0 +1,192 @@
+"""Deterministic scenario shrinking: smallest input, same failure.
+
+Given a failing scenario and the oracle key it tripped, the shrinker
+applies a fixed sequence of reduction passes — drop scenario events,
+drop fault-plan events, null the link rates, shrink the task graph to a
+dependency-closed prefix, shorten the horizon — and accepts a candidate
+only when
+
+1. re-running the oracles reproduces a failure with the *same key*, and
+2. the candidate's canonical size is *strictly smaller*.
+
+Passes iterate to a fixpoint.  Everything is ordered (no randomness,
+no time), so shrinking the same bundle always yields the same minimal
+scenario — the shrunk bundle is itself a valid repro bundle.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Iterator, List, Optional, Tuple
+
+from repro.faults.plan import FaultPlan, LinkFaultRates
+from repro.fuzz.oracles import Failure, run_oracles
+from repro.fuzz.scenario import Scenario, SocSection
+
+__all__ = ["ShrinkResult", "shrink_scenario"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ShrinkResult:
+    """The outcome of one shrink campaign."""
+
+    scenario: Scenario
+    failure: Failure
+    fingerprint: str
+    attempts: int
+    accepted: int
+
+    @property
+    def shrunk(self) -> bool:
+        return self.accepted > 0
+
+
+def _matching_failure(
+    scenario: Scenario, key: str
+) -> Optional[Tuple[Failure, str]]:
+    """(failure, fingerprint) when ``scenario`` still trips ``key``."""
+    outcome = run_oracles(scenario)
+    for failure in outcome.failures:
+        if failure.key == key:
+            return failure, outcome.fingerprint
+    return None
+
+
+# ------------------------------------------------------------------- passes
+def _drop_events(scenario: Scenario) -> Iterator[Scenario]:
+    """Try removing each scenario event (last first: later events are
+    more likely decorative)."""
+    events = scenario.events
+    for i in range(len(events) - 1, -1, -1):
+        yield scenario.with_events(events[:i] + events[i + 1 :])
+
+
+def _drop_tile_faults(scenario: Scenario) -> Iterator[Scenario]:
+    plan = scenario.fault_plan
+    for i in range(len(plan.tile_events) - 1, -1, -1):
+        pruned = plan.tile_events[:i] + plan.tile_events[i + 1 :]
+        yield scenario.with_fault_plan(
+            dataclasses.replace(plan, tile_events=pruned)
+        )
+
+
+def _drop_coin_losses(scenario: Scenario) -> Iterator[Scenario]:
+    plan = scenario.fault_plan
+    for i in range(len(plan.coin_loss_events) - 1, -1, -1):
+        pruned = plan.coin_loss_events[:i] + plan.coin_loss_events[i + 1 :]
+        yield scenario.with_fault_plan(
+            dataclasses.replace(plan, coin_loss_events=pruned)
+        )
+
+
+def _null_link(scenario: Scenario) -> Iterator[Scenario]:
+    plan = scenario.fault_plan
+    if not plan.link.is_null:
+        yield scenario.with_fault_plan(
+            dataclasses.replace(plan, link=LinkFaultRates())
+        )
+    if plan.link_overrides:
+        yield scenario.with_fault_plan(
+            dataclasses.replace(plan, link_overrides=())
+        )
+
+
+def _shrink_tasks(scenario: Scenario) -> Iterator[Scenario]:
+    """Drop leaf tasks (nothing depends on them) one at a time."""
+    if scenario.soc is None:
+        return
+    tasks = scenario.soc.tasks
+    if len(tasks) <= 1:
+        return
+    depended = {d for row in tasks for d in row[3]}
+    for i in range(len(tasks) - 1, -1, -1):
+        if tasks[i][0] in depended:
+            continue
+        pruned = tasks[:i] + tasks[i + 1 :]
+        yield dataclasses.replace(
+            scenario,
+            soc=SocSection(
+                preset=scenario.soc.preset,
+                budget_mw=scenario.soc.budget_mw,
+                tasks=pruned,
+            ),
+        )
+
+
+def _halve_horizon(scenario: Scenario) -> Iterator[Scenario]:
+    horizon = scenario.max_cycles
+    last_needed = max(
+        [ev.cycle + 1 for ev in scenario.events]
+        + [ev.cycle + 1 for ev in scenario.fault_plan.tile_events]
+        + [ev.cycle + 1 for ev in scenario.fault_plan.coin_loss_events]
+        + [1024],
+    )
+    candidate = max(last_needed, horizon // 2)
+    if candidate < horizon:
+        yield dataclasses.replace(scenario, max_cycles=candidate)
+
+
+_PASSES: Tuple[Callable[[Scenario], Iterator[Scenario]], ...] = (
+    _drop_events,
+    _drop_tile_faults,
+    _drop_coin_losses,
+    _null_link,
+    _shrink_tasks,
+    _halve_horizon,
+)
+
+
+# ------------------------------------------------------------------- driver
+def shrink_scenario(
+    scenario: Scenario,
+    key: str,
+    *,
+    max_attempts: int = 200,
+    on_progress: Optional[Callable[[str], None]] = None,
+) -> ShrinkResult:
+    """Greedily minimize ``scenario`` while it still trips ``key``.
+
+    Raises :class:`ValueError` if the starting scenario does not
+    reproduce the failure (a stale bundle must not silently "shrink"
+    into an unrelated passing input).
+    """
+    start = _matching_failure(scenario, key)
+    if start is None:
+        raise ValueError(
+            f"scenario does not reproduce failure {key!r}; nothing to shrink"
+        )
+    failure, fingerprint = start
+    current = scenario
+    attempts = 0
+    accepted = 0
+    progress = True
+    while progress and attempts < max_attempts:
+        progress = False
+        for reduction in _PASSES:
+            candidates: List[Scenario] = list(reduction(current))
+            for candidate in candidates:
+                if attempts >= max_attempts:
+                    break
+                if candidate.size >= current.size:
+                    continue
+                attempts += 1
+                match = _matching_failure(candidate, key)
+                if match is None:
+                    continue
+                failure, fingerprint = match
+                accepted += 1
+                if on_progress is not None:
+                    on_progress(
+                        f"shrink: {current.size} -> {candidate.size} bytes "
+                        f"({reduction.__name__.lstrip('_')})"
+                    )
+                current = candidate
+                progress = True
+                break  # restart this pass against the smaller scenario
+    return ShrinkResult(
+        scenario=current,
+        failure=failure,
+        fingerprint=fingerprint,
+        attempts=attempts,
+        accepted=accepted,
+    )

@@ -7,6 +7,10 @@
   for the 4x4 SoC (Section V-A).
 * :mod:`~repro.workloads.synthetic` — random phase/DAG generators for
   the scalability studies.
+* :mod:`~repro.workloads.production` — production-shaped load: diurnal
+  multi-tenant arrival traces, bursty phases, load-correlated faults.
+* :mod:`~repro.workloads.trace_io` — CSV persistence for task graphs,
+  phase traces, and arrival traces.
 """
 
 from repro.workloads.apps import (
@@ -24,6 +28,14 @@ from repro.workloads.scenarios import (
     pipeline_frames,
     repeat_frames,
 )
+from repro.workloads.production import (
+    Arrival,
+    ArrivalTrace,
+    ProductionError,
+    bursty_phase_trace,
+    correlated_fault_plan,
+    diurnal_arrival_trace,
+)
 from repro.workloads.synthetic import (
     PhaseTrace,
     random_layered_dag,
@@ -31,13 +43,17 @@ from repro.workloads.synthetic import (
 )
 from repro.workloads.trace_io import (
     TraceIoError,
+    load_arrival_trace,
     load_phase_trace,
     load_taskgraph,
+    save_arrival_trace,
     save_phase_trace,
     save_taskgraph,
 )
 
 __all__ = [
+    "Arrival",
+    "ArrivalTrace",
     "DagError",
     "DataflowMode",
     "PhaseTrace",
@@ -51,12 +67,18 @@ __all__ = [
     "computer_vision_parallel",
     "diamond",
     "pipeline_frames",
+    "ProductionError",
+    "bursty_phase_trace",
+    "correlated_fault_plan",
+    "diurnal_arrival_trace",
     "random_layered_dag",
     "repeat_frames",
     "random_phase_trace",
     "TraceIoError",
+    "load_arrival_trace",
     "load_phase_trace",
     "load_taskgraph",
+    "save_arrival_trace",
     "save_phase_trace",
     "save_taskgraph",
 ]

@@ -1,11 +1,15 @@
-"""Workload trace persistence: save and replay task graphs and phase
-traces as plain CSV.
+"""Workload trace persistence: save and replay task graphs, phase
+traces, and production arrival traces as plain CSV.
 
 The paper's artifact distributes its workloads as compiled baremetal
 binaries; the reproduction's equivalent portable format is a CSV task
-table (name, class, work, deps, pin) and a CSV activity-event table for
-synthetic phase traces — human-editable, diffable, and loadable into
-any external analysis tool.
+table (name, class, work, deps, pin), a CSV activity-event table for
+synthetic phase traces, and a CSV request table for the
+production-shaped multi-tenant arrival traces of
+:mod:`repro.workloads.production` — human-editable, diffable, and
+loadable into any external analysis tool.  Every ``save_*`` /
+``load_*`` pair round-trips byte-identically: saving a loaded file
+reproduces it exactly.
 """
 
 from __future__ import annotations
@@ -15,6 +19,7 @@ from pathlib import Path
 from typing import Union
 
 from repro.workloads.dag import DagError, Task, TaskGraph
+from repro.workloads.production import Arrival, ArrivalTrace, ProductionError
 from repro.workloads.synthetic import PhaseTrace
 
 _DEP_SEPARATOR = ";"
@@ -124,3 +129,64 @@ def load_phase_trace(path: Union[str, Path]) -> PhaseTrace:
         horizon_cycles=horizon,
         n_tiles=n_tiles,
     )
+
+
+# --------------------------------------------------------- arrival traces
+_ARRIVAL_HEADER = ["cycle", "tenant", "acc_class", "work_cycles"]
+
+
+def save_arrival_trace(trace: ArrivalTrace, path: Union[str, Path]) -> Path:
+    """Write a production arrival trace as a CSV request table."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(_ARRIVAL_HEADER)
+        writer.writerow(["#horizon", trace.horizon_cycles, trace.n_tenants, ""])
+        for a in trace.arrivals:
+            writer.writerow([a.cycle, a.tenant, a.acc_class, a.work_cycles])
+    return path
+
+
+def load_arrival_trace(path: Union[str, Path]) -> ArrivalTrace:
+    """Load a production arrival trace from a CSV request table."""
+    path = Path(path)
+    arrivals = []
+    horizon = None
+    n_tenants = None
+    with path.open(newline="") as fh:
+        reader = csv.reader(fh)
+        header = next(reader, None)
+        if header != _ARRIVAL_HEADER:
+            raise TraceIoError(f"{path}: unexpected header {header}")
+        for line, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            if row[0] == "#horizon":
+                try:
+                    horizon = int(row[1])
+                    n_tenants = int(row[2])
+                except (ValueError, IndexError) as exc:
+                    raise TraceIoError(f"{path}:{line}: {exc}") from exc
+                continue
+            try:
+                arrivals.append(
+                    Arrival(
+                        cycle=int(row[0]),
+                        tenant=int(row[1]),
+                        acc_class=row[2],
+                        work_cycles=int(row[3]),
+                    )
+                )
+            except (ValueError, IndexError, ProductionError) as exc:
+                raise TraceIoError(f"{path}:{line}: {exc}") from exc
+    if horizon is None or n_tenants is None:
+        raise TraceIoError(f"{path}: missing #horizon metadata row")
+    try:
+        return ArrivalTrace(
+            arrivals=tuple(arrivals),
+            horizon_cycles=horizon,
+            n_tenants=n_tenants,
+        )
+    except ProductionError as exc:
+        raise TraceIoError(f"{path}: {exc}") from exc

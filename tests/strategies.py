@@ -1,0 +1,221 @@
+"""Shared hypothesis strategies for the whole test suite.
+
+One library instead of per-file ad-hoc generators: the exchange
+arithmetic properties, the fault-plan conservation properties, and the
+fuzzer's own tests all draw from here, so "an arbitrary valid
+FaultPlan" means the same thing everywhere and a strategy improvement
+(a new edge case) upgrades every consumer at once.
+
+Strategy families:
+
+* coin counts — :data:`HAS` / :data:`MAX` / :data:`CAP`, adversarial
+  integers spanning negative transients to past-float53 pools;
+* fault plans — :func:`fault_plans`, arbitrary valid plans for a 3x3
+  mesh (lossy links, tile kills/hangs/revives in any order, coin-loss
+  upsets);
+* workloads — :func:`task_graphs`, small valid DAGs in the layered
+  shape the executor schedules, and :func:`arrival_traces`,
+  multi-tenant production request streams;
+* fuzz scenarios — :func:`scenario_events` and :func:`engine_scenarios`
+  for :mod:`repro.fuzz` round-trip and validation properties.
+"""
+
+from hypothesis import strategies as st
+
+from repro.faults.plan import (
+    CoinLossEvent,
+    FaultPlan,
+    LinkFaultRates,
+    TileFaultEvent,
+)
+from repro.fuzz.scenario import EngineSection, Scenario, ScenarioEvent
+from repro.workloads.dag import Task, TaskGraph
+from repro.workloads.production import Arrival, ArrivalTrace
+
+__all__ = [
+    "CAP",
+    "COIN_EVENTS",
+    "GROUP",
+    "HAS",
+    "MAX",
+    "N_TILES",
+    "RATES",
+    "TILE_EVENTS",
+    "arrival_traces",
+    "engine_scenarios",
+    "fault_plans",
+    "scenario_events",
+    "task_graphs",
+]
+
+# ------------------------------------------------------------ coin counts
+#: Adversarial coin counts: negative transients through silicon-scale
+#: pools past 2**53, where float arithmetic would silently round.
+HAS = st.integers(min_value=-(10**4), max_value=10**16)
+MAX = st.integers(min_value=0, max_value=10**16)
+CAP = st.one_of(st.none(), st.integers(min_value=0, max_value=10**16))
+
+#: Groups of (has, max) pairs for the 4-way group exchange.
+GROUP = st.lists(st.tuples(HAS, MAX), min_size=1, max_size=6)
+
+# ------------------------------------------------------------ fault plans
+RATES = st.floats(min_value=0.0, max_value=0.25)
+N_TILES = 9  # 3x3 grid keeps each simulated example fast
+
+TILE_EVENTS = st.lists(
+    st.builds(
+        TileFaultEvent,
+        cycle=st.integers(0, 4_000),
+        tile=st.integers(0, N_TILES - 1),
+        action=st.sampled_from(("kill", "hang", "revive")),
+    ),
+    max_size=4,
+)
+
+COIN_EVENTS = st.lists(
+    st.builds(
+        CoinLossEvent,
+        cycle=st.integers(0, 4_000),
+        tile=st.integers(0, N_TILES - 1),
+        coins=st.integers(1, 8),
+    ),
+    max_size=3,
+)
+
+
+@st.composite
+def fault_plans(draw) -> FaultPlan:
+    """Arbitrary valid 3x3 fault plans: lossy links plus tile/coin
+    events in any order, including kills of never-revived tiles and
+    revives of never-killed ones."""
+    return FaultPlan(
+        seed=draw(st.integers(0, 2**32)),
+        link=LinkFaultRates(
+            drop=draw(RATES),
+            duplicate=draw(RATES),
+            corrupt=draw(RATES),
+            delay=draw(RATES),
+            max_delay_cycles=draw(st.integers(1, 24)),
+        ),
+        tile_events=tuple(draw(TILE_EVENTS)),
+        coin_loss_events=tuple(draw(COIN_EVENTS)),
+    )
+
+
+# -------------------------------------------------------------- workloads
+_ACC_CLASSES = ("FFT", "Viterbi", "NVDLA")
+
+
+@st.composite
+def task_graphs(draw, max_tasks: int = 6) -> TaskGraph:
+    """Small valid layered DAGs: task k may depend on tasks < k, so the
+    graph is acyclic by construction but edge shape is arbitrary."""
+    n = draw(st.integers(1, max_tasks))
+    tasks = []
+    for k in range(n):
+        deps = (
+            tuple(
+                f"t{i}"
+                for i in sorted(
+                    draw(
+                        st.sets(
+                            st.integers(0, k - 1), max_size=min(k, 3)
+                        )
+                    )
+                )
+            )
+            if k
+            else ()
+        )
+        tasks.append(
+            Task(
+                name=f"t{k}",
+                acc_class=draw(st.sampled_from(_ACC_CLASSES)),
+                work_cycles=draw(st.integers(1_000, 50_000)),
+                deps=deps,
+                tile_hint=None,
+            )
+        )
+    return TaskGraph(tasks)
+
+
+@st.composite
+def arrival_traces(draw, max_arrivals: int = 12) -> ArrivalTrace:
+    """Arbitrary valid multi-tenant arrival traces (sorted, in-horizon)."""
+    n_tenants = draw(st.integers(1, 4))
+    horizon = draw(st.integers(1_000, 500_000))
+    arrivals = draw(
+        st.lists(
+            st.builds(
+                Arrival,
+                cycle=st.integers(0, horizon - 1),
+                tenant=st.integers(0, n_tenants - 1),
+                acc_class=st.sampled_from(_ACC_CLASSES),
+                work_cycles=st.integers(1, 200_000),
+            ),
+            max_size=max_arrivals,
+        )
+    )
+    return ArrivalTrace(
+        arrivals=tuple(arrivals),
+        horizon_cycles=horizon,
+        n_tenants=n_tenants,
+    )
+
+
+# ---------------------------------------------------------- fuzz scenarios
+@st.composite
+def scenario_events(
+    draw, n_tiles: int = 9, horizon: int = 50_000
+) -> ScenarioEvent:
+    """One valid engine-kind scenario event of any kind."""
+    kind = draw(st.sampled_from(("set_max", "thermal_cap", "budget_step")))
+    cycle = draw(st.integers(0, horizon - 1))
+    if kind == "budget_step":
+        return ScenarioEvent(
+            cycle=cycle, kind=kind, tile=-1,
+            value=draw(st.integers(0, 400)),
+        )
+    tile = draw(st.integers(0, n_tiles - 1))
+    if kind == "set_max":
+        return ScenarioEvent(
+            cycle=cycle, kind=kind, tile=tile,
+            value=draw(st.integers(0, 128)),
+        )
+    return ScenarioEvent(
+        cycle=cycle, kind=kind, tile=tile,
+        value=draw(st.integers(-1, 64)),
+    )
+
+
+@st.composite
+def engine_scenarios(draw) -> Scenario:
+    """Arbitrary valid engine-kind fuzz scenarios (3x3, short horizon)."""
+    dim = 3
+    n = dim * dim
+    horizon = draw(st.integers(2_000, 50_000))
+    return Scenario(
+        kind="engine",
+        seed=draw(st.integers(0, 2**16)),
+        variant=draw(st.sampled_from(("1way", "4way", "preferred"))),
+        max_cycles=horizon,
+        events=tuple(
+            draw(
+                st.lists(
+                    scenario_events(n_tiles=n, horizon=horizon), max_size=4
+                )
+            )
+        ),
+        fault_plan=draw(fault_plans()),
+        engine=EngineSection(
+            dim=dim,
+            max_by_tile=tuple(
+                draw(
+                    st.lists(
+                        st.integers(0, 64), min_size=n, max_size=n
+                    )
+                )
+            ),
+            pool=draw(st.integers(0, 400)),
+        ),
+    )

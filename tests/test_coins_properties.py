@@ -28,18 +28,8 @@ from repro.core.coins import (
 )
 from repro.core.config import preferred_embodiment
 from repro.core.runner import run_convergence_trial
-from repro.faults.plan import (
-    CoinLossEvent,
-    FaultPlan,
-    LinkFaultRates,
-    TileFaultEvent,
-)
-
-#: Adversarial coin counts: negative transients through silicon-scale
-#: pools past 2**53, where float arithmetic would silently round.
-HAS = st.integers(min_value=-(10**4), max_value=10**16)
-MAX = st.integers(min_value=0, max_value=10**16)
-CAP = st.one_of(st.none(), st.integers(min_value=0, max_value=10**16))
+from repro.faults.plan import FaultPlan, LinkFaultRates
+from tests.strategies import CAP, GROUP, HAS, MAX, fault_plans
 
 
 def tile(has: int, max_: int) -> TileCoins:
@@ -106,9 +96,6 @@ class TestPairwiseExchange:
         assert result.is_zero
 
 
-GROUP = st.lists(st.tuples(HAS, MAX), min_size=1, max_size=6)
-
-
 class TestGroupExchange:
     @given(group=GROUP)
     @settings(max_examples=300)
@@ -138,48 +125,7 @@ class TestGroupExchange:
 
 
 # --- fault-plan properties ---------------------------------------------
-
-RATES = st.floats(min_value=0.0, max_value=0.25)
-N_TILES = 9  # 3x3 grid keeps each simulated example fast
-
-TILE_EVENTS = st.lists(
-    st.builds(
-        TileFaultEvent,
-        cycle=st.integers(0, 4_000),
-        tile=st.integers(0, N_TILES - 1),
-        action=st.sampled_from(("kill", "hang", "revive")),
-    ),
-    max_size=4,
-)
-
-COIN_EVENTS = st.lists(
-    st.builds(
-        CoinLossEvent,
-        cycle=st.integers(0, 4_000),
-        tile=st.integers(0, N_TILES - 1),
-        coins=st.integers(1, 8),
-    ),
-    max_size=3,
-)
-
-
-@st.composite
-def fault_plans(draw) -> FaultPlan:
-    """Arbitrary valid 3x3 fault plans: lossy links plus tile/coin
-    events in any order, including kills of never-revived tiles and
-    revives of never-killed ones."""
-    return FaultPlan(
-        seed=draw(st.integers(0, 2**32)),
-        link=LinkFaultRates(
-            drop=draw(RATES),
-            duplicate=draw(RATES),
-            corrupt=draw(RATES),
-            delay=draw(RATES),
-            max_delay_cycles=draw(st.integers(1, 24)),
-        ),
-        tile_events=tuple(draw(TILE_EVENTS)),
-        coin_loss_events=tuple(draw(COIN_EVENTS)),
-    )
+# Plan strategies live in tests.strategies (shared with the fuzzer).
 
 
 def _fault_config(plan):

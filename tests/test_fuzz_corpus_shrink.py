@@ -1,0 +1,201 @@
+"""Corpus store determinism, repro bundles, and the shrinker.
+
+The acceptance bar lives here: two campaigns from the same (seed,
+budget) write byte-identical corpus trees, a corrupt entry is detected
+by its content hash, and shrinking a known-bad scenario yields a
+strictly smaller bundle that trips the same oracle key and replays
+bit-identically.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.faults.plan import FaultPlan, TileFaultEvent
+from repro.fuzz.campaign import fuzz_campaign, replay_corpus
+from repro.fuzz.corpus import Corpus, ReproBundle, load_bundle
+from repro.fuzz.oracles import Failure, run_oracles
+from repro.fuzz.scenario import (
+    EngineSection,
+    FuzzError,
+    Scenario,
+    ScenarioEvent,
+    SocSection,
+)
+from repro.fuzz.shrink import shrink_scenario
+
+
+def known_bad() -> Scenario:
+    """A scenario that deterministically hangs: the chained workload
+    cannot finish inside the horizon (decorated with events and faults
+    the shrinker should strip away)."""
+    return Scenario(
+        kind="soc",
+        seed=3,
+        max_cycles=60_000,
+        events=(
+            ScenarioEvent(cycle=5_000, kind="thermal_cap", tile=1, value=4),
+            ScenarioEvent(cycle=9_000, kind="thermal_cap", tile=3, value=6),
+        ),
+        fault_plan=FaultPlan(
+            seed=9,
+            tile_events=(
+                TileFaultEvent(cycle=2_000, tile=4, action="hang"),
+                TileFaultEvent(cycle=30_000, tile=4, action="revive"),
+            ),
+        ),
+        soc=SocSection(
+            preset="3x3",
+            budget_mw=120,
+            tasks=(
+                ("a", "FFT", 400_000, (), None),
+                ("b", "Viterbi", 400_000, ("a",), None),
+                ("c", "NVDLA", 400_000, ("b",), None),
+                ("d", "FFT", 400_000, ("c",), None),
+            ),
+        ),
+    )
+
+
+def passing() -> Scenario:
+    return Scenario(
+        kind="engine",
+        seed=5,
+        max_cycles=8_000,
+        engine=EngineSection(dim=3, max_by_tile=(8,) * 9, pool=48),
+    )
+
+
+class TestCorpus:
+    def test_entry_kept_only_when_novel(self, tmp_path):
+        corpus = Corpus(tmp_path / "c")
+        s = passing()
+        outcome = run_oracles(s)
+        assert corpus.add_entry(s, outcome)  # first sight: novel
+        assert corpus.add_entry(s, outcome) is None  # nothing new
+        assert corpus.stats()["entries"] == 1
+
+    def test_corrupt_entry_detected_by_content_hash(self, tmp_path):
+        corpus = Corpus(tmp_path / "c")
+        s = passing()
+        corpus.add_entry(s, run_oracles(s))
+        digest = s.scenario_hash
+        path = tmp_path / "c" / "entries" / f"{digest}.json"
+        doc = json.loads(path.read_text())
+        doc["seed"] = 999  # silent bit-rot
+        path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+        fresh = Corpus(tmp_path / "c")
+        with pytest.raises(FuzzError, match="corrupt"):
+            fresh.load_scenario(digest)
+
+    def test_corrupt_manifest_rejected(self, tmp_path):
+        root = tmp_path / "c"
+        root.mkdir()
+        (root / "manifest.json").write_text("{broken")
+        with pytest.raises(FuzzError, match="corrupt corpus manifest"):
+            Corpus(root)
+
+    def test_manifest_has_no_timestamps(self, tmp_path):
+        corpus = Corpus(tmp_path / "c")
+        s = passing()
+        corpus.add_entry(s, run_oracles(s))
+        text = (tmp_path / "c" / "manifest.json").read_text()
+        for needle in ("time", "date", "stamp"):
+            assert needle not in text
+
+    def test_two_campaigns_byte_identical(self, tmp_path):
+        for name in ("one", "two"):
+            fuzz_campaign(11, 4, tmp_path / name)
+        one = sorted((tmp_path / "one").rglob("*.json"))
+        two = sorted((tmp_path / "two").rglob("*.json"))
+        assert [p.name for p in one] == [p.name for p in two]
+        for a, b in zip(one, two):
+            assert a.read_bytes() == b.read_bytes(), a.name
+
+    def test_replay_corpus_green_and_detects_drift(self, tmp_path):
+        fuzz_campaign(11, 3, tmp_path / "c")
+        count, broken = replay_corpus(tmp_path / "c")
+        assert count >= 1 and broken == []
+        # poison a recorded fingerprint -> replay flags drift
+        manifest = tmp_path / "c" / "manifest.json"
+        doc = json.loads(manifest.read_text())
+        digest = sorted(doc["entries"])[0]
+        doc["entries"][digest]["fingerprint"] = "0" * 32
+        manifest.write_text(json.dumps(doc) + "\n")
+        _, broken = replay_corpus(tmp_path / "c")
+        assert broken and "drift" in broken[0]
+
+
+class TestReproBundle:
+    def test_round_trip(self, tmp_path):
+        bundle = ReproBundle(
+            passing(),
+            Failure(oracle="hang", key="hang:workload", detail="d"),
+            "abc123",
+        )
+        path = tmp_path / "bundle.json"
+        path.write_text(bundle.to_json())
+        back = load_bundle(path)
+        assert back.scenario == bundle.scenario
+        assert back.failure == bundle.failure
+        assert back.fingerprint == "abc123"
+
+    def test_missing_file_is_fuzz_error(self, tmp_path):
+        with pytest.raises(FuzzError, match="cannot read"):
+            load_bundle(tmp_path / "nope.json")
+
+    def test_missing_field_rejected(self, tmp_path):
+        path = tmp_path / "b.json"
+        path.write_text('{"scenario": {}}')
+        with pytest.raises(FuzzError, match="missing field"):
+            load_bundle(path)
+
+
+@pytest.fixture(scope="module")
+def shrunk():
+    """One shared shrink campaign over the known-bad scenario."""
+    return shrink_scenario(known_bad(), "hang:workload")
+
+
+class TestShrink:
+    def test_known_bad_shrinks_smaller_same_key(self, shrunk):
+        bad = known_bad()
+        outcome = run_oracles(bad)
+        assert outcome.failure_keys == ("hang:workload",)
+        assert shrunk.shrunk
+        assert shrunk.scenario.size < bad.size
+        assert shrunk.failure.key == "hang:workload"
+        # the minimized scenario sheds the decorative events and faults
+        assert shrunk.scenario.events == ()
+        assert shrunk.scenario.fault_plan.is_null
+        assert len(shrunk.scenario.soc.tasks) == 1
+
+    def test_shrunk_scenario_replays_bit_identically(self, shrunk):
+        again = run_oracles(shrunk.scenario)
+        assert "hang:workload" in again.failure_keys
+        assert again.fingerprint == shrunk.fingerprint
+
+    def test_shrink_is_deterministic(self, shrunk):
+        b = shrink_scenario(known_bad(), "hang:workload")
+        assert b.scenario.scenario_hash == shrunk.scenario.scenario_hash
+
+    def test_stale_bundle_refuses_to_shrink(self):
+        with pytest.raises(ValueError, match="does not reproduce"):
+            shrink_scenario(passing(), "hang:workload")
+
+
+class TestFailurePath:
+    def test_campaign_files_failing_bundle(self, tmp_path):
+        # seed the corpus with the known-bad scenario via a campaign
+        # that replays it directly through the corpus API
+        corpus = Corpus(tmp_path / "c")
+        bad = known_bad()
+        outcome = run_oracles(bad)
+        path = corpus.add_failure(
+            ReproBundle(bad, outcome.failures[0], outcome.fingerprint)
+        )
+        assert Path(path).exists()
+        back = load_bundle(path)
+        assert back.failure.key == "hang:workload"
+        assert corpus.stats()["failures"] == 1

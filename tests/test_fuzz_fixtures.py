@@ -1,0 +1,58 @@
+"""The committed regression corpus and known-bad bundle stay honest.
+
+``tests/fixtures/fuzz/`` holds a small frozen corpus (campaign seed 11,
+budget 6) plus one shrunk repro bundle.  CI replays the corpus through
+``blitzcoin-repro fuzz replay --corpus`` — these tests are the
+same check in-process, plus structural guarantees on the fixtures
+themselves so a regenerated fixture can't silently lose its point.
+"""
+
+import json
+from pathlib import Path
+
+from repro.fuzz.campaign import replay_corpus
+from repro.fuzz.corpus import MANIFEST_SCHEMA, Corpus, load_bundle
+from repro.fuzz.oracles import run_oracles
+
+FIXTURES = Path(__file__).parent / "fixtures" / "fuzz"
+
+
+class TestCommittedCorpus:
+    def test_replays_green(self):
+        count, broken = replay_corpus(FIXTURES / "corpus")
+        assert broken == []
+        assert count == 5
+
+    def test_manifest_shape(self):
+        doc = json.loads((FIXTURES / "corpus" / "manifest.json").read_text())
+        assert doc["schema"] == MANIFEST_SCHEMA
+        assert len(doc["entries"]) == 5
+        assert doc["failures"] == {}
+        for digest, record in doc["entries"].items():
+            assert len(digest) == 64
+            assert record["fingerprint"]
+
+    def test_covers_both_scenario_kinds(self):
+        corpus = Corpus(FIXTURES / "corpus")
+        kinds = {
+            corpus.load_scenario(d).kind for d in corpus.entries
+        }
+        assert kinds == {"engine", "soc"}
+
+
+class TestKnownBadBundle:
+    def test_reproduces_the_recorded_failure(self):
+        bundle = load_bundle(FIXTURES / "known_bad_hang.json")
+        outcome = run_oracles(bundle.scenario)
+        assert bundle.failure.key in outcome.failure_keys
+        assert outcome.fingerprint == bundle.fingerprint
+
+    def test_bundle_is_minimal(self):
+        """The committed bundle is a *shrunk* artifact: no decorative
+        events, a null fault plan, and a single stuck task."""
+        bundle = load_bundle(FIXTURES / "known_bad_hang.json")
+        scenario = bundle.scenario
+        assert scenario.events == ()
+        assert scenario.fault_plan.is_null
+        assert scenario.soc is not None
+        assert len(scenario.soc.tasks) == 1

@@ -1,0 +1,210 @@
+"""Scenario schema: validation, canonical ordering, and round-trips.
+
+The scenario bundle is the fuzzer's wire format — its hash is the
+corpus address and its JSON is the repro-bundle payload — so the
+properties here (round-trip identity, order-insensitive hashing,
+strict validation) are what "replays bit-identically" rests on.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.faults.plan import FaultPlan, TileFaultEvent
+from repro.fuzz.scenario import (
+    MANAGED_TILES,
+    EngineSection,
+    FuzzError,
+    Scenario,
+    ScenarioEvent,
+    SocSection,
+)
+from repro.soc.presets import soc_3x3, soc_4x4
+from tests.strategies import engine_scenarios
+
+
+def engine_scenario(**overrides):
+    base = dict(
+        kind="engine",
+        seed=1,
+        max_cycles=10_000,
+        engine=EngineSection(dim=3, max_by_tile=(8,) * 9, pool=48),
+    )
+    base.update(overrides)
+    return Scenario(**base)
+
+
+def soc_section(**overrides):
+    base = dict(
+        preset="3x3",
+        budget_mw=120,
+        tasks=(("a", "FFT", 10_000, (), None),),
+    )
+    base.update(overrides)
+    return SocSection(**base)
+
+
+class TestScenarioEventValidation:
+    def test_budget_step_must_be_global(self):
+        with pytest.raises(FuzzError, match="global"):
+            ScenarioEvent(cycle=0, kind="budget_step", tile=3, value=50)
+
+    def test_budget_step_percent_bounded(self):
+        with pytest.raises(FuzzError, match="percent"):
+            ScenarioEvent(cycle=0, kind="budget_step", tile=-1, value=500)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FuzzError, match="unknown event kind"):
+            ScenarioEvent(cycle=0, kind="explode", tile=0, value=1)
+
+    def test_thermal_cap_minus_one_clears(self):
+        ev = ScenarioEvent(cycle=5, kind="thermal_cap", tile=2, value=-1)
+        assert ScenarioEvent.from_dict(ev.to_dict()) == ev
+
+    def test_negative_set_max_rejected(self):
+        with pytest.raises(FuzzError, match="set_max"):
+            ScenarioEvent(cycle=0, kind="set_max", tile=0, value=-3)
+
+
+class TestScenarioValidation:
+    def test_kind_needs_matching_section(self):
+        with pytest.raises(FuzzError, match="engine"):
+            Scenario(kind="engine", seed=0, max_cycles=100)
+
+    def test_exactly_one_section(self):
+        with pytest.raises(FuzzError, match="exactly"):
+            Scenario(
+                kind="engine",
+                seed=0,
+                max_cycles=100,
+                engine=EngineSection(dim=2, max_by_tile=(1,) * 4, pool=2),
+                soc=soc_section(),
+            )
+
+    def test_event_beyond_horizon_rejected(self):
+        with pytest.raises(FuzzError, match="beyond horizon"):
+            engine_scenario(
+                events=(
+                    ScenarioEvent(
+                        cycle=10_000, kind="set_max", tile=0, value=1
+                    ),
+                )
+            )
+
+    def test_event_tile_out_of_range_rejected(self):
+        with pytest.raises(FuzzError, match="out of range"):
+            engine_scenario(
+                events=(
+                    ScenarioEvent(cycle=0, kind="set_max", tile=9, value=1),
+                )
+            )
+
+    def test_soc_rejects_engine_only_events(self):
+        with pytest.raises(FuzzError, match="engine-only"):
+            Scenario(
+                kind="soc",
+                seed=0,
+                max_cycles=10_000,
+                soc=soc_section(),
+                events=(
+                    ScenarioEvent(cycle=0, kind="set_max", tile=1, value=4),
+                ),
+            )
+
+    def test_soc_thermal_cap_must_hit_managed_tile(self):
+        with pytest.raises(FuzzError, match="managed accelerator"):
+            Scenario(
+                kind="soc",
+                seed=0,
+                max_cycles=10_000,
+                soc=soc_section(),
+                events=(
+                    ScenarioEvent(
+                        cycle=0, kind="thermal_cap", tile=0, value=4
+                    ),
+                ),
+            )
+
+    def test_engine_section_size_must_match_dim(self):
+        with pytest.raises(FuzzError, match="entries"):
+            EngineSection(dim=3, max_by_tile=(8,) * 4, pool=10)
+
+    def test_soc_tasks_must_form_a_dag(self):
+        with pytest.raises(FuzzError):
+            soc_section(
+                tasks=(
+                    ("a", "FFT", 1_000, ("b",), None),
+                    ("b", "FFT", 1_000, ("a",), None),
+                )
+            )
+
+    def test_managed_tiles_match_presets(self):
+        """The preset mirror in the scenario schema must track the
+        actual SoC configs (drift would mis-validate thermal caps)."""
+        for preset, builder in (("3x3", soc_3x3), ("4x4", soc_4x4)):
+            config = builder()
+            assert MANAGED_TILES[preset] == tuple(
+                sorted(config.managed_accelerators())
+            )
+
+
+class TestRoundTrip:
+    def test_json_round_trip_engine(self):
+        s = engine_scenario(
+            events=(
+                ScenarioEvent(cycle=10, kind="set_max", tile=1, value=4),
+                ScenarioEvent(cycle=5, kind="budget_step", tile=-1, value=80),
+            ),
+            fault_plan=FaultPlan(
+                seed=3,
+                tile_events=(
+                    TileFaultEvent(cycle=100, tile=2, action="kill"),
+                ),
+            ),
+        )
+        back = Scenario.from_json(s.to_json())
+        assert back == s
+        assert back.scenario_hash == s.scenario_hash
+
+    def test_event_order_is_canonical(self):
+        a = ScenarioEvent(cycle=10, kind="set_max", tile=1, value=4)
+        b = ScenarioEvent(cycle=5, kind="thermal_cap", tile=2, value=3)
+        assert (
+            engine_scenario(events=(a, b)).scenario_hash
+            == engine_scenario(events=(b, a)).scenario_hash
+        )
+
+    def test_unknown_field_rejected(self):
+        doc = engine_scenario().to_dict()
+        doc["gremlins"] = True
+        with pytest.raises(FuzzError, match="gremlins"):
+            Scenario.from_dict(doc)
+
+    def test_wrong_schema_rejected(self):
+        doc = engine_scenario().to_dict()
+        doc["schema"] = 99
+        with pytest.raises(FuzzError, match="schema"):
+            Scenario.from_dict(doc)
+
+    def test_not_json_rejected(self):
+        with pytest.raises(FuzzError, match="not valid JSON"):
+            Scenario.from_json("{nope")
+
+    def test_soc_round_trip_preserves_task_order(self):
+        section = SocSection(
+            preset="3x3",
+            budget_mw=100,
+            tasks=(
+                ("a", "FFT", 1_000, (), None),
+                ("b", "Viterbi", 2_000, ("a",), 3),
+            ),
+        )
+        s = Scenario(kind="soc", seed=0, max_cycles=10_000, soc=section)
+        assert Scenario.from_json(s.to_json()) == s
+
+    @given(scenario=engine_scenarios())
+    @settings(max_examples=60, deadline=None)
+    def test_property_any_scenario_round_trips(self, scenario):
+        back = Scenario.from_json(scenario.to_json())
+        assert back == scenario
+        assert back.scenario_hash == scenario.scenario_hash
+        assert back.size == scenario.size

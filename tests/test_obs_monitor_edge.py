@@ -1,0 +1,171 @@
+"""Monitor alert edge cases the main detector tests skip past.
+
+Three boundary behaviors matter to the fuzzer's alert oracle: alerts
+stamped at simulation cycle 0 (a run can be born violating), two
+different detectors firing on the *same* tile in the same run (the
+alert list must keep both, deterministically ordered), and the
+zero-alert case flowing into RunReport ``alert_counts`` with every
+monitor present at count 0 (so a quiet run is distinguishable from an
+unmonitored one).
+"""
+
+from repro.core.config import preferred_embodiment
+from repro.core.runner import run_convergence_trial
+from repro.obs.monitor import (
+    BudgetOvershootMonitor,
+    MonitorSet,
+    ReconcileBacklogMonitor,
+    StarvationMonitor,
+    default_monitors,
+)
+from repro.report.run_report import convergence_report
+
+
+def _apply(monitor, time, tile, delta, has):
+    monitor.on_event(
+        "apply", time, "engine", tile, {"delta": delta, "has": has}
+    )
+
+
+class TestAlertAtCycleZero:
+    def test_overshoot_open_at_cycle_zero_is_stamped_zero(self):
+        monitor = BudgetOvershootMonitor(100.0, grace_cycles=50)
+        monitor.on_sample("soc.power_mw", 0, 150.0, 0)
+        monitor.on_sample("soc.power_mw", 500, 10.0, 0)
+        assert len(monitor.alerts) == 1
+        assert monitor.alerts[0].cycle == 0
+        assert monitor.alerts[0].data["duration_cycles"] == 500
+
+    def test_starvation_from_cycle_zero_is_stamped_zero(self):
+        monitor = StarvationMonitor(window_cycles=100)
+        monitor.on_event("tile_start", 0, "pm", 3, {})
+        _apply(monitor, 0, 3, -2, 0)  # born starved
+        _apply(monitor, 300, 5, 1, 4)  # liveness proof elsewhere
+        assert len(monitor.alerts) == 1
+        assert monitor.alerts[0].cycle == 0
+        assert monitor.alerts[0].tile == 3
+
+    def test_backlog_crossed_at_cycle_zero_alerts_immediately(self):
+        monitor = ReconcileBacklogMonitor(max_backlog=8)
+        monitor.on_inc("engine.coins_lost", 0, 40, {})
+        assert len(monitor.alerts) == 1
+        assert monitor.alerts[0].cycle == 0
+        assert monitor.alerts[0].data["backlog"] == 40
+
+    def test_zero_duration_overshoot_respects_grace(self):
+        """An excursion that opens and closes at the same cycle has
+        duration 0 and must never beat a grace window."""
+        monitor = BudgetOvershootMonitor(100.0, grace_cycles=0)
+        monitor.on_sample("soc.power_mw", 0, 150.0, 0)
+        monitor.on_sample("soc.power_mw", 0, 10.0, 0)
+        monitor.flush(0)
+        assert monitor.alerts == []
+
+
+class TestSimultaneousAlertsOneTile:
+    def _drive(self, monitors):
+        """Tile 2 both starves and carries a sustained overshoot."""
+        monitor_set = MonitorSet(monitors=monitors)
+        monitor_set.event("tile_start", 0, cat="pm", track=2)
+        monitor_set.sample("soc.power_mw", 5, 200.0, track=2)
+        monitor_set.event(
+            "apply", 10, cat="engine", track=2,
+            args={"delta": -2, "has": 0},
+        )
+        # liveness applies elsewhere keep the starvation sweep running
+        monitor_set.event(
+            "apply", 600, cat="engine", track=5,
+            args={"delta": 1, "has": 4},
+        )
+        monitor_set.sample("soc.power_mw", 700, 10.0, track=2)
+        monitor_set.finish()
+        return monitor_set
+
+    def test_both_detectors_fire_on_the_same_tile(self):
+        monitor_set = self._drive(
+            [
+                BudgetOvershootMonitor(100.0, grace_cycles=50),
+                StarvationMonitor(window_cycles=100),
+            ]
+        )
+        alerts = monitor_set.alerts()
+        assert [a.monitor for a in alerts] == [
+            "budget_overshoot",
+            "starvation",
+        ]
+        assert all(a.tile == 2 for a in alerts)
+        assert all(a.severity == "error" for a in alerts)
+        assert monitor_set.alert_counts() == {
+            "budget_overshoot": 1,
+            "starvation": 1,
+        }
+
+    def test_same_cycle_alerts_order_by_monitor_name(self):
+        """Two alerts stamped at the same cycle sort by monitor name —
+        the tiebreak the report layer's determinism relies on."""
+        overshoot = BudgetOvershootMonitor(100.0, grace_cycles=1)
+        starvation = StarvationMonitor(window_cycles=100)
+        monitor_set = MonitorSet(monitors=[starvation, overshoot])
+        monitor_set.event("tile_start", 0, cat="pm", track=2)
+        monitor_set.event(
+            "apply", 0, cat="engine", track=2,
+            args={"delta": -2, "has": 0},
+        )
+        monitor_set.sample("soc.power_mw", 0, 200.0, track=2)
+        monitor_set.event(
+            "apply", 500, cat="engine", track=5,
+            args={"delta": 1, "has": 4},
+        )
+        monitor_set.sample("soc.power_mw", 500, 10.0, track=2)
+        monitor_set.finish()
+        alerts = monitor_set.alerts()
+        assert len(alerts) == 2
+        assert all(a.cycle == 0 for a in alerts)
+        assert [a.monitor for a in alerts] == [
+            "budget_overshoot",
+            "starvation",
+        ]
+
+
+class TestZeroAlertRunReport:
+    def test_quiet_monitor_set_reports_all_zero_counts(self):
+        monitors = MonitorSet(monitors=default_monitors(100.0))
+        trial = run_convergence_trial(
+            3, preferred_embodiment(), seed=0, max_cycles=20_000
+        )
+        report = convergence_report(
+            [trial], label="quiet", d=3, monitors=monitors
+        )
+        assert report.alerts == []
+        assert report.alert_counts == {
+            "budget_overshoot": 0,
+            "starvation": 0,
+            "coin_oscillation": 0,
+            "convergence_stall": 0,
+            "reconcile_backlog": 0,
+        }
+
+    def test_zero_counts_survive_the_dict_round_trip(self):
+        monitors = MonitorSet(monitors=default_monitors())
+        trial = run_convergence_trial(
+            3, preferred_embodiment(), seed=1, max_cycles=20_000
+        )
+        report = convergence_report(
+            [trial], label="quiet", d=3, monitors=monitors
+        )
+        doc = report.to_dict()
+        assert doc["alerts"] == []
+        assert set(doc["alert_counts"]) == {
+            m.name for m in monitors.monitors
+        }
+        assert all(v == 0 for v in doc["alert_counts"].values())
+
+    def test_no_monitors_means_empty_counts_not_zero_counts(self):
+        """Without a MonitorSet the report cannot claim monitors ran:
+        counts are absent entirely, not fabricated zeros."""
+        trial = run_convergence_trial(
+            3, preferred_embodiment(), seed=2, max_cycles=20_000
+        )
+        report = convergence_report([trial], label="bare", d=3)
+        assert report.alerts == []
+        assert report.alert_counts == {}

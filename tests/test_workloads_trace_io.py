@@ -1,19 +1,30 @@
-"""Tests for workload persistence (CSV round-trips)."""
+"""Tests for workload persistence (CSV round-trips).
+
+Beyond structural round-trips, the property classes pin the stronger
+byte-identity contract the fuzzer's corpus rests on: for any valid
+trace, ``save(load(save(x)))`` writes the same bytes as ``save(x)``.
+"""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.workloads.apps import (
     autonomous_vehicle_dependent,
     computer_vision_dependent,
 )
+from repro.workloads.production import diurnal_arrival_trace
 from repro.workloads.synthetic import random_phase_trace
 from repro.workloads.trace_io import (
     TraceIoError,
+    load_arrival_trace,
     load_phase_trace,
     load_taskgraph,
+    save_arrival_trace,
     save_phase_trace,
     save_taskgraph,
 )
+from tests.strategies import arrival_traces, task_graphs
 
 
 class TestTaskGraphRoundTrip:
@@ -96,3 +107,87 @@ class TestPhaseTraceRoundTrip:
         bad.write_text("a,b,c\n")
         with pytest.raises(TraceIoError):
             load_phase_trace(bad)
+
+    def test_bad_event_value_rejected_with_line_number(self, tmp_path):
+        bad = tmp_path / "bad.csv"
+        bad.write_text(
+            "time_cycles,tile,active\n#horizon,1000,2\n10,0,maybe\n"
+        )
+        with pytest.raises(TraceIoError) as err:
+            load_phase_trace(bad)
+        assert ":3:" in str(err.value)
+
+
+class TestArrivalTraceRoundTrip:
+    def test_roundtrip(self, tmp_path):
+        trace = diurnal_arrival_trace(3, 200_000, seed=7)
+        assert len(trace.arrivals) > 0
+        path = save_arrival_trace(trace, tmp_path / "arrivals.csv")
+        assert load_arrival_trace(path) == trace
+
+    def test_empty_trace_roundtrips(self, tmp_path):
+        trace = diurnal_arrival_trace(2, 10_000, seed=0, mean_arrivals=0)
+        path = save_arrival_trace(trace, tmp_path / "arrivals.csv")
+        back = load_arrival_trace(path)
+        assert back == trace
+        assert back.n_tenants == 2 and back.horizon_cycles == 10_000
+
+    def test_missing_metadata_rejected(self, tmp_path):
+        bad = tmp_path / "bad.csv"
+        bad.write_text("cycle,tenant,acc_class,work_cycles\n5,0,FFT,100\n")
+        with pytest.raises(TraceIoError, match="#horizon"):
+            load_arrival_trace(bad)
+
+    def test_bad_header_rejected(self, tmp_path):
+        bad = tmp_path / "bad.csv"
+        bad.write_text("a,b,c,d\n")
+        with pytest.raises(TraceIoError, match="header"):
+            load_arrival_trace(bad)
+
+    def test_bad_work_value_rejected_with_line_number(self, tmp_path):
+        bad = tmp_path / "bad.csv"
+        bad.write_text(
+            "cycle,tenant,acc_class,work_cycles\n"
+            "#horizon,1000,2,\n5,0,FFT,lots\n"
+        )
+        with pytest.raises(TraceIoError) as err:
+            load_arrival_trace(bad)
+        assert ":3:" in str(err.value)
+
+    def test_arrival_beyond_horizon_rejected_at_load(self, tmp_path):
+        bad = tmp_path / "bad.csv"
+        bad.write_text(
+            "cycle,tenant,acc_class,work_cycles\n"
+            "#horizon,1000,2,\n5000,0,FFT,100\n"
+        )
+        with pytest.raises(TraceIoError, match="beyond horizon"):
+            load_arrival_trace(bad)
+
+
+class TestByteIdentity:
+    """save(load(save(x))) writes the same bytes as save(x)."""
+
+    @given(graph=task_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_taskgraph_byte_identity(self, graph, tmp_path_factory):
+        root = tmp_path_factory.mktemp("tg")
+        first = save_taskgraph(graph, root / "a.csv")
+        second = save_taskgraph(load_taskgraph(first), root / "b.csv")
+        assert first.read_bytes() == second.read_bytes()
+
+    @given(seed=st.integers(0, 10**6))
+    @settings(max_examples=20, deadline=None)
+    def test_phase_trace_byte_identity(self, seed, tmp_path_factory):
+        root = tmp_path_factory.mktemp("pt")
+        trace = random_phase_trace(5, 4_000, 30_000, seed=seed)
+        first = save_phase_trace(trace, root / "a.csv")
+        second = save_phase_trace(load_phase_trace(first), root / "b.csv")
+        assert first.read_bytes() == second.read_bytes()
+
+    @given(trace=arrival_traces())
+    @settings(max_examples=40, deadline=None)
+    def test_arrival_trace_byte_identity(self, trace, tmp_path_factory):
+        root = tmp_path_factory.mktemp("at")
+        first = save_arrival_trace(trace, root / "a.csv")
+        second = save_arrival_trace(load_arrival_trace(first), root / "b.csv")
+        assert first.read_bytes() == second.read_bytes()
