@@ -102,6 +102,9 @@ _SCOPE_RE = re.compile(r"#\s*blitzlint:\s*scope=([A-Za-z0-9_.]+)")
 #: repro.obs.monitor and repro.report are included: monitors run on the
 #: sink path during simulation, and reports/diffs must be byte-stable
 #: artifacts — hash-order iteration in either would break bit-identity.
+#: repro.serve is included: job results, stream frames, and stored
+#: scenario artifacts must be byte-deterministic for the dedupe and
+#: streamed-equals-stored contracts to hold.
 _ORDERED_ITERATION_SCOPES = (
     "repro.core",
     "repro.noc",
@@ -111,6 +114,7 @@ _ORDERED_ITERATION_SCOPES = (
     "repro.obs.monitor",
     "repro.report",
     "repro.perf",
+    "repro.serve",
 )
 
 # ---------------------------------------------------------------- C1 tables
@@ -132,6 +136,8 @@ _C1_ENGINE_MODULE = "repro.core.engine"
 #: repro.campaign is in scope: the campaign layer aggregates results
 #: and must never reach into engine/tile coin state directly; the
 #: monitor and report layers likewise observe but never mutate.
+#: repro.serve is in scope for the same reason: the service observes
+#: runs through the sink and the store, never through coin state.
 _S1_SCOPES = (
     "repro.core",
     "repro.noc",
@@ -139,6 +145,7 @@ _S1_SCOPES = (
     "repro.obs.monitor",
     "repro.report",
     "repro.perf",
+    "repro.serve",
 )
 #: The only functions allowed to write a coin register directly: the
 #: engine's single delta-application point, the activity-edge API, and

@@ -18,7 +18,6 @@ path rather than poisoning later runs with garbage results.
 from __future__ import annotations
 
 import json
-import os
 import shutil
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -27,34 +26,46 @@ from typing import Any, Dict, List, Optional, Sequence, Union
 from repro.campaign.errors import StoreError
 from repro.campaign.spec import CampaignSpec, CampaignUnit
 
-__all__ = ["CampaignStore", "StoreStatus", "atomic_write_text"]
+# Deprecated re-export: atomic_write_text moved to repro.core.io (it is
+# a generic crash-safe write helper, not campaign machinery).  Import it
+# from there; this name stays so existing callers keep working.
+from repro.core.io import atomic_write_text
+
+__all__ = ["CampaignStore", "SpecEntry", "StoreStatus", "atomic_write_text"]
 
 #: Characters of the spec hash used for the directory name; the full
 #: hash in the manifest guards against (astronomically unlikely)
 #: prefix collisions.
 _DIR_HASH_CHARS = 16
 
+_HEX_DIGITS = frozenset("0123456789abcdef")
 
-def atomic_write_text(path: Path, text: str) -> Path:
-    """Write ``text`` to ``path`` via temp-file-then-rename.
 
-    The temp file lives in the destination directory so the final
-    :func:`os.replace` is a same-filesystem atomic rename; a crash at
-    any point leaves either the old content or the new, never a
-    truncation.
+def _is_spec_dirname(name: str) -> bool:
+    """True for directory names that look like spec-hash prefixes.
+
+    Non-hash directories under the store root (e.g. the serve layer's
+    ``scenarios/`` namespace) are not spec dirs and are skipped by
+    :meth:`CampaignStore.scan_all` rather than reported as damage.
     """
-    path.parent.mkdir(parents=True, exist_ok=True)
-    tmp = path.parent / f".{path.name}.tmp.{os.getpid()}"
-    try:
-        with open(tmp, "w", encoding="utf-8") as fh:
-            fh.write(text)
-            fh.flush()
-            os.fsync(fh.fileno())
-        os.replace(tmp, path)
-    finally:
-        if tmp.exists():
-            tmp.unlink()
-    return path
+    return len(name) == _DIR_HASH_CHARS and set(name) <= _HEX_DIGITS
+
+
+@dataclass(frozen=True)
+class SpecEntry:
+    """One spec directory discovered by a store-wide scan.
+
+    ``error`` is set (and ``status`` is a zero-unit placeholder) when
+    the directory's manifest is missing or unreadable — a store-wide
+    listing must surface damaged entries, not die on the first one.
+    """
+
+    dir_name: str
+    name: str
+    spec_hash: str
+    status: StoreStatus
+    has_report: bool
+    error: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -225,6 +236,63 @@ class CampaignStore:
             if result is not None:
                 done += 1
         return StoreStatus(total=len(units), done=done, corrupt=corrupt)
+
+    def scan_all(self) -> List[SpecEntry]:
+        """Scan every spec directory under the store root.
+
+        Reconstructs each spec from its manifest (the manifest embeds
+        the full spec dict precisely so the store is self-describing)
+        and reports cached/missing/corrupt unit counts per entry,
+        sorted by directory name.  Directories without a readable
+        manifest become error entries rather than aborting the scan.
+        """
+        from repro.campaign.spec import SpecError
+
+        entries: List[SpecEntry] = []
+        if not self.root.is_dir():
+            return entries
+        empty = StoreStatus(total=0, done=0)
+        for child in sorted(self.root.iterdir()):
+            if not child.is_dir() or not _is_spec_dirname(child.name):
+                continue
+            manifest = child / "manifest.json"
+            try:
+                doc = json.loads(manifest.read_text())
+                spec = CampaignSpec.from_dict(doc["spec"])
+            except FileNotFoundError:
+                entries.append(
+                    SpecEntry(
+                        dir_name=child.name,
+                        name="?",
+                        spec_hash="",
+                        status=empty,
+                        has_report=False,
+                        error="no manifest.json",
+                    )
+                )
+                continue
+            except (OSError, json.JSONDecodeError, KeyError, TypeError, SpecError) as exc:
+                entries.append(
+                    SpecEntry(
+                        dir_name=child.name,
+                        name="?",
+                        spec_hash="",
+                        status=empty,
+                        has_report=False,
+                        error=f"corrupt manifest: {exc}",
+                    )
+                )
+                continue
+            entries.append(
+                SpecEntry(
+                    dir_name=child.name,
+                    name=spec.name,
+                    spec_hash=spec.spec_hash,
+                    status=self.scan(spec),
+                    has_report=self.report_path(spec).exists(),
+                )
+            )
+        return entries
 
     # ----------------------------------------------------------------- clean
     def clean(self, spec: CampaignSpec) -> bool:

@@ -49,6 +49,7 @@ from repro.faults import (
     load_fault_plan,
 )
 from repro.fuzz.cli import add_fuzz_parser
+from repro.serve.cli import add_serve_parser
 from repro.obs import (
     Observation,
     observing,
@@ -411,8 +412,35 @@ def cmd_campaign_run(args: argparse.Namespace) -> int:
     return _finish_obs(session, args)
 
 
+def _campaign_status_all(store: CampaignStore) -> int:
+    """Store-wide status: one line per spec directory (rc 1 on damage).
+
+    This is the same scan the serve layer's ``/queue`` view returns as
+    JSON (:meth:`CampaignStore.scan_all`).
+    """
+    entries = store.scan_all()
+    print(f"store {store.root}  specs={len(entries)}")
+    rc = 0
+    for entry in entries:
+        if entry.error is not None:
+            print(f"{entry.dir_name}  error: {entry.error}")
+            rc = 1
+            continue
+        status = entry.status
+        state = "complete" if status.complete else "resumable"
+        print(
+            f"{entry.dir_name}  {entry.name}  "
+            f"total={status.total} done={status.done} "
+            f"missing={status.missing} corrupt={len(status.corrupt)}  "
+            f"{state}{'  report' if entry.has_report else ''}"
+        )
+    return rc
+
+
 def cmd_campaign_status(args: argparse.Namespace) -> int:
     """Report done / missing / corrupt artifact counts for a spec."""
+    if not args.spec and not args.preset:
+        return _campaign_status_all(CampaignStore(args.store))
     try:
         spec = _campaign_spec(args)
         store = CampaignStore(args.store)
@@ -904,8 +932,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     csub = p.add_subparsers(dest="campaign_command", required=True)
 
-    def _add_campaign_target(cp, *, allow_all: bool = False) -> None:
-        group = cp.add_mutually_exclusive_group(required=True)
+    def _add_campaign_target(
+        cp, *, allow_all: bool = False, required: bool = True
+    ) -> None:
+        group = cp.add_mutually_exclusive_group(required=required)
         group.add_argument(
             "--spec", default=None, metavar="FILE",
             help="load a CampaignSpec JSON file",
@@ -953,9 +983,11 @@ def build_parser() -> argparse.ArgumentParser:
     cp.set_defaults(func=cmd_campaign_run)
 
     cp = csub.add_parser(
-        "status", help="report done/missing/corrupt units for a spec"
+        "status",
+        help="report done/missing/corrupt units for a spec, or — with "
+        "no --spec/--preset — one line per spec in the whole store",
     )
-    _add_campaign_target(cp)
+    _add_campaign_target(cp, required=False)
     cp.set_defaults(func=cmd_campaign_status)
 
     cp = csub.add_parser(
@@ -1127,6 +1159,7 @@ def build_parser() -> argparse.ArgumentParser:
     bp.set_defaults(func=cmd_bench_profile)
 
     add_fuzz_parser(sub)
+    add_serve_parser(sub)
 
     return parser
 

@@ -156,7 +156,7 @@ def cmd_fuzz_shrink(args: argparse.Namespace) -> int:
     out_path = Path(args.out) if args.out else Path(args.bundle)
     shrunk = ReproBundle(result.scenario, result.failure, result.fingerprint)
     try:
-        from repro.campaign.store import atomic_write_text
+        from repro.core.io import atomic_write_text
 
         atomic_write_text(out_path, shrunk.to_json())
     except OSError as exc:

@@ -13,7 +13,7 @@ byte-identical trees.  The manifest records, per entry, the coverage
 tokens it contributed and the fingerprint it produced — enough to
 diff two campaigns without re-running anything.
 
-Writes go through :func:`repro.campaign.store.atomic_write_text`
+Writes go through :func:`repro.core.io.atomic_write_text`
 (write-temp + fsync + rename), the same machinery campaign result
 stores use, so a crashed fuzz run never leaves a torn corpus.
 """
@@ -24,7 +24,7 @@ import json
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Set, Tuple, Union
 
-from repro.campaign.store import atomic_write_text
+from repro.core.io import atomic_write_text
 from repro.fuzz.oracles import Failure, FuzzOutcome
 from repro.fuzz.scenario import FuzzError, Scenario
 

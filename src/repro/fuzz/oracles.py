@@ -27,7 +27,7 @@ from __future__ import annotations
 import dataclasses
 from dataclasses import dataclass, field
 from functools import partial
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.analysis.sanitize import SanitizerError
 from repro.core.config import (
@@ -215,11 +215,18 @@ def _config_for(scenario: Scenario) -> BlitzCoinConfig:
 
 
 # ----------------------------------------------------------------- execution
+#: Hook that receives the run's MonitorSet and returns the ObsSink to
+#: actually install — used by repro.serve to interpose a streaming sink
+#: (the wrapper must forward every call so monitors still observe).
+SinkWrapper = Callable[[MonitorSet], object]
+
+
 def execute_scenario(
     scenario: Scenario,
     *,
     observed: bool = True,
     inject: bool = True,
+    wrap_sink: Optional[SinkWrapper] = None,
 ) -> Execution:
     """Run one scenario once; never raises for in-simulation failures.
 
@@ -227,19 +234,26 @@ def execute_scenario(
     baseline); ``inject=False`` skips installing a fault injector even
     when the plan is null (the null-plan ≡ no-injector check).  Oracle
     violations and crashes come back as :class:`Failure` records.
+    ``wrap_sink`` lets a caller interpose a delegating sink around the
+    observed run's MonitorSet (ignored when ``observed=False``).
     """
     if scenario.kind == "engine":
-        return _execute_engine(scenario, observed=observed, inject=inject)
-    return _execute_soc(scenario, observed=observed, inject=inject)
+        return _execute_engine(
+            scenario, observed=observed, inject=inject, wrap_sink=wrap_sink
+        )
+    return _execute_soc(
+        scenario, observed=observed, inject=inject, wrap_sink=wrap_sink
+    )
 
 
-def _scoped_run(scenario, observed, inject, body):
+def _scoped_run(scenario, observed, inject, body, wrap_sink=None):
     """Install sink/injector, call ``body(monitor_set)``, clean up."""
     monitor_set: Optional[MonitorSet] = None
     tap = CounterTap()
     if observed:
         monitor_set = MonitorSet(monitors=monitors_for(scenario) + [tap])
-        obs_install(monitor_set)
+        sink = wrap_sink(monitor_set) if wrap_sink is not None else monitor_set
+        obs_install(sink)
     plan = scenario.fault_plan if inject else None
     failures: List[Failure] = []
     fingerprint = ""
@@ -282,7 +296,11 @@ def _scoped_run(scenario, observed, inject, body):
 
 
 def _execute_engine(
-    scenario: Scenario, *, observed: bool, inject: bool
+    scenario: Scenario,
+    *,
+    observed: bool,
+    inject: bool,
+    wrap_sink: Optional[SinkWrapper] = None,
 ) -> Execution:
     section = scenario.engine
     assert section is not None
@@ -325,11 +343,15 @@ def _execute_engine(
             }
         )
 
-    return _scoped_run(scenario, observed, inject, body)
+    return _scoped_run(scenario, observed, inject, body, wrap_sink)
 
 
 def _execute_soc(
-    scenario: Scenario, *, observed: bool, inject: bool
+    scenario: Scenario,
+    *,
+    observed: bool,
+    inject: bool,
+    wrap_sink: Optional[SinkWrapper] = None,
 ) -> Execution:
     section = scenario.soc
     assert section is not None
@@ -358,7 +380,7 @@ def _execute_soc(
 
     # The engine is built inside body() (after injector install), so
     # tile/coin fault events bind to this run's simulator.
-    return _scoped_run(scenario, observed, inject, body)
+    return _scoped_run(scenario, observed, inject, body, wrap_sink)
 
 
 # ------------------------------------------------------------------- oracles

@@ -28,7 +28,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
 
 from repro.campaign.spec import canonical_json
-from repro.campaign.store import atomic_write_text
+from repro.core.io import atomic_write_text
 from repro.perf.harness import BenchResult, wall_stats
 from repro.perf.registry import PerfError
 from repro.report.diff import (

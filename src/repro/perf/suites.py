@@ -11,10 +11,18 @@ Sizes here are deliberately "quick": the whole suite must run twice in
 the CI bench job, so every body targets well under a second.  The
 standalone ``benchmarks/bench_*.py`` pytest benchmarks remain the
 heavyweight versions.
+
+The ``serve`` suite tracks the simulation service (repro.serve, see
+docs/SERVICE.md): cold submission latency (server start + submit +
+execute + stream), warm-cache submission latency, and a small
+sustained storm of concurrent deduped clients.  Serve benchmarks
+install the service's own streaming sink, so — like
+``obs.overhead_on`` — they declare no counters and never profile.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import tempfile
 from pathlib import Path
 from typing import Any, Dict
@@ -214,3 +222,141 @@ def _obs_overhead_on(d, trials, base_seed, threshold):
             threshold=threshold,
         )
     return _trial_metrics(results)
+
+
+# ------------------------------------------------------------- serve suite
+def _serve_spec_doc(slot: int, base_seed: int) -> Dict[str, Any]:
+    """A distinct quick campaign spec document per ``slot``."""
+    from repro.serve.loadgen import build_spec_pool
+
+    pool = build_spec_pool(slot + 1)
+    spec = pool[slot]
+    return {
+        "kind": "campaign",
+        "spec": dataclasses.replace(spec, base_seed=base_seed).to_dict(),
+    }
+
+
+async def _serve_session(store_root, body):
+    """Run ``body(host, port, server)`` against a private server."""
+    from repro.campaign.store import CampaignStore
+    from repro.serve.server import ServeServer
+
+    server = ServeServer(CampaignStore(Path(store_root)))
+    host, port = await server.start("127.0.0.1", 0)
+    try:
+        return await body(host, port, server)
+    finally:
+        await server.close()
+
+
+@register(
+    "serve.submit_cold",
+    params={"base_seed": 11},
+    suites=("serve",),
+    description="One cold submission end to end: server start, POST "
+    "/submit, campaign execution, streamed completion.  Installs the "
+    "service's streaming sink, so no counters/profile.",
+)
+def _serve_submit_cold(base_seed):
+    import asyncio
+
+    from repro.serve.client import ServeClient
+
+    async def body(host, port, server):
+        async with ServeClient(host, port) as client:
+            response = await client.submit(_serve_spec_doc(0, base_seed))
+            done = await client.wait(response["job"])
+        return {
+            "executed": server.queue.stats["executed"],
+            "cache_hits": server.queue.stats["cache_hits"],
+            "units": done["result"]["executed"],
+        }
+
+    with tempfile.TemporaryDirectory(prefix="bench-serve-") as scratch:
+        return asyncio.run(_serve_session(scratch, body))
+
+
+def _serve_warm_setup(base_seed):
+    """Prime a store so the timed submission is a pure cache hit."""
+    import asyncio
+
+    from repro.serve.client import ServeClient
+
+    scratch = tempfile.mkdtemp(prefix="bench-serve-warm-")
+
+    async def body(host, port, server):
+        async with ServeClient(host, port) as client:
+            response = await client.submit(_serve_spec_doc(0, base_seed))
+            await client.wait(response["job"])
+
+    asyncio.run(_serve_session(scratch, body))
+    return {"store_root": scratch}
+
+
+@register(
+    "serve.submit_warm",
+    params={"base_seed": 11},
+    setup=_serve_warm_setup,
+    suites=("serve",),
+    description="The identical submission against a primed store: the "
+    "warm-cache path must answer without executing a single unit.",
+)
+def _serve_submit_warm(base_seed, store_root):
+    import asyncio
+
+    from repro.serve.client import ServeClient
+
+    async def body(host, port, server):
+        async with ServeClient(host, port) as client:
+            response = await client.submit(_serve_spec_doc(0, base_seed))
+            done = await client.wait(response["job"])
+        return {
+            "executed": server.queue.stats["executed"],
+            "cache_hits": server.queue.stats["cache_hits"],
+            "units": done["result"]["executed"],
+            "outcome_cached": int(response["outcome"] == "cached"),
+        }
+
+    return asyncio.run(_serve_session(store_root, body))
+
+
+@register(
+    "serve.storm",
+    params={"clients": 32, "requests": 4, "base_seed": 11},
+    suites=("serve",),
+    description="A small sustained storm: concurrent keep-alive clients "
+    "submitting one already-running spec round-robin; every request "
+    "after the first dedupes, none re-executes.",
+)
+def _serve_storm(clients, requests, base_seed):
+    import asyncio
+
+    from repro.serve.client import ServeClient
+
+    doc = _serve_spec_doc(0, base_seed)
+
+    async def one_client(host, port):
+        async with ServeClient(host, port) as client:
+            ok = 0
+            for _ in range(requests):
+                response = await client.submit(doc)
+                ok += int(response["state"] in ("queued", "running",
+                                                "done", "cached"))
+            return ok
+
+    async def body(host, port, server):
+        async with ServeClient(host, port) as primer:
+            response = await primer.submit(doc)
+            await primer.wait(response["job"])
+        ok = await asyncio.gather(
+            *(one_client(host, port) for _ in range(clients))
+        )
+        return {
+            "requests_ok": sum(ok),
+            "executed": server.queue.stats["executed"],
+            "deduped": server.queue.stats["deduped"],
+        }
+
+    with tempfile.TemporaryDirectory(prefix="bench-serve-storm-") as scratch:
+        return asyncio.run(_serve_session(scratch, body))

@@ -20,7 +20,7 @@ import html
 from pathlib import Path
 from typing import Any, Dict, List, Sequence, Tuple, Union
 
-from repro.campaign.store import atomic_write_text
+from repro.core.io import atomic_write_text
 from repro.report.run_report import RunReport
 
 __all__ = ["render_dashboard", "write_dashboard"]

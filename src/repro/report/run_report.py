@@ -24,7 +24,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.campaign.spec import canonical_json, _sha256
-from repro.campaign.store import atomic_write_text
+from repro.core.io import atomic_write_text
 from repro.obs.metrics import Histogram
 from repro.obs.monitor import Alert, MonitorSet, final_coin_levels
 from repro.obs.sink import Observation
@@ -36,6 +36,7 @@ __all__ = [
     "campaign_report",
     "convergence_report",
     "load_run_report",
+    "scenario_report",
     "soc_report",
     "write_run_report",
 ]
@@ -44,7 +45,9 @@ __all__ = [
 REPORT_SCHEMA = 1
 
 #: Known report kinds; ``diff`` refuses to compare across kinds.
-REPORT_KINDS = ("soc", "convergence", "campaign")
+#: (Additive extension: "scenario" covers single fuzz-scenario runs
+#: executed through repro.serve.)
+REPORT_KINDS = ("soc", "convergence", "campaign", "scenario")
 
 #: Value-bucket edges for cycle-count quantiles (wide, log-spaced).
 _CYCLE_BOUNDS: Tuple[int, ...] = tuple(2**k for k in range(4, 32, 2))
@@ -381,6 +384,39 @@ def campaign_report(run: Any) -> RunReport:
         label=spec.name,
         config=spec.to_dict(),
         summary=summary,
+    )
+
+
+# ----------------------------------------------------------- scenario reports
+def scenario_report(scenario: Any, execution: Any, *, label: str) -> RunReport:
+    """Scorecard for one fuzz :class:`Scenario` execution.
+
+    ``scenario`` is a :class:`repro.fuzz.scenario.Scenario` and
+    ``execution`` the :class:`repro.fuzz.oracles.Execution` it produced.
+    The fingerprint rides in the summary as a string — strings are
+    identity metadata to :mod:`repro.report.diff`, not diffable values —
+    while counters and failure counts are the numeric surface.
+    """
+    summary: Dict[str, Any] = {
+        "fingerprint": str(execution.fingerprint),
+        "failures": len(execution.failures),
+        "alerts": len(execution.alerts),
+        "max_cycles": int(scenario.max_cycles),
+    }
+    for name in sorted(execution.counters):
+        summary[f"counter.{name}"] = int(execution.counters[name])
+    alert_rows, alert_counts = _alert_payload(execution.alerts, None)
+    grid = None
+    if scenario.kind == "engine" and scenario.engine is not None:
+        grid = (int(scenario.engine.dim), int(scenario.engine.dim))
+    return RunReport(
+        kind="scenario",
+        label=label,
+        config=scenario.to_dict(),
+        summary=summary,
+        alerts=alert_rows,
+        alert_counts=alert_counts,
+        grid=grid,
     )
 
 

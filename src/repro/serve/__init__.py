@@ -1,0 +1,16 @@
+"""repro.serve — simulation-as-a-service.
+
+A stdlib-only asyncio HTTP server that accepts campaign specs, single
+fuzz scenarios, and fuzz repro bundles as JSON, validates them against
+the frozen wire formats, and runs them through a multi-tenant priority
+job queue layered on :mod:`repro.campaign`'s content-addressed store.
+Identical submissions dedupe to one execution by content hash; warm
+cache hits answer without touching the executor.  Running jobs stream
+monitor alerts and whitelisted obs counters live as chunked JSONL.
+
+See docs/SERVICE.md for the API and the dedupe/caching contract.
+"""
+
+from repro.serve.protocol import ServeError, Submission, parse_submission
+
+__all__ = ["ServeError", "Submission", "parse_submission"]

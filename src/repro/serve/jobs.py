@@ -1,0 +1,447 @@
+"""The multi-tenant priority job queue layered on the campaign store.
+
+Dedupe contract (docs/SERVICE.md):
+
+1. **In-flight dedupe** — a submission whose job key (kind + content
+   hash) matches a queued, running, or finished job joins that job; it
+   is never enqueued twice.  N simultaneous identical submissions
+   execute once.
+2. **Warm cache** — a submission whose artifacts already exist in the
+   content-addressed store (campaign: complete manifest + report.json;
+   scenario/bundle: result.json) is answered instantly as a ``cached``
+   job without ever touching the executor.
+3. Only a genuinely new job reaches the priority queue.
+
+Execution is *serialized* on one worker thread: the observability
+runtime installs exactly one process-wide sink (``repro.obs.runtime``
+raises on double-install by design), so two simulations cannot stream
+concurrently in one process.  Server concurrency comes from asyncio
+I/O plus dedupe and the warm cache — the same shape as the campaign
+executor's cached-unit fast path, one level up.
+
+Cancellation only targets *queued* jobs (lazy removal from the heap);
+a running simulation is never interrupted mid-flight, so the
+content-addressed store underneath stays resumable by construction.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import json
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.campaign.errors import StoreError
+from repro.campaign.executor import run_campaign
+from repro.campaign.spec import canonical_json
+from repro.campaign.store import CampaignStore
+from repro.core.io import atomic_write_text
+from repro.fuzz.oracles import Execution, execute_scenario
+from repro.fuzz.scenario import Scenario
+from repro.obs.runtime import install as obs_install
+from repro.obs.runtime import uninstall as obs_uninstall
+from repro.report.run_report import scenario_report, write_run_report
+from repro.serve.protocol import ServeConflict, Submission
+from repro.serve.stream import JobLog, StreamingSink
+
+__all__ = ["Job", "JobQueue", "ScenarioStore"]
+
+#: Job lifecycle states.  ``cached`` is terminal: the job never ran
+#: because the store already held its artifacts.
+JOB_STATES = ("queued", "running", "done", "cached", "failed", "cancelled")
+
+_TERMINAL = frozenset({"done", "cached", "failed", "cancelled"})
+
+#: Directory characters, matching the campaign store's spec dirs.
+_DIR_HASH_CHARS = 16
+
+
+class ScenarioStore:
+    """Content-addressed results for single-scenario (and bundle) jobs.
+
+    Lives under ``<campaign store root>/scenarios/<hash16>/`` — a
+    namespace the campaign store's spec-dir scan ignores — and writes
+    the same way the campaign store does: canonical JSON through
+    :func:`atomic_write_text`, so two runs of the same scenario produce
+    byte-identical artifacts.
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+
+    def run_dir(self, content_hash: str) -> Path:
+        return self.root / content_hash[:_DIR_HASH_CHARS]
+
+    def result_path(self, content_hash: str) -> Path:
+        return self.run_dir(content_hash) / "result.json"
+
+    def report_path(self, content_hash: str) -> Path:
+        return self.run_dir(content_hash) / "report.json"
+
+    def load(self, content_hash: str) -> Optional[Dict[str, Any]]:
+        """The cached result document, or None when absent."""
+        path = self.result_path(content_hash)
+        try:
+            text = path.read_text()
+        except FileNotFoundError:
+            return None
+        except OSError as exc:
+            raise StoreError(f"cannot read scenario result {path}: {exc}") from exc
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise StoreError(f"corrupt scenario result {path}: {exc}") from exc
+        if not isinstance(doc, dict) or "fingerprint" not in doc:
+            raise StoreError(f"corrupt scenario result {path}: missing fields")
+        return doc
+
+    def save(self, scenario: Scenario, execution: Execution) -> Dict[str, Any]:
+        """Persist result.json + report.json; returns the result doc."""
+        content_hash = scenario.scenario_hash
+        report = scenario_report(
+            scenario, execution, label=f"scenario-{content_hash[:12]}"
+        )
+        doc = {
+            "schema": 1,
+            "scenario_hash": content_hash,
+            "fingerprint": execution.fingerprint,
+            "counters": {k: execution.counters[k] for k in sorted(execution.counters)},
+            "alerts": report.alerts,
+            "failures": [f.to_dict() for f in execution.failures],
+        }
+        write_run_report(report, self.report_path(content_hash))
+        atomic_write_text(
+            self.result_path(content_hash), canonical_json(doc) + "\n"
+        )
+        return doc
+
+
+class Job:
+    """One unit of server work, shared by every client that submits it."""
+
+    def __init__(self, submission: Submission, log: JobLog, seq: int) -> None:
+        self.submission = submission
+        self.log = log
+        self.seq = seq
+        self.state = "queued"
+        self.result: Optional[Dict[str, Any]] = None
+        self.error: Optional[str] = None
+        #: How many submissions resolved to this job (1 = no dedupe).
+        self.hits = 1
+        self.done_event = asyncio.Event()
+
+    @property
+    def id(self) -> str:
+        return self.submission.job_id
+
+    @property
+    def key(self) -> str:
+        return self.submission.key
+
+    def describe(self) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {
+            "job": self.id,
+            "kind": self.submission.kind,
+            "name": self.submission.name,
+            "hash": self.submission.content_hash,
+            "priority": self.submission.priority,
+            "state": self.state,
+            "hits": self.hits,
+        }
+        if self.result is not None:
+            doc["result"] = self.result
+        if self.error is not None:
+            doc["error"] = self.error
+        return doc
+
+    def finish(self, state: str) -> None:
+        """Transition to a terminal state and complete the stream."""
+        self.state = state
+        frame: Dict[str, Any] = {"type": "done", "state": state}
+        if self.result is not None:
+            frame["result"] = self.result
+        if self.error is not None:
+            frame["error"] = self.error
+        self.log.publish(frame)
+        self.log.close()
+        self.done_event.set()
+
+
+class JobQueue:
+    """Priority queue + dedupe index + worker over one campaign store."""
+
+    def __init__(
+        self,
+        store: CampaignStore,
+        *,
+        loop: Optional[asyncio.AbstractEventLoop] = None,
+    ) -> None:
+        self.store = store
+        self.scenarios = ScenarioStore(store.root / "scenarios")
+        self.loop = loop if loop is not None else asyncio.get_event_loop()
+        self.jobs: Dict[str, Job] = {}
+        self._by_key: Dict[str, Job] = {}
+        self._heap: List[Tuple[int, int, Job]] = []
+        self._seq = 0
+        self._wake = asyncio.Event()
+        self._pool = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="serve-exec"
+        )
+        self._worker: Optional[asyncio.Task] = None
+        self.stats: Dict[str, int] = {
+            "submitted": 0,
+            "deduped": 0,
+            "cache_hits": 0,
+            "enqueued": 0,
+            "executed": 0,
+            "failed": 0,
+            "cancelled": 0,
+        }
+
+    # -------------------------------------------------------------- lifecycle
+    def start(self) -> None:
+        if self._worker is None:
+            self._worker = self.loop.create_task(self._run_worker())
+
+    async def close(self) -> None:
+        if self._worker is not None:
+            self._worker.cancel()
+            try:
+                await self._worker
+            except asyncio.CancelledError:
+                pass
+            self._worker = None
+        self._pool.shutdown(wait=True)
+
+    # ----------------------------------------------------------------- submit
+    def submit(self, submission: Submission) -> Tuple[Job, str]:
+        """Resolve a submission to its job.
+
+        Returns ``(job, outcome)`` with outcome one of ``"new"``
+        (enqueued), ``"deduped"`` (joined an existing live job), or
+        ``"cached"`` (answered from the warm store, no execution).
+        """
+        self.stats["submitted"] += 1
+        existing = self._by_key.get(submission.key)
+        if existing is not None and existing.state not in (
+            "failed",
+            "cancelled",
+        ):
+            existing.hits += 1
+            self.stats["deduped"] += 1
+            return existing, "deduped"
+
+        cached = self._load_cached(submission)
+        log = JobLog(self.loop)
+        self._seq += 1
+        job = Job(submission, log, self._seq)
+        log.publish(
+            {
+                "type": "job",
+                "job": job.id,
+                "kind": submission.kind,
+                "name": submission.name,
+                "hash": submission.content_hash,
+            }
+        )
+        self.jobs[job.id] = job
+        self._by_key[submission.key] = job
+        if cached is not None:
+            self.stats["cache_hits"] += 1
+            job.result = cached
+            job.finish("cached")
+            return job, "cached"
+        self.stats["enqueued"] += 1
+        job.log.publish({"type": "state", "state": "queued"})
+        heapq.heappush(self._heap, (-submission.priority, self._seq, job))
+        self._wake.set()
+        return job, "new"
+
+    def get(self, job_id: str) -> Job:
+        job = self.jobs.get(job_id)
+        if job is None:
+            raise KeyError(job_id)
+        return job
+
+    def cancel(self, job_id: str) -> Job:
+        """Cancel a *queued* job; conflict for any other state."""
+        job = self.get(job_id)
+        if job.state != "queued":
+            raise ServeConflict(
+                f"job {job_id} is {job.state}; only queued jobs can be "
+                "cancelled (a running simulation is never interrupted)"
+            )
+        self.stats["cancelled"] += 1
+        job.finish("cancelled")  # heap entry skipped lazily by the worker
+        return job
+
+    def describe(self) -> Dict[str, Any]:
+        """The ``/queue`` view: jobs, stats, and the store-wide scan."""
+        specs = []
+        for entry in self.store.scan_all():
+            specs.append(
+                {
+                    "dir": entry.dir_name,
+                    "name": entry.name,
+                    "spec_hash": entry.spec_hash,
+                    "total": entry.status.total,
+                    "done": entry.status.done,
+                    "missing": entry.status.missing,
+                    "corrupt": len(entry.status.corrupt),
+                    "complete": entry.status.complete,
+                    "has_report": entry.has_report,
+                    "error": entry.error,
+                }
+            )
+        return {
+            "store": str(self.store.root),
+            "stats": dict(self.stats),
+            "jobs": [
+                job.describe()
+                for job in sorted(self.jobs.values(), key=lambda j: j.seq)
+            ],
+            "specs": specs,
+        }
+
+    # ------------------------------------------------------------ warm cache
+    def _load_cached(self, submission: Submission) -> Optional[Dict[str, Any]]:
+        """The stored result when every artifact already exists."""
+        if submission.kind == "campaign":
+            spec = submission.spec
+            assert spec is not None
+            manifest = self.store.load_manifest(spec)
+            if (
+                manifest is None
+                or not manifest.get("complete")
+                or not self.store.report_path(spec).exists()
+            ):
+                return None
+            return {
+                "kind": "campaign",
+                "spec_hash": spec.spec_hash,
+                "total": int(manifest.get("total", 0)),
+                "cached": int(manifest.get("total", 0)),
+                "executed": 0,
+            }
+        doc = self.scenarios.load(submission.content_hash)
+        if doc is None:
+            return None
+        return self._scenario_result(submission, doc)
+
+    @staticmethod
+    def _scenario_result(
+        submission: Submission, doc: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        result = {
+            "kind": submission.kind,
+            "scenario_hash": doc["scenario_hash"],
+            "fingerprint": doc["fingerprint"],
+            "alerts": len(doc.get("alerts", [])),
+            "failures": len(doc.get("failures", [])),
+        }
+        if submission.kind == "bundle":
+            expected = submission.expected_fingerprint
+            failure = submission.expected_failure
+            assert failure is not None
+            keys = {f.get("key") for f in doc.get("failures", [])}
+            keys |= {
+                f"monitor:{a.get('monitor')}"
+                for a in doc.get("alerts", [])
+                if a.get("severity") == "error"
+            }
+            result["expected_fingerprint"] = expected
+            result["fingerprint_match"] = doc["fingerprint"] == expected
+            result["failure_reproduced"] = failure.key in keys
+        return result
+
+    # --------------------------------------------------------------- worker
+    async def _run_worker(self) -> None:
+        while True:
+            await self._wake.wait()
+            self._wake.clear()
+            while self._heap:
+                _, _, job = heapq.heappop(self._heap)
+                if job.state != "queued":
+                    continue  # cancelled while queued
+                job.state = "running"
+                job.log.publish({"type": "state", "state": "running"})
+                try:
+                    job.result = await self.loop.run_in_executor(
+                        self._pool, self._execute, job
+                    )
+                except asyncio.CancelledError:
+                    raise
+                except Exception as exc:  # noqa: BLE001 — a job may fail
+                    # for any reason; the worker itself must survive.
+                    job.error = (
+                        str(exc).splitlines()[0]
+                        if str(exc)
+                        else type(exc).__name__
+                    )
+                    self.stats["failed"] += 1
+                    job.finish("failed")
+                    continue
+                self.stats["executed"] += 1
+                job.finish("done")
+
+    # ------------------------------------------------------------- execution
+    def _execute(self, job: Job) -> Dict[str, Any]:
+        """Run one job on the worker thread; returns its result doc."""
+        if job.submission.kind == "campaign":
+            return self._execute_campaign(job)
+        return self._execute_scenario(job)
+
+    def _execute_campaign(self, job: Job) -> Dict[str, Any]:
+        spec = job.submission.spec
+        assert spec is not None
+        publish = job.log.publish_threadsafe
+
+        def progress(done: int, total: int, unit: Any, cached: bool) -> None:
+            publish(
+                {
+                    "type": "progress",
+                    "done": done,
+                    "total": total,
+                    "unit": unit.unit_hash[:12],
+                    "cached": cached,
+                }
+            )
+
+        streamer = StreamingSink(publish)
+        obs_install(streamer)
+        try:
+            run = run_campaign(spec, store=self.store, progress=progress)
+        finally:
+            obs_uninstall()
+        return {
+            "kind": "campaign",
+            "spec_hash": spec.spec_hash,
+            "total": run.total,
+            "cached": run.cached,
+            "executed": run.executed,
+            "counters": dict(streamer.totals),
+        }
+
+    def _execute_scenario(self, job: Job) -> Dict[str, Any]:
+        scenario = job.submission.scenario
+        assert scenario is not None
+        publish = job.log.publish_threadsafe
+        streamers: List[StreamingSink] = []
+
+        def wrap(monitor_set: Any) -> StreamingSink:
+            streamer = StreamingSink(publish, inner=monitor_set)
+            streamers.append(streamer)
+            return streamer
+
+        execution = execute_scenario(scenario, wrap_sink=wrap)
+        # MonitorSet.finish() ran after uninstall; flush its alerts into
+        # the stream so streamed ≡ stored holds for end-of-run alerts.
+        for streamer in streamers:
+            streamer.flush_alerts()
+        doc = self.scenarios.save(scenario, execution)
+        result = self._scenario_result(job.submission, doc)
+        if streamers:
+            result["counters"] = dict(streamers[0].totals)
+        return result

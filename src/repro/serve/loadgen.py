@@ -1,0 +1,204 @@
+"""Load generator: thousands of concurrent clients against one server.
+
+Methodology (mirrored in docs/SERVICE.md and EXPERIMENTS.md):
+
+1. **Prime** — a small pool of distinct quick campaign specs (the
+   ``smoke`` preset re-seeded/renamed per slot, so every spec hash is
+   unique) is submitted once and run to completion.  This is the cold
+   path: real simulation work, one execution per spec.
+2. **Storm** — N concurrent clients each open one keep-alive
+   connection and fire R submissions round-robin over the same pool,
+   timing every round trip.  Every submission hits the dedupe index or
+   the warm cache (that is the service's scaling claim: identical work
+   is never re-executed), and a slice of requests also reads back job
+   state to mix GETs into the stream of POSTs.
+3. **Verify** — zero dropped jobs: every response is a 200 with a job
+   id, every job the server knows is in a successful terminal state,
+   and the store-wide scan still shows every spec complete.
+
+Latencies are wall-clock per request (this is service telemetry, not
+simulation state — determinism rules do not apply to the measurement
+itself), summarized as p50/p90/p99/max plus sustained throughput.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import time
+from typing import Any, Dict, List
+
+from repro.campaign.presets import get_preset
+from repro.campaign.spec import CampaignSpec
+from repro.serve.client import ClientError, ServeClient
+
+__all__ = ["build_spec_pool", "format_load_report", "run_load"]
+
+
+def build_spec_pool(size: int, *, preset: str = "smoke") -> List[CampaignSpec]:
+    """``size`` distinct quick specs: unique names and seeds, same shape."""
+    base = get_preset(preset)
+    return [
+        dataclasses.replace(
+            base,
+            name=f"{base.name}-load{i:03d}",
+            base_seed=base.base_seed + 1 + i * 1009,
+        )
+        for i in range(size)
+    ]
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    """Nearest-rank percentile over an already-sorted sample."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1, round(q * (len(sorted_values) - 1))))
+    return sorted_values[rank]
+
+
+async def _storm_client(
+    host: str,
+    port: int,
+    client_index: int,
+    requests: int,
+    pool_docs: List[Dict[str, Any]],
+    latencies: List[float],
+    errors: List[str],
+    read_every: int,
+) -> None:
+    async with ServeClient(host, port) as client:
+        for r in range(requests):
+            doc = pool_docs[(client_index + r) % len(pool_docs)]
+            start = time.monotonic()  # blitzlint: disable=D1
+            try:
+                response = await client.submit(doc)
+                if read_every and r % read_every == 0:
+                    await client.job(response["job"])
+            except ClientError as exc:
+                errors.append(str(exc))
+                continue
+            latencies.append(time.monotonic() - start)  # blitzlint: disable=D1
+
+
+async def run_load(
+    host: str,
+    port: int,
+    *,
+    clients: int = 1000,
+    requests_per_client: int = 5,
+    pool_size: int = 4,
+    read_every: int = 5,
+    preset: str = "smoke",
+) -> Dict[str, Any]:
+    """Run the prime + storm phases; returns the load report dict."""
+    pool = build_spec_pool(pool_size, preset=preset)
+    pool_docs = [{"kind": "campaign", "spec": spec.to_dict()} for spec in pool]
+
+    # Phase 1: prime the store (cold executions, one per distinct spec).
+    prime_start = time.monotonic()  # blitzlint: disable=D1
+    async with ServeClient(host, port) as primer:
+        job_ids = []
+        for doc in pool_docs:
+            response = await primer.submit(doc)
+            job_ids.append(response["job"])
+        for job_id in job_ids:
+            done = await primer.wait(job_id)
+            if done.get("state") not in ("done", "cached"):
+                raise ClientError(
+                    f"prime job {job_id} ended {done.get('state')!r}"
+                )
+    prime_seconds = time.monotonic() - prime_start  # blitzlint: disable=D1
+
+    # Phase 2: the storm.
+    latencies: List[float] = []
+    errors: List[str] = []
+    storm_start = time.monotonic()  # blitzlint: disable=D1
+    await asyncio.gather(
+        *(
+            _storm_client(
+                host,
+                port,
+                i,
+                requests_per_client,
+                pool_docs,
+                latencies,
+                errors,
+                read_every,
+            )
+            for i in range(clients)
+        )
+    )
+    storm_seconds = time.monotonic() - storm_start  # blitzlint: disable=D1
+
+    # Phase 3: verify nothing was dropped.
+    async with ServeClient(host, port) as checker:
+        queue = await checker.queue()
+    stats = queue["stats"]
+    bad_jobs = [
+        job["job"]
+        for job in queue["jobs"]
+        if job["state"] not in ("done", "cached")
+    ]
+    incomplete_specs = [
+        entry["dir"]
+        for entry in queue["specs"]
+        if not entry["complete"] or entry["error"]
+    ]
+
+    latencies.sort()
+    total_requests = len(latencies)
+    submitted = clients * requests_per_client
+    return {
+        "clients": clients,
+        "requests_per_client": requests_per_client,
+        "pool_size": pool_size,
+        "preset": preset,
+        "prime_seconds": round(prime_seconds, 3),
+        "storm_seconds": round(storm_seconds, 3),
+        "requests_ok": total_requests,
+        "requests_submitted": submitted,
+        "request_errors": len(errors),
+        "error_samples": errors[:5],
+        "dropped_jobs": len(bad_jobs) + len(incomplete_specs),
+        "bad_jobs": bad_jobs[:10],
+        "incomplete_specs": incomplete_specs[:10],
+        "throughput_rps": round(total_requests / storm_seconds, 1)
+        if storm_seconds > 0
+        else 0.0,
+        "latency_ms": {
+            "p50": round(_percentile(latencies, 0.50) * 1000, 2),
+            "p90": round(_percentile(latencies, 0.90) * 1000, 2),
+            "p99": round(_percentile(latencies, 0.99) * 1000, 2),
+            "max": round(latencies[-1] * 1000, 2) if latencies else 0.0,
+        },
+        "dedupe_hit_rate": round(
+            (stats["deduped"] + stats["cache_hits"])
+            / max(1, stats["submitted"]),
+            4,
+        ),
+        "server_stats": stats,
+    }
+
+
+def format_load_report(report: Dict[str, Any]) -> str:
+    """The human one-screen summary of a load run."""
+    lat = report["latency_ms"]
+    lines = [
+        f"clients={report['clients']} "
+        f"requests/client={report['requests_per_client']} "
+        f"pool={report['pool_size']}x{report['preset']}",
+        f"prime  {report['prime_seconds']:.2f}s "
+        f"(cold executions: {report['server_stats']['executed']})",
+        f"storm  {report['storm_seconds']:.2f}s  "
+        f"ok={report['requests_ok']}/{report['requests_submitted']} "
+        f"errors={report['request_errors']} "
+        f"dropped_jobs={report['dropped_jobs']}",
+        f"throughput {report['throughput_rps']:.1f} req/s",
+        f"latency ms p50={lat['p50']} p90={lat['p90']} "
+        f"p99={lat['p99']} max={lat['max']}",
+        f"dedupe hit rate {report['dedupe_hit_rate'] * 100:.2f}% "
+        f"(deduped={report['server_stats']['deduped']} "
+        f"cache_hits={report['server_stats']['cache_hits']} "
+        f"of {report['server_stats']['submitted']})",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,208 @@
+"""Submission wire format: what clients POST to ``/submit``.
+
+A submission is one JSON object naming a job kind plus its payload,
+validated against the repo's *existing* frozen wire formats — a
+campaign submission embeds a :class:`~repro.campaign.spec.CampaignSpec`
+dict (or names a preset), a scenario submission embeds a
+:class:`~repro.fuzz.scenario.Scenario` dict, and a bundle submission
+embeds a fuzz repro bundle (scenario + expected failure + expected
+fingerprint).  Nothing is re-specified here: the payload validators are
+the same ``from_dict`` constructors the CLI and corpus use, so a spec
+that runs locally is a valid submission byte-for-byte.
+
+Job identity is the payload's content hash.  Two submissions with the
+same kind and hash are the *same job* — that is the dedupe contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional
+
+from repro.campaign.errors import CampaignError
+from repro.campaign.presets import get_preset
+from repro.campaign.spec import CampaignSpec
+from repro.fuzz.oracles import Failure
+from repro.fuzz.scenario import FuzzError, Scenario
+
+__all__ = [
+    "JOB_KINDS",
+    "ServeConflict",
+    "ServeError",
+    "Submission",
+    "parse_submission",
+]
+
+#: Kinds a submission may name; also the first component of a job key.
+JOB_KINDS = ("campaign", "scenario", "bundle")
+
+#: Top-level fields a submission object may carry.
+_COMMON_FIELDS = {"kind", "priority", "label"}
+_PAYLOAD_FIELDS = {
+    "campaign": {"spec", "preset"},
+    "scenario": {"scenario"},
+    "bundle": {"bundle"},
+}
+
+#: Priority bounds: higher runs sooner; 0 is the default lane.
+PRIORITY_MIN, PRIORITY_MAX = -10, 10
+
+#: Characters of the content hash used in job ids and run URLs.
+_ID_HASH_CHARS = 16
+
+
+class ServeError(ValueError):
+    """A client-caused service error; maps to HTTP 400, one line."""
+
+
+class ServeConflict(ServeError):
+    """A request valid in form but wrong in state; maps to HTTP 409."""
+
+
+@dataclass(frozen=True)
+class Submission:
+    """One validated submission, payload already parsed.
+
+    Exactly one of ``spec``/``scenario`` is set (a bundle carries its
+    scenario in ``scenario`` plus the expected failure/fingerprint).
+    """
+
+    kind: str
+    priority: int = 0
+    label: str = ""
+    spec: Optional[CampaignSpec] = None
+    scenario: Optional[Scenario] = None
+    expected_failure: Optional[Failure] = None
+    expected_fingerprint: Optional[str] = None
+
+    @property
+    def content_hash(self) -> str:
+        """Full content hash of the payload (spec or scenario hash)."""
+        if self.spec is not None:
+            return self.spec.spec_hash
+        assert self.scenario is not None
+        return self.scenario.scenario_hash
+
+    @property
+    def key(self) -> str:
+        """Dedupe identity: kind + full content hash."""
+        return f"{self.kind}:{self.content_hash}"
+
+    @property
+    def job_id(self) -> str:
+        """Human-pasteable job id: kind + hash prefix."""
+        return f"{self.kind}-{self.content_hash[:_ID_HASH_CHARS]}"
+
+    @property
+    def name(self) -> str:
+        if self.label:
+            return self.label
+        if self.spec is not None:
+            return self.spec.name
+        assert self.scenario is not None
+        return f"{self.scenario.kind}-scenario"
+
+
+def _require_mapping(value: Any, what: str) -> Mapping[str, Any]:
+    if not isinstance(value, Mapping):
+        raise ServeError(
+            f"{what} must be a JSON object, got {type(value).__name__}"
+        )
+    return value
+
+
+def _parse_common(doc: Mapping[str, Any]) -> Dict[str, Any]:
+    priority = doc.get("priority", 0)
+    if not isinstance(priority, int) or isinstance(priority, bool):
+        raise ServeError(f"priority must be an integer, got {priority!r}")
+    if not PRIORITY_MIN <= priority <= PRIORITY_MAX:
+        raise ServeError(
+            f"priority {priority} out of range "
+            f"[{PRIORITY_MIN}, {PRIORITY_MAX}]"
+        )
+    label = doc.get("label", "")
+    if not isinstance(label, str):
+        raise ServeError(f"label must be a string, got {label!r}")
+    return {"priority": priority, "label": label}
+
+
+def parse_submission(doc: Any) -> Submission:
+    """Validate one ``/submit`` body; :class:`ServeError` on any defect.
+
+    Every error is a single human-readable line — the server relays it
+    verbatim as the HTTP 400 body, never a traceback.
+    """
+    doc = _require_mapping(doc, "submission")
+    kind = doc.get("kind")
+    if kind not in JOB_KINDS:
+        raise ServeError(
+            f"unknown submission kind {kind!r}; expected one of {JOB_KINDS}"
+        )
+    allowed = _COMMON_FIELDS | _PAYLOAD_FIELDS[kind]
+    unknown = set(doc) - allowed
+    if unknown:
+        raise ServeError(
+            f"unknown submission field(s): {', '.join(sorted(unknown))}"
+        )
+    common = _parse_common(doc)
+
+    if kind == "campaign":
+        has_spec = "spec" in doc
+        has_preset = "preset" in doc
+        if has_spec == has_preset:
+            raise ServeError(
+                "campaign submission needs exactly one of 'spec' or 'preset'"
+            )
+        try:
+            if has_spec:
+                spec = CampaignSpec.from_dict(
+                    _require_mapping(doc["spec"], "campaign spec")
+                )
+            else:
+                preset = doc["preset"]
+                if not isinstance(preset, str):
+                    raise ServeError(
+                        f"preset must be a string, got {preset!r}"
+                    )
+                spec = get_preset(preset)
+        except CampaignError as exc:
+            raise ServeError(f"invalid campaign spec: {exc}") from exc
+        return Submission(kind="campaign", spec=spec, **common)
+
+    if kind == "scenario":
+        try:
+            scenario = Scenario.from_dict(
+                _require_mapping(doc.get("scenario"), "scenario")
+            )
+        except FuzzError as exc:
+            raise ServeError(f"invalid scenario: {exc}") from exc
+        return Submission(kind="scenario", scenario=scenario, **common)
+
+    bundle = _require_mapping(doc.get("bundle"), "bundle")
+    missing = {"scenario", "failure", "fingerprint"} - set(bundle)
+    if missing:
+        raise ServeError(
+            f"bundle missing field(s): {', '.join(sorted(missing))}"
+        )
+    fingerprint = bundle["fingerprint"]
+    if not isinstance(fingerprint, str) or not fingerprint:
+        raise ServeError(
+            f"bundle fingerprint must be a non-empty string, "
+            f"got {fingerprint!r}"
+        )
+    try:
+        scenario = Scenario.from_dict(
+            _require_mapping(bundle["scenario"], "bundle scenario")
+        )
+        failure = Failure.from_dict(
+            _require_mapping(bundle["failure"], "bundle failure")
+        )
+    except FuzzError as exc:
+        raise ServeError(f"invalid bundle: {exc}") from exc
+    return Submission(
+        kind="bundle",
+        scenario=scenario,
+        expected_failure=failure,
+        expected_fingerprint=fingerprint,
+        **common,
+    )

@@ -1,0 +1,453 @@
+"""The asyncio HTTP/1.1 server: routing, framing, and streaming.
+
+Hand-rolled on :func:`asyncio.start_server` — the repo takes no HTTP
+dependency — with exactly the subset of HTTP/1.1 the service needs:
+Content-Length request bodies, keep-alive, and chunked transfer
+encoding for the live JSONL job stream.
+
+Routes (docs/SERVICE.md has the full API):
+
+- ``GET  /``                       service + queue summary
+- ``GET  /healthz``                liveness probe
+- ``POST /submit``                 submit a campaign/scenario/bundle
+- ``GET  /jobs``                   all jobs, submission order
+- ``GET  /jobs/<id>``              one job
+- ``POST /jobs/<id>/cancel``       cancel a *queued* job
+- ``GET  /jobs/<id>/stream``       chunked JSONL frames, history + live
+- ``GET  /queue``                  jobs + stats + store-wide spec scan
+- ``GET  /runs/<hash16>/report``    stored RunReport JSON
+- ``GET  /runs/<hash16>/dashboard`` self-contained HTML dashboard
+
+Error contract: client mistakes are one-line JSON ``{"error": ...}``
+bodies with a 4xx status — never a traceback, never a connection
+reset.  Internal failures answer 500 with the exception's first line.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, Optional, Tuple
+
+from repro.campaign.errors import StoreError
+from repro.campaign.store import CampaignStore
+from repro.report.dashboard import render_dashboard
+from repro.report.run_report import ReportError, load_run_report
+from repro.serve.jobs import Job, JobQueue
+from repro.serve.protocol import ServeConflict, ServeError, parse_submission
+
+__all__ = ["ServeServer"]
+
+#: Request framing limits: a submission is a spec, not a dataset.
+MAX_REQUEST_LINE = 16 * 1024
+MAX_HEADER_COUNT = 64
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: Listen backlog sized for load tests that connect thousands of
+#: clients in one burst.
+LISTEN_BACKLOG = 4096
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+class _BadRequest(Exception):
+    """Malformed HTTP framing; answer 400 and drop the connection."""
+
+
+class ServeServer:
+    """One service instance: a JobQueue plus its HTTP front end."""
+
+    def __init__(self, store: CampaignStore) -> None:
+        self.store = store
+        self.queue: Optional[JobQueue] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+
+    # -------------------------------------------------------------- lifecycle
+    async def start(self, host: str, port: int) -> Tuple[str, int]:
+        """Bind and start serving; returns the actual (host, port)."""
+        self.queue = JobQueue(self.store, loop=asyncio.get_running_loop())
+        self.queue.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, host, port, backlog=LISTEN_BACKLOG
+        )
+        sockname = self._server.sockets[0].getsockname()
+        return sockname[0], sockname[1]
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self.queue is not None:
+            await self.queue.close()
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None
+        await self._server.serve_forever()
+
+    # ------------------------------------------------------------ connection
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                keep_alive = await self._dispatch(request, writer)
+                if not keep_alive:
+                    break
+        except _BadRequest as exc:
+            try:
+                await self._respond_json(
+                    writer, 400, {"error": str(exc)}, keep_alive=False
+                )
+            except (ConnectionError, OSError):
+                pass
+        except (ConnectionError, OSError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[Dict[str, Any]]:
+        """One parsed request, or None on a clean EOF between requests."""
+        try:
+            line = await reader.readline()
+        except (ConnectionError, asyncio.LimitOverrunError):
+            return None
+        if not line:
+            return None
+        if len(line) > MAX_REQUEST_LINE:
+            raise _BadRequest("request line too long")
+        parts = line.decode("latin-1").strip().split()
+        if len(parts) != 3:
+            raise _BadRequest(f"malformed request line: {line!r}")
+        method, target, _version = parts
+        headers: Dict[str, str] = {}
+        for _ in range(MAX_HEADER_COUNT + 1):
+            raw = await reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            if len(headers) >= MAX_HEADER_COUNT:
+                raise _BadRequest("too many headers")
+            name, sep, value = raw.decode("latin-1").partition(":")
+            if not sep:
+                raise _BadRequest(f"malformed header: {raw!r}")
+            headers[name.strip().lower()] = value.strip()
+        length_text = headers.get("content-length", "0")
+        try:
+            length = int(length_text)
+        except ValueError:
+            raise _BadRequest(
+                f"bad Content-Length: {length_text!r}"
+            ) from None
+        if length < 0 or length > MAX_BODY_BYTES:
+            raise _BadRequest(f"body of {length} bytes refused")
+        body = await reader.readexactly(length) if length else b""
+        return {
+            "method": method.upper(),
+            "path": target.split("?", 1)[0],
+            "headers": headers,
+            "body": body,
+        }
+
+    # -------------------------------------------------------------- responses
+    @staticmethod
+    def _head(
+        status: int,
+        content_type: str,
+        *,
+        length: Optional[int] = None,
+        chunked: bool = False,
+        keep_alive: bool = True,
+    ) -> bytes:
+        lines = [
+            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}",
+            f"Content-Type: {content_type}",
+        ]
+        if chunked:
+            lines.append("Transfer-Encoding: chunked")
+        else:
+            lines.append(f"Content-Length: {length or 0}")
+        lines.append(
+            "Connection: keep-alive" if keep_alive else "Connection: close"
+        )
+        return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+    async def _respond_bytes(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        content_type: str,
+        payload: bytes,
+        *,
+        keep_alive: bool = True,
+    ) -> None:
+        writer.write(
+            self._head(
+                status,
+                content_type,
+                length=len(payload),
+                keep_alive=keep_alive,
+            )
+            + payload
+        )
+        await writer.drain()
+
+    async def _respond_json(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        doc: Dict[str, Any],
+        *,
+        keep_alive: bool = True,
+    ) -> None:
+        payload = (json.dumps(doc, sort_keys=True) + "\n").encode("utf-8")
+        await self._respond_bytes(
+            writer, status, "application/json", payload, keep_alive=keep_alive
+        )
+
+    # ---------------------------------------------------------------- routing
+    async def _dispatch(
+        self, request: Dict[str, Any], writer: asyncio.StreamWriter
+    ) -> bool:
+        """Route one request; returns False to close the connection."""
+        method, path = request["method"], request["path"]
+        try:
+            return await self._route(method, path, request, writer)
+        except ServeConflict as exc:
+            await self._respond_json(writer, 409, {"error": str(exc)})
+        except ServeError as exc:
+            await self._respond_json(writer, 400, {"error": str(exc)})
+        except KeyError as exc:
+            await self._respond_json(
+                writer, 404, {"error": f"no such job: {exc.args[0]}"}
+            )
+        except (ConnectionError, OSError):
+            return False
+        except Exception as exc:  # noqa: BLE001 — the server answers
+            # 500 with one line; it never leaks a traceback or dies.
+            detail = str(exc).splitlines()[0] if str(exc) else type(exc).__name__
+            await self._respond_json(
+                writer,
+                500,
+                {"error": f"internal error: {detail}"},
+                keep_alive=False,
+            )
+            return False
+        return True
+
+    async def _route(
+        self,
+        method: str,
+        path: str,
+        request: Dict[str, Any],
+        writer: asyncio.StreamWriter,
+    ) -> bool:
+        queue = self.queue
+        assert queue is not None
+        if path == "/healthz":
+            await self._respond_json(writer, 200, {"ok": True})
+            return True
+        if path == "/":
+            await self._respond_json(
+                writer,
+                200,
+                {
+                    "service": "blitzcoin-repro serve",
+                    "store": str(self.store.root),
+                    "stats": dict(queue.stats),
+                },
+            )
+            return True
+        if path == "/submit":
+            if method != "POST":
+                return await self._method_not_allowed(writer, "POST")
+            submission = parse_submission(self._json_body(request))
+            job, outcome = queue.submit(submission)
+            await self._respond_json(
+                writer,
+                200,
+                {
+                    "job": job.id,
+                    "state": job.state,
+                    "outcome": outcome,
+                    "hash": job.submission.content_hash,
+                    "links": self._links(job),
+                },
+            )
+            return True
+        if path == "/queue":
+            await self._respond_json(writer, 200, queue.describe())
+            return True
+        if path == "/jobs":
+            await self._respond_json(
+                writer,
+                200,
+                {
+                    "jobs": [
+                        j.describe()
+                        for j in sorted(
+                            queue.jobs.values(), key=lambda j: j.seq
+                        )
+                    ]
+                },
+            )
+            return True
+        if path.startswith("/jobs/"):
+            return await self._route_job(method, path, writer)
+        if path.startswith("/runs/"):
+            return await self._route_run(method, path, writer)
+        await self._respond_json(
+            writer, 404, {"error": f"no such route: {method} {path}"}
+        )
+        return True
+
+    def _json_body(self, request: Dict[str, Any]) -> Any:
+        try:
+            return json.loads(request["body"].decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServeError(f"request body is not valid JSON: {exc}") from exc
+
+    def _links(self, job: Job) -> Dict[str, str]:
+        content_hash = job.submission.content_hash[:16]
+        return {
+            "self": f"/jobs/{job.id}",
+            "stream": f"/jobs/{job.id}/stream",
+            "report": f"/runs/{content_hash}/report",
+            "dashboard": f"/runs/{content_hash}/dashboard",
+        }
+
+    async def _method_not_allowed(
+        self, writer: asyncio.StreamWriter, allowed: str
+    ) -> bool:
+        await self._respond_json(
+            writer, 405, {"error": f"method not allowed; use {allowed}"}
+        )
+        return True
+
+    # ------------------------------------------------------------------- jobs
+    async def _route_job(
+        self, method: str, path: str, writer: asyncio.StreamWriter
+    ) -> bool:
+        queue = self.queue
+        assert queue is not None
+        parts = path.strip("/").split("/")
+        job_id = parts[1]
+        action = parts[2] if len(parts) > 2 else ""
+        if len(parts) > 3 or action not in ("", "cancel", "stream"):
+            await self._respond_json(
+                writer, 404, {"error": f"no such route: {path}"}
+            )
+            return True
+        if action == "cancel":
+            if method != "POST":
+                return await self._method_not_allowed(writer, "POST")
+            job = queue.cancel(job_id)
+            await self._respond_json(
+                writer, 200, {"job": job.id, "state": job.state}
+            )
+            return True
+        if method != "GET":
+            return await self._method_not_allowed(writer, "GET")
+        job = queue.get(job_id)
+        if action == "":
+            doc = job.describe()
+            doc["links"] = self._links(job)
+            await self._respond_json(writer, 200, doc)
+            return True
+        return await self._stream_job(job, writer)
+
+    async def _stream_job(
+        self, job: Job, writer: asyncio.StreamWriter
+    ) -> bool:
+        """Chunked JSONL: full frame history, then live frames, then EOF.
+
+        The stream always closes the connection: chunk framing ends the
+        body cleanly, but a subscriber queue outliving the response
+        would be a leak, so the server keeps stream responses one-shot.
+        """
+        writer.write(
+            self._head(200, "application/jsonl", chunked=True, keep_alive=False)
+        )
+        subscription = job.log.subscribe()
+        try:
+            while True:
+                frame = await subscription.get()
+                if frame is None:
+                    break
+                data = (json.dumps(frame, sort_keys=True) + "\n").encode(
+                    "utf-8"
+                )
+                writer.write(b"%x\r\n" % len(data) + data + b"\r\n")
+                await writer.drain()
+            writer.write(b"0\r\n\r\n")
+            await writer.drain()
+        finally:
+            job.log.unsubscribe(subscription)
+        return False
+
+    # ------------------------------------------------------------------- runs
+    async def _route_run(
+        self, method: str, path: str, writer: asyncio.StreamWriter
+    ) -> bool:
+        if method != "GET":
+            return await self._method_not_allowed(writer, "GET")
+        parts = path.strip("/").split("/")
+        if len(parts) != 3 or parts[2] not in ("report", "dashboard"):
+            await self._respond_json(
+                writer, 404, {"error": f"no such route: {path}"}
+            )
+            return True
+        run_hash, what = parts[1], parts[2]
+        if len(run_hash) != 16 or not all(c in "0123456789abcdef" for c in run_hash):
+            raise ServeError(
+                f"run id must be a 16-char hash prefix, got {run_hash!r}"
+            )
+        report_path = self._find_report(run_hash)
+        if report_path is None:
+            await self._respond_json(
+                writer, 404, {"error": f"no stored report for run {run_hash}"}
+            )
+            return True
+        if what == "report":
+            payload = report_path.read_bytes()
+            await self._respond_bytes(
+                writer, 200, "application/json", payload
+            )
+            return True
+        try:
+            report = load_run_report(report_path)
+        except ReportError as exc:
+            raise StoreError(str(exc)) from exc
+        html = render_dashboard(report).encode("utf-8")
+        await self._respond_bytes(
+            writer, 200, "text/html; charset=utf-8", html
+        )
+        return True
+
+    def _find_report(self, run_hash: str):
+        """report.json for a run hash: campaign spec dir or scenario dir."""
+        queue = self.queue
+        assert queue is not None
+        for candidate in (
+            self.store.root / run_hash / "report.json",
+            queue.scenarios.report_path(run_hash),
+        ):
+            if candidate.is_file():
+                return candidate
+        return None

@@ -1,0 +1,125 @@
+"""repro.core.io promotion + the store-wide campaign status mode."""
+
+from __future__ import annotations
+
+import json
+
+from repro.campaign.presets import get_preset
+from repro.campaign.store import CampaignStore
+from repro.cli import main
+from repro.core.io import atomic_write_text
+
+
+class TestAtomicWriteTextPromotion:
+    def test_deprecated_reexport_is_same_object(self):
+        from repro.campaign.store import atomic_write_text as legacy
+
+        assert legacy is atomic_write_text
+
+    def test_consumers_import_from_core(self):
+        """The reach-in is over: every consumer imports repro.core.io."""
+        import repro.fuzz.corpus as corpus
+        import repro.perf.artifact as artifact
+        import repro.report.dashboard as dashboard
+        import repro.report.run_report as run_report
+
+        for module in (corpus, artifact, dashboard, run_report):
+            assert module.atomic_write_text is atomic_write_text
+
+    def test_atomic_write_creates_parents(self, tmp_path):
+        target = tmp_path / "a" / "b" / "c.json"
+        atomic_write_text(target, "x\n")
+        assert target.read_text() == "x\n"
+        assert not list(target.parent.glob(".*tmp*"))
+
+
+class TestScanAll:
+    def test_empty_and_missing_store(self, tmp_path):
+        assert CampaignStore(tmp_path / "absent").scan_all() == []
+        (tmp_path / "empty").mkdir()
+        assert CampaignStore(tmp_path / "empty").scan_all() == []
+
+    def test_scan_all_reports_every_spec(self, tmp_path):
+        from repro.campaign.executor import run_campaign
+
+        store = CampaignStore(tmp_path / "store")
+        done_spec = get_preset("smoke")
+        run_campaign(done_spec, store=store)
+        # A second spec with only a manifest: 0 done, resumable.
+        partial = get_preset("fig03-quick")
+        store.write_manifest(
+            partial, total=len(partial.units()), cached=0, executed=0,
+            complete=False,
+        )
+        entries = {e.name: e for e in store.scan_all()}
+        assert set(entries) == {done_spec.name, partial.name}
+        assert entries[done_spec.name].status.complete
+        assert entries[done_spec.name].has_report
+        assert entries[done_spec.name].spec_hash == done_spec.spec_hash
+        assert not entries[partial.name].status.complete
+        assert entries[partial.name].status.done == 0
+
+    def test_scan_all_surfaces_damage_and_skips_namespaces(self, tmp_path):
+        store = CampaignStore(tmp_path / "store")
+        # A hash-named dir without a manifest is damage...
+        (store.root / "deadbeef00000000").mkdir(parents=True)
+        # ...a corrupt manifest likewise...
+        bad = store.root / "feedfeed00000000"
+        bad.mkdir()
+        (bad / "manifest.json").write_text("{not json")
+        # ...but non-hash namespaces (the serve scenario store) and
+        # stray files are not spec dirs at all.
+        (store.root / "scenarios" / "0123456789abcdef").mkdir(parents=True)
+        (store.root / "stray.txt").write_text("x")
+        entries = store.scan_all()
+        errors = {e.dir_name: e.error for e in entries}
+        assert errors == {
+            "deadbeef00000000": "no manifest.json",
+            "feedfeed00000000": errors["feedfeed00000000"],
+        }
+        assert "corrupt manifest" in errors["feedfeed00000000"]
+
+
+class TestStatusStoreWideCLI:
+    def test_store_wide_listing(self, tmp_path, capsys):
+        from repro.campaign.executor import run_campaign
+
+        store_dir = tmp_path / "store"
+        run_campaign(get_preset("smoke"), store=CampaignStore(store_dir))
+        rc = main(["campaign", "status", "--store", str(store_dir)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "specs=1" in out
+        assert "smoke" in out
+        assert "total=4 done=4 missing=0 corrupt=0" in out
+        assert "complete" in out and "report" in out
+
+    def test_store_wide_flags_damage(self, tmp_path, capsys):
+        store_dir = tmp_path / "store"
+        (store_dir / "deadbeef00000000").mkdir(parents=True)
+        rc = main(["campaign", "status", "--store", str(store_dir)])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "error: no manifest.json" in out
+
+    def test_single_spec_mode_unchanged(self, tmp_path, capsys):
+        store_dir = tmp_path / "store"
+        rc = main(
+            [
+                "campaign", "status", "--preset", "smoke",
+                "--store", str(store_dir),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "never run in this store" in out
+
+    def test_manifest_spec_roundtrips_through_json(self, tmp_path):
+        """scan_all rebuilds the spec from the manifest's embedded dict."""
+        store = CampaignStore(tmp_path / "store")
+        spec = get_preset("smoke")
+        store.write_manifest(spec, total=4, cached=0, executed=0, complete=False)
+        doc = json.loads(store.manifest_path(spec).read_text())
+        assert doc["spec_hash"] == spec.spec_hash
+        [entry] = store.scan_all()
+        assert entry.spec_hash == spec.spec_hash
