@@ -106,6 +106,63 @@ def test_obs_overhead(report):
     assert mon_time < 1.5 * obs_time + 0.05
 
 
+def test_scoped_lookup_overhead(report):
+    """The scoped ``runtime.sink`` obs-off path vs the old global load.
+
+    The scoped runtime keeps a real ``sink = None`` module attribute
+    bound while no sink is installed anywhere, so the obs-off fast
+    path is the *same* one-global-load the pre-scoped runtime did —
+    that equivalence (≤1.1x) is the acceptance bound.  While any
+    context observes, reads fall through to the ContextVar via module
+    ``__getattr__``; ``_contextvar_only`` forces that path so its
+    price is measured too (paid only while observability is actually
+    on somewhere, i.e. when a run is being traced anyway).
+    """
+    from repro.obs.runtime import _contextvar_only
+
+    _workload()  # warm imports and allocator before timing anything
+
+    def timed_off():
+        best = float("inf")
+        fingerprint = None
+        for _ in range(REPEATS):
+            t0 = time.perf_counter()
+            results = _workload()
+            best = min(best, time.perf_counter() - t0)
+            fingerprint = _fingerprint(results)
+        return best, fingerprint
+
+    fast_time, fast_fp = timed_off()  # attr bound: the old global load
+    with _contextvar_only():  # every read through the per-context slot
+        scoped_time, scoped_fp = timed_off()
+
+    # Scoping must not change a result bit, on either lookup path.
+    assert scoped_fp == fast_fp
+
+    report(
+        "Scoped sink lookup (obs off: fast attr vs forced ContextVar)",
+        [
+            f"workload: fig03-quick  d={D} trials={TRIALS} "
+            f"(best of {REPEATS})",
+            f"fast path (= old global)  {fast_time * 1000:8.1f} ms   1.00x",
+            f"contextvar (observing)    {scoped_time * 1000:8.1f} ms   "
+            f"{scoped_time / fast_time:5.2f}x",
+        ],
+    )
+    # Acceptance: the scoped runtime's obs-off path costs ≤1.1x the
+    # old module-global load.  With no sink installed anywhere the
+    # runtime binds a real ``sink = None`` attribute, so the obs-off
+    # read IS the old one-global-load mechanism — assert that
+    # structurally (a regression to always-ContextVar would unbind
+    # it) and bound the forced-ContextVar path loosely; it is only
+    # taken while a sink is installed somewhere, where full tracing
+    # (~3x) dominates anyway.
+    import repro.obs.runtime as _runtime
+
+    assert "sink" in vars(_runtime), "obs-off fast-path attribute unbound"
+    assert scoped_time < 1.6 * fast_time + 0.05
+
+
 def main() -> int:
     from repro.perf import REGISTRY, run_benchmark
 

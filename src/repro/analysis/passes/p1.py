@@ -19,6 +19,16 @@ it runs):
   ``fork`` start method, creating pools/threads/locks or opening
   files at module import time (inherited mid-state by every worker),
   and module-level RNG objects (every worker replays the same stream).
+
+One P1 check is **scope-free** (it applies to every module, not just
+the parallel scopes): direct attribute writes to the scoped runtime
+flags ``repro.obs.runtime.sink`` and ``repro.faults.runtime.injector``.
+Both are served per-context from a ContextVar behind module
+``__getattr__``; assigning the module attribute directly bypasses the
+scoping entirely — the write is process-visible, shadows every
+context's slot, and breaks the install/uninstall pairing the parallel
+serve lanes depend on.  Only ``install()`` / ``uninstall()`` and their
+context managers may change what a context resolves.
 """
 
 from __future__ import annotations
@@ -50,6 +60,58 @@ _FORK_UNSAFE_CTORS = {
 }
 
 _RNG_CTORS = {"default_rng", "Generator", "RandomState"}
+
+#: Scoped-runtime flags that must never be assigned directly: the
+#: module attribute is a ContextVar-backed fast flag, and only the
+#: runtime's own install()/uninstall() may change what a context sees.
+_SCOPED_RUNTIME_ATTRS = {
+    "repro.obs.runtime.sink": "install()/uninstall()/observing()",
+    "repro.faults.runtime.injector": "install()/uninstall()/injecting()",
+}
+
+#: The modules that legitimately manage those attributes.
+_SCOPED_RUNTIME_MODULES = {"repro.obs.runtime", "repro.faults.runtime"}
+
+
+def _import_aliases(tree: ast.Module) -> dict:
+    """Local name -> the dotted module/object it was imported as."""
+    aliases = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname is not None:
+                    aliases[alias.asname] = alias.name
+                else:
+                    root = alias.name.split(".")[0]
+                    aliases[root] = root
+        elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+            for alias in node.names:
+                bound = alias.asname or alias.name
+                aliases[bound] = f"{node.module}.{alias.name}"
+    return aliases
+
+
+def _scoped_runtime_writes(tree: ast.Module) -> Iterator[tuple]:
+    """(node, full_dotted, fix_hint) for direct scoped-flag writes."""
+    aliases = _import_aliases(tree)
+    for node in ast.walk(tree):
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        elif isinstance(node, ast.Delete):
+            targets = node.targets
+        for target in targets:
+            if not isinstance(target, ast.Attribute):
+                continue
+            dotted = dotted_name(target)
+            if dotted is None or "." not in dotted:
+                continue
+            head, rest = dotted.split(".", 1)
+            full = f"{aliases.get(head, head)}.{rest}"
+            if full in _SCOPED_RUNTIME_ATTRS:
+                yield node, full, _SCOPED_RUNTIME_ATTRS[full]
 
 
 def _module_level_mutables(tree: ast.Module) -> dict:
@@ -118,6 +180,17 @@ def _local_callables(tree: ast.Module) -> Set[str]:
 
 
 def check_p1(ctx: Context) -> Iterator[Finding]:
+    # ---- scope-free: direct writes to the scoped runtime flags
+    if ctx.module not in _SCOPED_RUNTIME_MODULES:
+        for node, full, fix in _scoped_runtime_writes(ctx.tree):
+            yield Finding(
+                ctx.path, node.lineno, node.col_offset, "P1",
+                f"direct write to `{full}` bypasses the scoped runtime: "
+                "the attribute is a ContextVar-backed fast flag, and an "
+                "assignment is process-visible instead of per-context; "
+                f"use {fix}",
+            )
+
     if not in_scope(ctx.module, PARALLEL_SCOPES):
         return
     tree = ctx.tree

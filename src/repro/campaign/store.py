@@ -26,12 +26,9 @@ from typing import Any, Dict, List, Optional, Sequence, Union
 from repro.campaign.errors import StoreError
 from repro.campaign.spec import CampaignSpec, CampaignUnit
 
-# Deprecated re-export: atomic_write_text moved to repro.core.io (it is
-# a generic crash-safe write helper, not campaign machinery).  Import it
-# from there; this name stays so existing callers keep working.
-from repro.core.io import atomic_write_text
+from repro.core.io import atomic_write_text as _atomic_write_text
 
-__all__ = ["CampaignStore", "SpecEntry", "StoreStatus", "atomic_write_text"]
+__all__ = ["CampaignStore", "SpecEntry", "StoreStatus"]
 
 #: Characters of the spec hash used for the directory name; the full
 #: hash in the manifest guards against (astronomically unlikely)
@@ -145,7 +142,7 @@ class CampaignStore:
     ) -> Path:
         """Atomically persist one unit result."""
         doc = {"schema": 1, "unit": unit.to_dict(), "result": result}
-        return atomic_write_text(
+        return _atomic_write_text(
             self.unit_path(spec, unit),
             json.dumps(doc, sort_keys=True) + "\n",
         )
@@ -170,7 +167,7 @@ class CampaignStore:
             "executed": executed,
             "complete": complete,
         }
-        return atomic_write_text(
+        return _atomic_write_text(
             self.manifest_path(spec), json.dumps(doc, indent=2, sort_keys=True) + "\n"
         )
 
@@ -217,7 +214,7 @@ class CampaignStore:
                     sort_keys=True,
                 )
             )
-        return atomic_write_text(
+        return _atomic_write_text(
             self.results_path(spec), "\n".join(lines) + "\n"
         )
 

@@ -47,7 +47,7 @@ from repro.obs.monitor import (
     default_monitors,
 )
 from repro.obs.profile import KernelProfile, callback_site
-from repro.obs.runtime import enabled, install, observing, uninstall
+from repro.obs.runtime import current, enabled, install, observing, uninstall
 from repro.obs.sink import NullSink, ObsError, ObsSink, Observation
 from repro.obs.spans import InstantEvent, Sample, Span, TraceBuffer
 
@@ -76,6 +76,7 @@ __all__ = [
     "TraceBuffer",
     "callback_site",
     "chrome_trace",
+    "current",
     "default_monitors",
     "enabled",
     "install",

@@ -1,4 +1,4 @@
-"""The module-level fast flag gating every instrumentation point.
+"""The scoped fast flag gating every instrumentation point.
 
 Instrumented call sites throughout the simulator read one module
 attribute and branch::
@@ -9,50 +9,129 @@ attribute and branch::
         _obs.sink.inc("engine.exchanges_initiated", self.sim.now)
 
 When no sink is installed (the default) each site costs a single
-attribute load plus an ``is None`` test — the simulation executes the
-same instruction path as an uninstrumented build, and results are
+attribute lookup plus an ``is None`` test — the simulation executes
+the same instruction path as an uninstrumented build, and results are
 bit-identical either way because sinks observe but never schedule.
 
-Only one sink may be installed at a time; use :func:`observing` to
-scope a sink to a ``with`` block.
+The lookup is *scoped*, not process-wide: ``sink`` is served by a
+module-level ``__getattr__`` (PEP 562) backed by a
+:class:`contextvars.ContextVar`, so every thread — and every asyncio
+task — resolves its own sink.  Two simulations in two threads can
+each install their own sink without seeing the other's; a fresh
+thread (or a context where nothing was installed) sees ``None`` and
+runs uninstrumented.  This is what lets ``repro.serve`` run N
+execution lanes in one process, each streaming its own job.
+
+The disabled path pays nothing for that scoping: while *no* sink is
+installed anywhere in the process, a real module attribute ``sink =
+None`` is bound, so every read is the same single module-dict load
+the pre-scoped runtime did (a ContextVar read through module
+``__getattr__`` costs ~15x a global load — far too hot for a branch
+the simulator takes at every instrumentation point).  The first
+:func:`install` anywhere deletes that attribute, routing reads
+through the per-context slot; the last :func:`uninstall` restores it.
+Readers need no lock: a context whose slot is empty correctly reads
+``None`` on either path, so the attribute flipping under a reader is
+benign.  The one discipline this requires is the one the runtime
+already demanded: every install is paired with an uninstall *in the
+same context* (``observing`` does this for you).
+
+Within one context only one sink may be installed at a time —
+:func:`install` raises on nesting, exactly as the old process-wide
+runtime did — and :func:`observing` scopes a sink to a ``with``
+block.  Because :class:`~contextvars.ContextVar` state set inside a
+thread *persists* on that thread (thread pools reuse threads),
+:func:`uninstall` in a ``finally`` remains load-bearing for any code
+that installs outside ``observing``.
 """
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
+from contextvars import ContextVar
 from typing import Iterator, Optional
 
 from repro.obs.sink import ObsError, ObsSink, Observation
 
-__all__ = ["enabled", "install", "observing", "sink", "uninstall"]
+__all__ = [
+    "current",
+    "enabled",
+    "install",
+    "observing",
+    "sink",
+    "uninstall",
+]
 
-#: The installed sink, or None when observability is disabled.
-#: Call sites read this attribute directly as the fast path.
+#: The per-context sink slot.  ``None`` means observability is
+#: disabled in this context.  Never set this from outside this module
+#: (blitzlint P1 flags direct writes to ``runtime.sink``); use
+#: :func:`install` / :func:`uninstall` / :func:`observing`.
+_SINK_VAR: ContextVar[Optional[ObsSink]] = ContextVar(
+    "repro_obs_sink", default=None
+)
+
+#: How many contexts currently have a sink installed, process-wide.
+#: While zero, the fast-path ``sink = None`` module attribute below
+#: shadows ``__getattr__`` and obs-off reads cost one global load.
+_active_installs = 0
+_active_lock = threading.Lock()
+
+#: The obs-off fast path: a real attribute, deleted while any context
+#: observes and restored when the last sink is uninstalled.
 sink: Optional[ObsSink] = None
 
 
+def __getattr__(name: str) -> Optional[ObsSink]:
+    # PEP 562: serves the historical ``runtime.sink`` module attribute
+    # from the context-local slot, so all instrumented call sites keep
+    # their one-load-plus-None-test fast path with zero churn.
+    if name == "sink":
+        return _SINK_VAR.get()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def current() -> Optional[ObsSink]:
+    """The sink installed in the *current* context, or ``None``."""
+    return _SINK_VAR.get()
+
+
 def enabled() -> bool:
-    """True when an observability sink is installed."""
-    return sink is not None
+    """True when an observability sink is installed in this context."""
+    return _SINK_VAR.get() is not None
 
 
 def install(new_sink: ObsSink) -> ObsSink:
-    """Install ``new_sink`` as the process-wide observability sink."""
-    global sink
-    if sink is not None:
+    """Install ``new_sink`` as this context's observability sink."""
+    global _active_installs
+    if _SINK_VAR.get() is not None:
         raise ObsError(
-            "an observability sink is already installed; uninstall it "
-            "first (nesting sinks would double-count instruments)"
+            "an observability sink is already installed in this context; "
+            "uninstall it first (nesting sinks would double-count "
+            "instruments)"
         )
-    sink = new_sink
+    _SINK_VAR.set(new_sink)
+    with _active_lock:
+        _active_installs += 1
+        if _active_installs == 1:
+            # First observer in the process: route reads through the
+            # per-context slot.
+            globals().pop("sink", None)
     return new_sink
 
 
 def uninstall() -> Optional[ObsSink]:
-    """Remove the installed sink (if any) and return it."""
-    global sink
-    removed = sink
-    sink = None
+    """Remove this context's installed sink (if any) and return it."""
+    global _active_installs
+    removed = _SINK_VAR.get()
+    if removed is None:
+        return None
+    _SINK_VAR.set(None)
+    with _active_lock:
+        _active_installs -= 1
+        if _active_installs == 0:
+            # Last observer gone: restore the one-global-load fast path.
+            globals()["sink"] = None
     return removed
 
 
@@ -74,3 +153,24 @@ def observing(
         yield active
     finally:
         uninstall()
+
+
+@contextmanager
+def _contextvar_only() -> Iterator[None]:
+    """Benchmark-only: force every ``sink`` read through the ContextVar.
+
+    Deletes the obs-off fast-path attribute so module ``__getattr__``
+    serves every lookup — the path all reads take while *any* context
+    in the process has a sink installed.  ``bench_obs_overhead`` uses
+    this to price the scoped lookup against the restored-global fast
+    path without having to hold a sink installed elsewhere.  On exit
+    the attribute is restored iff no sink is actually installed.
+    Single-threaded benchmarks only.
+    """
+    globals().pop("sink", None)
+    try:
+        yield
+    finally:
+        with _active_lock:
+            if _active_installs == 0:
+                globals()["sink"] = None

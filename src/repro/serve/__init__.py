@@ -8,9 +8,29 @@ Identical submissions dedupe to one execution by content hash; warm
 cache hits answer without touching the executor.  Running jobs stream
 monitor alerts and whitelisted obs counters live as chunked JSONL.
 
+Execution runs on N parallel lanes (``--lanes``), each scoping its own
+observability sink through the context-local ``repro.obs.runtime``;
+the service itself is instrumented one level up (``repro.serve.
+telemetry``): request counters and latency histograms, queue-depth and
+lane-utilization gauges, a Prometheus ``GET /metrics`` endpoint, a
+JSONL access log with end-to-end request ids, and a self-contained
+fleet dashboard at ``GET /dashboard``.
+
 See docs/SERVICE.md for the API and the dedupe/caching contract.
 """
 
 from repro.serve.protocol import ServeError, Submission, parse_submission
+from repro.serve.telemetry import (
+    ServiceTelemetry,
+    parse_prometheus_text,
+    render_prometheus,
+)
 
-__all__ = ["ServeError", "Submission", "parse_submission"]
+__all__ = [
+    "ServeError",
+    "ServiceTelemetry",
+    "Submission",
+    "parse_prometheus_text",
+    "parse_submission",
+    "render_prometheus",
+]

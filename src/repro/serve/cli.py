@@ -55,9 +55,17 @@ def _run(coro) -> int:  # type: ignore[no-untyped-def]
 
 # ---------------------------------------------------------------------- serve
 async def _serve(args: argparse.Namespace) -> int:
-    server = ServeServer(CampaignStore(args.store))
+    server = ServeServer(
+        CampaignStore(args.store),
+        lanes=args.lanes,
+        access_log=args.access_log,
+    )
     host, port = await server.start(args.host, args.port)
-    print(f"serving on http://{host}:{port}  store={args.store}", flush=True)
+    print(
+        f"serving on http://{host}:{port}  store={args.store}  "
+        f"lanes={server.lanes}",
+        flush=True,
+    )
     try:
         await server.serve_forever()
     except asyncio.CancelledError:
@@ -153,7 +161,11 @@ async def _loadtest(args: argparse.Namespace) -> int:
     server = None
     host, port = args.host, args.port
     if args.self_hosted:
-        server = ServeServer(CampaignStore(args.store))
+        server = ServeServer(
+            CampaignStore(args.store),
+            lanes=args.lanes,
+            exec_delay=args.exec_delay,
+        )
         host, port = await server.start(args.host, 0)
     try:
         report = await run_load(
@@ -163,6 +175,8 @@ async def _loadtest(args: argparse.Namespace) -> int:
             requests_per_client=args.requests,
             pool_size=args.pool,
             preset=args.preset,
+            mode=args.mode,
+            lanes=args.lanes if args.self_hosted else 0,
         )
     finally:
         if server is not None:
@@ -206,6 +220,14 @@ def add_serve_parser(sub: argparse.Action) -> None:
     sp.add_argument(
         "--store", default=DEFAULT_SERVE_STORE, metavar="DIR",
         help=f"campaign result store (default: {DEFAULT_SERVE_STORE})",
+    )
+    sp.add_argument(
+        "--lanes", type=int, default=1, metavar="N",
+        help="parallel execution lanes (default: 1)",
+    )
+    sp.add_argument(
+        "--access-log", default=None, metavar="FILE",
+        help="append structured JSONL access log lines to FILE",
     )
     sp.set_defaults(func=cmd_serve_run)
 
@@ -254,9 +276,24 @@ def add_serve_parser(sub: argparse.Action) -> None:
         help="campaign preset the pool derives from (default: smoke)",
     )
     sp.add_argument(
+        "--mode", choices=("dedupe", "cold"), default="dedupe",
+        help="dedupe: prime + storm over a shared pool; cold: all-"
+        "distinct specs, completion-timed (jobs/s — the lane-scaling "
+        "number)",
+    )
+    sp.add_argument(
         "--self-hosted", action="store_true",
         help="start a private in-process server on a fresh port "
         "(uses --store) instead of targeting --host/--port",
+    )
+    sp.add_argument(
+        "--lanes", type=int, default=1, metavar="N",
+        help="execution lanes for --self-hosted (default: 1)",
+    )
+    sp.add_argument(
+        "--exec-delay", type=float, default=0.0, metavar="SECONDS",
+        help="--self-hosted only: emulate per-job blocking backend "
+        "latency, so lane overlap is measurable on single-core hosts",
     )
     sp.add_argument(
         "--store", default=DEFAULT_SERVE_STORE, metavar="DIR",

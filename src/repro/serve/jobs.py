@@ -12,12 +12,17 @@ Dedupe contract (docs/SERVICE.md):
    job without ever touching the executor.
 3. Only a genuinely new job reaches the priority queue.
 
-Execution is *serialized* on one worker thread: the observability
-runtime installs exactly one process-wide sink (``repro.obs.runtime``
-raises on double-install by design), so two simulations cannot stream
-concurrently in one process.  Server concurrency comes from asyncio
-I/O plus dedupe and the warm cache — the same shape as the campaign
-executor's cached-unit fast path, one level up.
+Execution runs on **N parallel lanes** (``lanes=1`` by default): N
+asyncio lane tasks pull from one shared priority heap and hand jobs to
+a thread pool of the same width.  Each lane thread scopes its own
+``StreamingSink``/MonitorSet through the context-local observability
+runtime (``repro.obs.runtime`` resolves ``sink`` per thread), so
+concurrent jobs stream independently without cross-talk — the
+per-process single-sink limit that used to force ``max_workers=1`` is
+gone.  Dedupe and the warm cache still do the heavy lifting for
+identical traffic; lanes add overlap for *distinct* jobs (blocking
+store I/O, and real CPU parallelism when campaign specs fan units out
+to worker processes).
 
 Cancellation only targets *queued* jobs (lazy removal from the heap);
 a running simulation is never interrupted mid-flight, so the
@@ -29,9 +34,10 @@ from __future__ import annotations
 import asyncio
 import heapq
 import json
+import time
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from repro.campaign.errors import StoreError
 from repro.campaign.executor import run_campaign
@@ -45,6 +51,7 @@ from repro.obs.runtime import uninstall as obs_uninstall
 from repro.report.run_report import scenario_report, write_run_report
 from repro.serve.protocol import ServeConflict, Submission
 from repro.serve.stream import JobLog, StreamingSink
+from repro.serve.telemetry import ServiceTelemetry
 
 __all__ = ["Job", "JobQueue", "ScenarioStore"]
 
@@ -130,6 +137,11 @@ class Job:
         self.error: Optional[str] = None
         #: How many submissions resolved to this job (1 = no dedupe).
         self.hits = 1
+        #: Request ids that resolved to this job (creator first), so an
+        #: access-log line can be traced to its job and back.
+        self.requests: List[str] = []
+        #: Which execution lane ran the job (None until running).
+        self.lane: Optional[int] = None
         self.done_event = asyncio.Event()
 
     @property
@@ -150,6 +162,10 @@ class Job:
             "state": self.state,
             "hits": self.hits,
         }
+        if self.requests:
+            doc["requests"] = list(self.requests)
+        if self.lane is not None:
+            doc["lane"] = self.lane
         if self.result is not None:
             doc["result"] = self.result
         if self.error is not None:
@@ -177,19 +193,33 @@ class JobQueue:
         store: CampaignStore,
         *,
         loop: Optional[asyncio.AbstractEventLoop] = None,
+        lanes: int = 1,
+        exec_delay: float = 0.0,
+        telemetry: Optional[ServiceTelemetry] = None,
+        now_fn: Optional[Callable[[], float]] = None,
     ) -> None:
         self.store = store
         self.scenarios = ScenarioStore(store.root / "scenarios")
         self.loop = loop if loop is not None else asyncio.get_event_loop()
+        self.lanes = max(1, int(lanes))
+        #: Benchmark-only knob: emulate per-job blocking backend latency
+        #: (slow store, remote executor) so lane overlap is measurable
+        #: on machines where the pure-Python sim pins a single core.
+        self.exec_delay = float(exec_delay)
         self.jobs: Dict[str, Job] = {}
         self._by_key: Dict[str, Job] = {}
         self._heap: List[Tuple[int, int, Job]] = []
         self._seq = 0
+        self._queued = 0
         self._wake = asyncio.Event()
         self._pool = ThreadPoolExecutor(
-            max_workers=1, thread_name_prefix="serve-exec"
+            max_workers=self.lanes, thread_name_prefix="serve-exec"
         )
-        self._worker: Optional[asyncio.Task] = None
+        #: Job id currently running on each lane (None = idle).
+        self.lane_jobs: List[Optional[str]] = [None] * self.lanes
+        self._lane_tasks: List[asyncio.Task] = []
+        self._telemetry = telemetry
+        self._now = now_fn if now_fn is not None else (lambda: 0.0)
         self.stats: Dict[str, int] = {
             "submitted": 0,
             "deduped": 0,
@@ -202,26 +232,56 @@ class JobQueue:
 
     # -------------------------------------------------------------- lifecycle
     def start(self) -> None:
-        if self._worker is None:
-            self._worker = self.loop.create_task(self._run_worker())
+        if not self._lane_tasks:
+            self._lane_tasks = [
+                self.loop.create_task(self._run_lane(lane))
+                for lane in range(self.lanes)
+            ]
 
     async def close(self) -> None:
-        if self._worker is not None:
-            self._worker.cancel()
+        for task in self._lane_tasks:
+            task.cancel()
+        for task in self._lane_tasks:
             try:
-                await self._worker
+                await task
             except asyncio.CancelledError:
                 pass
-            self._worker = None
+        self._lane_tasks = []
         self._pool.shutdown(wait=True)
 
+    # -------------------------------------------------------------- telemetry
+    def busy_lanes(self) -> int:
+        return sum(1 for job_id in self.lane_jobs if job_id is not None)
+
+    def queue_depth(self) -> int:
+        """Jobs genuinely waiting (cancelled heap entries excluded)."""
+        return self._queued
+
+    def _gauge_update(self) -> None:
+        if self._telemetry is not None:
+            now_s = self._now()
+            self._telemetry.set_queue_depth(self._queued, now_s)
+            self._telemetry.set_lanes(self.busy_lanes(), self.lanes, now_s)
+
+    def _job_finished(self, job: Job) -> None:
+        if self._telemetry is not None:
+            self._telemetry.record_job_done(
+                job.state, job.submission.kind, self._now()
+            )
+
     # ----------------------------------------------------------------- submit
-    def submit(self, submission: Submission) -> Tuple[Job, str]:
+    def submit(
+        self, submission: Submission, *, request_id: Optional[str] = None
+    ) -> Tuple[Job, str]:
         """Resolve a submission to its job.
 
         Returns ``(job, outcome)`` with outcome one of ``"new"``
         (enqueued), ``"deduped"`` (joined an existing live job), or
         ``"cached"`` (answered from the warm store, no execution).
+        ``request_id`` (when the server supplies one) is recorded on
+        the job and stamped into the first stream frame, so the access
+        log, the job document, and the stream all tie back to the
+        originating request.
         """
         self.stats["submitted"] += 1
         existing = self._by_key.get(submission.key)
@@ -230,34 +290,56 @@ class JobQueue:
             "cancelled",
         ):
             existing.hits += 1
+            if request_id is not None:
+                existing.requests.append(request_id)
             self.stats["deduped"] += 1
+            self._record_submission("deduped", submission)
             return existing, "deduped"
 
         cached = self._load_cached(submission)
-        log = JobLog(self.loop)
+        on_frame = (
+            (lambda frame: self._telemetry.record_frame(frame, self._now()))
+            if self._telemetry is not None
+            else None
+        )
+        log = JobLog(self.loop, on_frame=on_frame, request_id=request_id)
         self._seq += 1
         job = Job(submission, log, self._seq)
-        log.publish(
-            {
-                "type": "job",
-                "job": job.id,
-                "kind": submission.kind,
-                "name": submission.name,
-                "hash": submission.content_hash,
-            }
-        )
+        if request_id is not None:
+            job.requests.append(request_id)
+        job_frame = {
+            "type": "job",
+            "job": job.id,
+            "kind": submission.kind,
+            "name": submission.name,
+            "hash": submission.content_hash,
+        }
+        if request_id is not None:
+            job_frame["request"] = request_id
+        log.publish(job_frame)
         self.jobs[job.id] = job
         self._by_key[submission.key] = job
         if cached is not None:
             self.stats["cache_hits"] += 1
             job.result = cached
             job.finish("cached")
+            self._record_submission("cached", submission)
+            self._job_finished(job)
             return job, "cached"
         self.stats["enqueued"] += 1
         job.log.publish({"type": "state", "state": "queued"})
         heapq.heappush(self._heap, (-submission.priority, self._seq, job))
+        self._queued += 1
+        self._record_submission("new", submission)
+        self._gauge_update()
         self._wake.set()
         return job, "new"
+
+    def _record_submission(self, outcome: str, submission: Submission) -> None:
+        if self._telemetry is not None:
+            self._telemetry.record_submission(
+                outcome, submission.kind, self._now()
+            )
 
     def get(self, job_id: str) -> Job:
         job = self.jobs.get(job_id)
@@ -274,7 +356,10 @@ class JobQueue:
                 "cancelled (a running simulation is never interrupted)"
             )
         self.stats["cancelled"] += 1
-        job.finish("cancelled")  # heap entry skipped lazily by the worker
+        self._queued -= 1
+        job.finish("cancelled")  # heap entry skipped lazily by the lanes
+        self._job_finished(job)
+        self._gauge_update()
         return job
 
     def describe(self) -> Dict[str, Any]:
@@ -356,39 +441,60 @@ class JobQueue:
             result["failure_reproduced"] = failure.key in keys
         return result
 
-    # --------------------------------------------------------------- worker
-    async def _run_worker(self) -> None:
+    # ---------------------------------------------------------------- lanes
+    async def _run_lane(self, lane: int) -> None:
+        """One execution lane: pop, run on the thread pool, finish.
+
+        All N lane tasks share the heap and the wake event.  Popping
+        is race-free because submit and pop both run on the event loop
+        with no ``await`` in between; the guard loop re-checks the
+        heap after every wake so a cleared event can never strand a
+        queued job.
+        """
         while True:
-            await self._wake.wait()
-            self._wake.clear()
-            while self._heap:
-                _, _, job = heapq.heappop(self._heap)
-                if job.state != "queued":
-                    continue  # cancelled while queued
-                job.state = "running"
-                job.log.publish({"type": "state", "state": "running"})
-                try:
-                    job.result = await self.loop.run_in_executor(
-                        self._pool, self._execute, job
-                    )
-                except asyncio.CancelledError:
-                    raise
-                except Exception as exc:  # noqa: BLE001 — a job may fail
-                    # for any reason; the worker itself must survive.
-                    job.error = (
-                        str(exc).splitlines()[0]
-                        if str(exc)
-                        else type(exc).__name__
-                    )
-                    self.stats["failed"] += 1
-                    job.finish("failed")
-                    continue
+            while not self._heap:
+                self._wake.clear()
+                await self._wake.wait()
+            _, _, job = heapq.heappop(self._heap)
+            if job.state != "queued":
+                continue  # cancelled while queued
+            self._queued -= 1
+            job.state = "running"
+            job.lane = lane
+            self.lane_jobs[lane] = job.id
+            self._gauge_update()
+            job.log.publish({"type": "state", "state": "running", "lane": lane})
+            try:
+                job.result = await self.loop.run_in_executor(
+                    self._pool, self._execute, job
+                )
+            except asyncio.CancelledError:
+                self.lane_jobs[lane] = None
+                raise
+            except Exception as exc:  # noqa: BLE001 — a job may fail
+                # for any reason; the lane itself must survive.
+                job.error = (
+                    str(exc).splitlines()[0]
+                    if str(exc)
+                    else type(exc).__name__
+                )
+                self.stats["failed"] += 1
+                job.finish("failed")
+            else:
                 self.stats["executed"] += 1
                 job.finish("done")
+            self.lane_jobs[lane] = None
+            self._job_finished(job)
+            self._gauge_update()
 
     # ------------------------------------------------------------- execution
     def _execute(self, job: Job) -> Dict[str, Any]:
-        """Run one job on the worker thread; returns its result doc."""
+        """Run one job on its lane thread; returns its result doc."""
+        if self.exec_delay > 0:
+            # Lane-overlap benchmarking only (see ``exec_delay``); the
+            # sleep releases the GIL like the blocking backend it
+            # stands in for.
+            time.sleep(self.exec_delay)  # blitzlint: disable=D1
         if job.submission.kind == "campaign":
             return self._execute_campaign(job)
         return self._execute_scenario(job)

@@ -16,6 +16,15 @@ Methodology (mirrored in docs/SERVICE.md and EXPERIMENTS.md):
    id, every job the server knows is in a successful terminal state,
    and the store-wide scan still shows every spec complete.
 
+A second methodology, ``mode="cold"``, measures *execution*
+throughput instead of dedupe throughput: every submission is a
+distinct spec against a cold store (no prime phase, nothing dedupes),
+each client waits for its own jobs to finish, and the headline number
+is completed jobs per second.  This is the mode that shows parallel
+lane scaling — N lanes overlap N jobs' blocking time (store I/O, or
+the ``exec_delay`` backend-latency emulation on single-core hosts
+where the pure-Python sim cannot physically parallelize).
+
 Latencies are wall-clock per request (this is service telemetry, not
 simulation state — determinism rules do not apply to the measurement
 itself), summarized as p50/p90/p99/max plus sustained throughput.
@@ -80,6 +89,39 @@ async def _storm_client(
             latencies.append(time.monotonic() - start)  # blitzlint: disable=D1
 
 
+async def _cold_client(
+    host: str,
+    port: int,
+    docs: List[Dict[str, Any]],
+    latencies: List[float],
+    errors: List[str],
+) -> int:
+    """Submit this client's distinct specs, then wait each to done."""
+    completed = 0
+    async with ServeClient(host, port) as client:
+        job_ids = []
+        for doc in docs:
+            start = time.monotonic()  # blitzlint: disable=D1
+            try:
+                response = await client.submit(doc)
+            except ClientError as exc:
+                errors.append(str(exc))
+                continue
+            latencies.append(time.monotonic() - start)  # blitzlint: disable=D1
+            job_ids.append(response["job"])
+        for job_id in job_ids:
+            try:
+                done = await client.wait(job_id)
+            except ClientError as exc:
+                errors.append(str(exc))
+                continue
+            if done.get("state") in ("done", "cached"):
+                completed += 1
+            else:
+                errors.append(f"job {job_id} ended {done.get('state')!r}")
+    return completed
+
+
 async def run_load(
     host: str,
     port: int,
@@ -89,8 +131,27 @@ async def run_load(
     pool_size: int = 4,
     read_every: int = 5,
     preset: str = "smoke",
+    mode: str = "dedupe",
+    lanes: int = 0,
 ) -> Dict[str, Any]:
-    """Run the prime + storm phases; returns the load report dict."""
+    """Run one load methodology; returns the load report dict.
+
+    ``mode="dedupe"`` (default) is prime + storm over a shared pool;
+    ``mode="cold"`` submits ``clients * requests_per_client`` distinct
+    specs, waits for completion, and reports jobs/second.  ``lanes``
+    is recorded in the report for provenance only.
+    """
+    if mode not in ("dedupe", "cold"):
+        raise ClientError(f"unknown load mode {mode!r}")
+    if mode == "cold":
+        return await _run_cold(
+            host,
+            port,
+            clients=clients,
+            requests_per_client=requests_per_client,
+            preset=preset,
+            lanes=lanes,
+        )
     pool = build_spec_pool(pool_size, preset=preset)
     pool_docs = [{"kind": "campaign", "spec": spec.to_dict()} for spec in pool]
 
@@ -149,6 +210,8 @@ async def run_load(
     total_requests = len(latencies)
     submitted = clients * requests_per_client
     return {
+        "mode": "dedupe",
+        "lanes": lanes,
         "clients": clients,
         "requests_per_client": requests_per_client,
         "pool_size": pool_size,
@@ -180,9 +243,110 @@ async def run_load(
     }
 
 
+async def _run_cold(
+    host: str,
+    port: int,
+    *,
+    clients: int,
+    requests_per_client: int,
+    preset: str,
+    lanes: int,
+) -> Dict[str, Any]:
+    """The cold methodology: all-distinct specs, completion-timed."""
+    total = clients * requests_per_client
+    pool = build_spec_pool(total, preset=preset)
+    docs = [{"kind": "campaign", "spec": spec.to_dict()} for spec in pool]
+    latencies: List[float] = []
+    errors: List[str] = []
+    storm_start = time.monotonic()  # blitzlint: disable=D1
+    completed = await asyncio.gather(
+        *(
+            _cold_client(
+                host,
+                port,
+                docs[i * requests_per_client : (i + 1) * requests_per_client],
+                latencies,
+                errors,
+            )
+            for i in range(clients)
+        )
+    )
+    storm_seconds = time.monotonic() - storm_start  # blitzlint: disable=D1
+
+    async with ServeClient(host, port) as checker:
+        queue = await checker.queue()
+    stats = queue["stats"]
+    bad_jobs = [
+        job["job"]
+        for job in queue["jobs"]
+        if job["state"] not in ("done", "cached")
+    ]
+    incomplete_specs = [
+        entry["dir"]
+        for entry in queue["specs"]
+        if not entry["complete"] or entry["error"]
+    ]
+    latencies.sort()
+    jobs_done = sum(completed)
+    return {
+        "mode": "cold",
+        "lanes": lanes,
+        "clients": clients,
+        "requests_per_client": requests_per_client,
+        "pool_size": total,
+        "preset": preset,
+        "prime_seconds": 0.0,
+        "storm_seconds": round(storm_seconds, 3),
+        "requests_ok": len(latencies),
+        "requests_submitted": total,
+        "request_errors": len(errors),
+        "error_samples": errors[:5],
+        "jobs_completed": jobs_done,
+        "jobs_per_second": round(jobs_done / storm_seconds, 2)
+        if storm_seconds > 0
+        else 0.0,
+        "dropped_jobs": (total - jobs_done) + len(incomplete_specs),
+        "bad_jobs": bad_jobs[:10],
+        "incomplete_specs": incomplete_specs[:10],
+        "throughput_rps": round(len(latencies) / storm_seconds, 1)
+        if storm_seconds > 0
+        else 0.0,
+        "latency_ms": {
+            "p50": round(_percentile(latencies, 0.50) * 1000, 2),
+            "p90": round(_percentile(latencies, 0.90) * 1000, 2),
+            "p99": round(_percentile(latencies, 0.99) * 1000, 2),
+            "max": round(latencies[-1] * 1000, 2) if latencies else 0.0,
+        },
+        "dedupe_hit_rate": round(
+            (stats["deduped"] + stats["cache_hits"])
+            / max(1, stats["submitted"]),
+            4,
+        ),
+        "server_stats": stats,
+    }
+
+
 def format_load_report(report: Dict[str, Any]) -> str:
     """The human one-screen summary of a load run."""
     lat = report["latency_ms"]
+    if report.get("mode") == "cold":
+        lane_note = f" lanes={report['lanes']}" if report.get("lanes") else ""
+        return "\n".join(
+            [
+                f"cold mode{lane_note}: clients={report['clients']} "
+                f"requests/client={report['requests_per_client']} "
+                f"distinct specs={report['pool_size']} ({report['preset']})",
+                f"completed {report['jobs_completed']}/"
+                f"{report['requests_submitted']} jobs in "
+                f"{report['storm_seconds']:.2f}s  "
+                f"errors={report['request_errors']} "
+                f"dropped_jobs={report['dropped_jobs']}",
+                f"throughput {report['jobs_per_second']:.2f} jobs/s "
+                f"({report['throughput_rps']:.1f} submit req/s)",
+                f"submit latency ms p50={lat['p50']} p90={lat['p90']} "
+                f"p99={lat['p99']} max={lat['max']}",
+            ]
+        )
     lines = [
         f"clients={report['clients']} "
         f"requests/client={report['requests_per_client']} "

@@ -15,8 +15,15 @@ Routes (docs/SERVICE.md has the full API):
 - ``POST /jobs/<id>/cancel``       cancel a *queued* job
 - ``GET  /jobs/<id>/stream``       chunked JSONL frames, history + live
 - ``GET  /queue``                  jobs + stats + store-wide spec scan
+- ``GET  /metrics``                Prometheus text exposition format
+- ``GET  /dashboard``              self-contained fleet dashboard HTML
 - ``GET  /runs/<hash16>/report``    stored RunReport JSON
 - ``GET  /runs/<hash16>/dashboard`` self-contained HTML dashboard
+
+Every request gets a deterministic id (``req-000001``, …) that is
+echoed in the ``X-Request-Id`` response header, written to the JSONL
+access log, and — for submissions — propagated into the job document
+and its stream frames, so one id traces a request end to end.
 
 Error contract: client mistakes are one-line JSON ``{"error": ...}``
 bodies with a 4xx status — never a traceback, never a connection
@@ -27,7 +34,10 @@ from __future__ import annotations
 
 import asyncio
 import json
-from typing import Any, Dict, Optional, Tuple
+import time
+from contextvars import ContextVar
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple, Union
 
 from repro.campaign.errors import StoreError
 from repro.campaign.store import CampaignStore
@@ -35,8 +45,22 @@ from repro.report.dashboard import render_dashboard
 from repro.report.run_report import ReportError, load_run_report
 from repro.serve.jobs import Job, JobQueue
 from repro.serve.protocol import ServeConflict, ServeError, parse_submission
+from repro.serve.telemetry import (
+    AccessLog,
+    ServiceTelemetry,
+    endpoint_of,
+    render_fleet_dashboard,
+)
 
 __all__ = ["ServeServer"]
+
+#: Per-task response metadata for the in-flight request (status, body
+#: size, job id).  A context variable, not an instance attribute: many
+#: connections dispatch concurrently on one server instance, and each
+#: asyncio task sees only its own slot.
+_RSP: ContextVar[Optional[Dict[str, Any]]] = ContextVar(
+    "repro_serve_rsp", default=None
+)
 
 #: Request framing limits: a submission is a spec, not a dataset.
 MAX_REQUEST_LINE = 16 * 1024
@@ -65,15 +89,41 @@ class _BadRequest(Exception):
 class ServeServer:
     """One service instance: a JobQueue plus its HTTP front end."""
 
-    def __init__(self, store: CampaignStore) -> None:
+    def __init__(
+        self,
+        store: CampaignStore,
+        *,
+        lanes: int = 1,
+        exec_delay: float = 0.0,
+        access_log: Optional[Union[str, Path]] = None,
+    ) -> None:
         self.store = store
+        self.lanes = max(1, int(lanes))
+        self.exec_delay = float(exec_delay)
+        self.telemetry = ServiceTelemetry()
+        self.access_log: Optional[AccessLog] = (
+            AccessLog(access_log) if access_log is not None else None
+        )
         self.queue: Optional[JobQueue] = None
         self._server: Optional[asyncio.base_events.Server] = None
+        self._t0 = 0.0
+
+    def _uptime_s(self) -> float:
+        """Seconds since start — service telemetry, never sim results."""
+        return time.monotonic() - self._t0  # blitzlint: disable=D1
 
     # -------------------------------------------------------------- lifecycle
     async def start(self, host: str, port: int) -> Tuple[str, int]:
         """Bind and start serving; returns the actual (host, port)."""
-        self.queue = JobQueue(self.store, loop=asyncio.get_running_loop())
+        self._t0 = time.monotonic()  # blitzlint: disable=D1
+        self.queue = JobQueue(
+            self.store,
+            loop=asyncio.get_running_loop(),
+            lanes=self.lanes,
+            exec_delay=self.exec_delay,
+            telemetry=self.telemetry,
+            now_fn=self._uptime_s,
+        )
         self.queue.start()
         self._server = await asyncio.start_server(
             self._handle_connection, host, port, backlog=LISTEN_BACKLOG
@@ -88,6 +138,8 @@ class ServeServer:
             self._server = None
         if self.queue is not None:
             await self.queue.close()
+        if self.access_log is not None:
+            self.access_log.close()
 
     async def serve_forever(self) -> None:
         assert self._server is not None
@@ -179,6 +231,10 @@ class ServeServer:
             f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}",
             f"Content-Type: {content_type}",
         ]
+        meta = _RSP.get()
+        if meta is not None:
+            meta["status"] = status
+            lines.append(f"X-Request-Id: {meta['id']}")
         if chunked:
             lines.append("Transfer-Encoding: chunked")
         else:
@@ -206,6 +262,9 @@ class ServeServer:
             )
             + payload
         )
+        meta = _RSP.get()
+        if meta is not None:
+            meta["bytes"] = len(payload)
         await writer.drain()
 
     async def _respond_json(
@@ -223,6 +282,45 @@ class ServeServer:
 
     # ---------------------------------------------------------------- routing
     async def _dispatch(
+        self, request: Dict[str, Any], writer: asyncio.StreamWriter
+    ) -> bool:
+        """One request: assign an id, route, record telemetry + log."""
+        meta: Dict[str, Any] = {
+            "id": self.telemetry.next_request_id(),
+            "status": 0,
+            "bytes": 0,
+            "job": None,
+        }
+        token = _RSP.set(meta)
+        t0 = time.monotonic()  # blitzlint: disable=D1 — request latency
+        try:
+            return await self._dispatch_routed(request, writer)
+        finally:
+            _RSP.reset(token)
+            elapsed_ms = (time.monotonic() - t0) * 1000.0  # blitzlint: disable=D1
+            if meta["status"]:
+                self.telemetry.record_request(
+                    endpoint_of(request["path"]),
+                    request["method"],
+                    meta["status"],
+                    elapsed_ms,
+                    self._uptime_s(),
+                )
+                if self.access_log is not None:
+                    line = {
+                        "ts": round(time.time(), 3),  # blitzlint: disable=D1
+                        "request": meta["id"],
+                        "method": request["method"],
+                        "path": request["path"],
+                        "status": meta["status"],
+                        "bytes": meta["bytes"],
+                        "ms": round(elapsed_ms, 3),
+                    }
+                    if meta["job"] is not None:
+                        line["job"] = meta["job"]
+                    self.access_log.record(line)
+
+    async def _dispatch_routed(
         self, request: Dict[str, Any], writer: asyncio.StreamWriter
     ) -> bool:
         """Route one request; returns False to close the connection."""
@@ -270,6 +368,7 @@ class ServeServer:
                 {
                     "service": "blitzcoin-repro serve",
                     "store": str(self.store.root),
+                    "lanes": queue.lanes,
                     "stats": dict(queue.stats),
                 },
             )
@@ -278,21 +377,54 @@ class ServeServer:
             if method != "POST":
                 return await self._method_not_allowed(writer, "POST")
             submission = parse_submission(self._json_body(request))
-            job, outcome = queue.submit(submission)
-            await self._respond_json(
-                writer,
-                200,
-                {
-                    "job": job.id,
-                    "state": job.state,
-                    "outcome": outcome,
-                    "hash": job.submission.content_hash,
-                    "links": self._links(job),
-                },
-            )
+            meta = _RSP.get()
+            request_id = meta["id"] if meta is not None else None
+            job, outcome = queue.submit(submission, request_id=request_id)
+            if meta is not None:
+                meta["job"] = job.id
+            doc = {
+                "job": job.id,
+                "state": job.state,
+                "outcome": outcome,
+                "hash": job.submission.content_hash,
+                "links": self._links(job),
+            }
+            if request_id is not None:
+                doc["request"] = request_id
+            await self._respond_json(writer, 200, doc)
             return True
         if path == "/queue":
             await self._respond_json(writer, 200, queue.describe())
+            return True
+        if path == "/metrics":
+            if method != "GET":
+                return await self._method_not_allowed(writer, "GET")
+            self._refresh_gauges(queue)
+            payload = self.telemetry.render_metrics().encode("utf-8")
+            await self._respond_bytes(
+                writer,
+                200,
+                "text/plain; version=0.0.4; charset=utf-8",
+                payload,
+            )
+            return True
+        if path == "/dashboard":
+            if method != "GET":
+                return await self._method_not_allowed(writer, "GET")
+            self._refresh_gauges(queue)
+            html = render_fleet_dashboard(
+                self.telemetry,
+                stats=queue.stats,
+                queue_depth=queue.queue_depth(),
+                lanes_busy=queue.busy_lanes(),
+                lanes_total=queue.lanes,
+                store_root=str(self.store.root),
+                uptime_s=self._uptime_s(),
+                now_s=self._uptime_s(),
+            ).encode("utf-8")
+            await self._respond_bytes(
+                writer, 200, "text/html; charset=utf-8", html
+            )
             return True
         if path == "/jobs":
             await self._respond_json(
@@ -316,6 +448,13 @@ class ServeServer:
             writer, 404, {"error": f"no such route: {method} {path}"}
         )
         return True
+
+    def _refresh_gauges(self, queue: JobQueue) -> None:
+        """Scrape-time gauges derived from live queue state."""
+        now_s = self._uptime_s()
+        self.telemetry.set_queue_depth(queue.queue_depth(), now_s)
+        self.telemetry.set_lanes(queue.busy_lanes(), queue.lanes, now_s)
+        self.telemetry.set_dedupe_hit_rate(queue.stats, now_s)
 
     def _json_body(self, request: Dict[str, Any]) -> Any:
         try:

@@ -171,11 +171,24 @@ class JobLog:
     live subscriber, and is replayed to late ones.
     """
 
-    def __init__(self, loop: asyncio.AbstractEventLoop) -> None:
+    def __init__(
+        self,
+        loop: asyncio.AbstractEventLoop,
+        *,
+        on_frame: Optional[PublishFn] = None,
+        request_id: Optional[str] = None,
+    ) -> None:
         self._loop = loop
         self.history: List[Dict[str, Any]] = []
         self.closed = False
         self._subscribers: List[asyncio.Queue] = []
+        #: Observer for every published frame (service telemetry counts
+        #: frame types / alert rates here).  Runs on the loop thread,
+        #: exactly once per frame, never for the close sentinel.
+        self._on_frame = on_frame
+        #: The request id that created this job, for end-to-end tracing
+        #: (also carried by the first ``job`` frame).
+        self.request_id = request_id
 
     # --------------------------------------------------------------- publish
     def publish(self, frame: Optional[Dict[str, Any]]) -> None:
@@ -186,6 +199,8 @@ class JobLog:
             self.closed = True
         else:
             self.history.append(frame)
+            if self._on_frame is not None:
+                self._on_frame(frame)
         for queue in self._subscribers:
             queue.put_nowait(frame)
         if self.closed:

@@ -1,9 +1,12 @@
 # blitzlint: scope=repro.campaign.fixture_p1
 """Fixture: violates rule P1 (parallel-safety).
 
-A module-level results list mutated by the worker, and a lambda
-submitted to the pool (unpicklable under spawn).
+A module-level results list mutated by the worker, a lambda submitted
+to the pool (unpicklable under spawn), and a direct write to the
+scoped observability runtime flag.
 """
+
+from repro.obs import runtime as _obs
 
 _RESULTS = []
 
@@ -15,3 +18,7 @@ def run_unit(unit):
 
 def drive(pool, units):
     return list(pool.map(lambda u: run_unit(u), units))
+
+
+def hijack_sink(sink):
+    _obs.sink = sink  # bypasses install(): process-visible, unscoped

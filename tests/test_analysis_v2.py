@@ -488,6 +488,84 @@ class TestRuleP1ParallelSafety:
         assert only(findings, "P1") == []
 
 
+class TestRuleP1ScopedRuntimeWrites:
+    """The scope-free check: never assign the scoped runtime flags."""
+
+    def test_direct_sink_write_flagged_anywhere(self):
+        # Scope-free: repro.core is NOT a parallel scope, yet the
+        # write is still flagged — the scoped runtime's integrity is
+        # a whole-process property.
+        findings = lint_source(
+            "from repro.obs import runtime\n"
+            "def hijack(s):\n"
+            "    runtime.sink = s\n",
+            module="repro.core.x",
+        )
+        assert "P1" in codes(findings)
+        assert "bypasses the scoped runtime" in findings[0].message
+
+    def test_aliased_import_write_flagged(self):
+        findings = lint_source(
+            "from repro.obs import runtime as _obs\n"
+            "def hijack(s):\n"
+            "    _obs.sink = s\n",
+            module="repro.serve.x",
+        )
+        assert "P1" in codes(findings)
+
+    def test_full_dotted_write_flagged(self):
+        findings = lint_source(
+            "import repro.obs.runtime\n"
+            "def hijack(s):\n"
+            "    repro.obs.runtime.sink = s\n",
+            module="repro.core.x",
+        )
+        assert "P1" in codes(findings)
+
+    def test_injector_write_and_delete_flagged(self):
+        findings = lint_source(
+            "from repro.faults import runtime as _faults\n"
+            "def hijack(inj):\n"
+            "    _faults.injector = inj\n"
+            "    del _faults.injector\n",
+            module="repro.noc.x",
+        )
+        assert len(only(findings, "P1")) == 2
+
+    def test_reads_and_api_calls_clean(self):
+        findings = lint_source(
+            "from repro.obs import runtime as _obs\n"
+            "from repro.obs.runtime import install, uninstall\n"
+            "def emit(now):\n"
+            "    if _obs.sink is not None:\n"
+            "        _obs.sink.inc('x', now)\n"
+            "def scope(s):\n"
+            "    install(s)\n"
+            "    uninstall()\n",
+            module="repro.engine.x",
+        )
+        assert only(findings, "P1") == []
+
+    def test_unrelated_sink_attribute_clean(self):
+        # An object that merely has a `.sink` attribute is untouched —
+        # the check resolves the import alias to the runtime module.
+        findings = lint_source(
+            "def set_sink(pipeline, s):\n"
+            "    pipeline.sink = s\n",
+            module="repro.core.x",
+        )
+        assert only(findings, "P1") == []
+
+    def test_runtime_module_itself_exempt(self):
+        findings = lint_source(
+            "import sys\n"
+            "def uninstall():\n"
+            "    sys.modules[__name__].sink = None\n",
+            module="repro.obs.runtime",
+        )
+        assert only(findings, "P1") == []
+
+
 # ============================================================= suppressions
 class TestSuppressionEdgeCases:
     def test_multi_rule_disable_on_one_line(self):

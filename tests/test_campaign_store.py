@@ -13,7 +13,7 @@ import os
 import pytest
 
 from repro.campaign import CampaignSpec, CampaignStore, StoreError
-from repro.campaign.store import atomic_write_text
+from repro.core.io import atomic_write_text
 
 
 @pytest.fixture

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import json
 
+import pytest
+
 from repro.campaign.presets import get_preset
 from repro.campaign.store import CampaignStore
 from repro.cli import main
@@ -11,10 +13,14 @@ from repro.core.io import atomic_write_text
 
 
 class TestAtomicWriteTextPromotion:
-    def test_deprecated_reexport_is_same_object(self):
-        from repro.campaign.store import atomic_write_text as legacy
+    def test_deprecated_reexport_removed(self):
+        """The transitional re-export is gone: repro.core.io is the
+        one public home of atomic_write_text."""
+        import repro.campaign.store as store_module
 
-        assert legacy is atomic_write_text
+        assert "atomic_write_text" not in store_module.__all__
+        with pytest.raises(ImportError):
+            from repro.campaign.store import atomic_write_text  # noqa: F401
 
     def test_consumers_import_from_core(self):
         """The reach-in is over: every consumer imports repro.core.io."""
